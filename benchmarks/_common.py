@@ -1,0 +1,31 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one experiment table (DESIGN.md §4), prints it,
+and archives it under ``benchmarks/results/`` so EXPERIMENTS.md can be
+refreshed mechanically.  The pytest-benchmark fixture times the full table
+generation (one round — these are experiment harnesses, not microbenchmarks,
+and their interesting output is the table itself).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.experiments.harness import ExperimentTable
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def emit(table: ExperimentTable, stem: str) -> ExperimentTable:
+    """Print the table and archive it under benchmarks/results/<stem>.txt."""
+    text = table.format()
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{stem}.txt").write_text(text + "\n")
+    return table
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under the pytest-benchmark timer."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,23 @@
+"""E11 — Appendix A: induced matchings in G(n, n, 1/n).
+
+Measured density converges to the exact constant 1/e² ≈ 0.1353, safely above
+Lemma A.3's lower bound 1/e³ ≈ 0.0498; the degree-1 fraction converges to
+1/e (Prop A.2a).
+"""
+
+from _common import emit, run_once
+from repro.experiments import tables
+
+
+def test_e11_constants(benchmark):
+    table = run_once(
+        benchmark,
+        lambda: tables.e11_induced_matching(
+            n_values=(1000, 4000, 16000, 64000), n_trials=5
+        ),
+    )
+    emit(table, "e11_induced")
+    last = table.rows[-1]  # largest n: tightest convergence
+    assert abs(last["induced_density_mean"] - last["exact_theory"]) < 0.01
+    assert last["induced_density_mean"] > last["lemma_a3_bound"]
+    assert abs(last["deg1_fraction_mean"] - last["theory_deg1"]) < 0.01

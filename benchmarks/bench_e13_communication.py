@@ -1,0 +1,28 @@
+"""E13 — Results 1 and 3: total communication of the coreset protocols is
+Õ(nk), far below send-everything on dense graphs, with Õ(n) per player."""
+
+from _common import emit, run_once
+from repro.experiments import tables
+
+
+def test_e13_scaling(benchmark):
+    n = 4000
+    table = run_once(
+        benchmark,
+        lambda: tables.e13_communication_scaling(
+            n=n, k_values=(2, 4, 8, 16, 32), n_trials=3
+        ),
+    )
+    emit(table, "e13_communication")
+    for row in table.rows:
+        # Coresets beat send-everything on this dense workload.
+        assert row["matching_total_bits"] < row["naive_total_bits"]
+        # Per-player cost stays Õ(n): each machine ships ≤ n/2 matching
+        # edges = ≤ n/2 · 2·log2(n) bits.
+        import math
+
+        assert row["max_player_bits"] <= n * math.log2(n)
+    # Matching total grows sublinearly with k but stays Õ(nk): the
+    # normalized column is O(log n) and decreasing.
+    norm = table.column("matching_bits_per_nk")
+    assert all(v <= 2 * 12 for v in norm)  # 2·log2(4000) ≈ 24

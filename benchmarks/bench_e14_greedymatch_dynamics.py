@@ -1,0 +1,22 @@
+"""E14 — Claim 3.3 and Lemma 3.2: GreedyMatch's per-step behaviour.
+
+The optimal matching spreads uniformly over the machines
+(|M*_{<i}| ≈ (i−1)/k·MM) and the early steps each gain Ω(MM/k)."""
+
+from _common import emit, run_once
+from repro.experiments import tables
+
+
+def test_e14_dynamics(benchmark):
+    table = run_once(
+        benchmark,
+        lambda: tables.e14_greedymatch_dynamics(n=8000, k=16, n_trials=3),
+    )
+    emit(table, "e14_greedymatch")
+    row = table.rows[0]
+    # Claim 3.3: prefix deviation from the (i/k)·MM line is small.
+    assert row["prefix_deviation_max"] <= 0.05
+    # Lemma 3.2: average early-step gain is Ω(MM/k) — in fact ≥ MM/k.
+    assert row["first_third_gain_over_mm_per_k"] >= 1.0
+    # Theorem 1 consequence: final matching is a constant fraction of MM.
+    assert row["final_over_mm"] >= 1 / 9

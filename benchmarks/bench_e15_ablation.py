@@ -1,0 +1,26 @@
+"""E15 — ablation: summarizer × combiner grid on one fixed workload.
+
+Shows where each design choice matters: exact vs greedy combining, maximum
+vs maximal vs subsampled summaries, and the cost of the naive baseline."""
+
+from _common import emit, run_once
+from repro.experiments import tables
+
+
+def test_e15_ablation(benchmark):
+    table = run_once(
+        benchmark,
+        lambda: tables.e15_ablation(n=8000, k=8, n_trials=3),
+    )
+    emit(table, "e15_ablation")
+    rows = {r["variant"]: r for r in table.rows}
+    # Exact combining beats greedy combining (or ties).
+    assert rows["maximum+exact"]["ratio_mean"] <= \
+        rows["maximum+greedy"]["ratio_mean"] + 1e-9
+    # Subsampling trades ratio for bits.
+    assert rows["subsampled(alpha=4)+exact"]["total_bits_mean"] < \
+        rows["maximum+exact"]["total_bits_mean"]
+    assert rows["subsampled(alpha=4)+exact"]["ratio_mean"] > \
+        rows["maximum+exact"]["ratio_mean"]
+    # Naive is exact but pays the most bits on this workload.
+    assert rows["send-everything"]["ratio_mean"] == 1.0

@@ -1,0 +1,27 @@
+"""E16 — §1.3 connection: random-arrival streaming.
+
+Greedy's ratio improves from adversarial to random arrival, and the
+two-phase (KMM-style) matcher exploits random arrival to beat greedy —
+the single-machine shadow of random k-partitioning."""
+
+from _common import emit, run_once
+from repro.experiments import tables
+
+
+def test_e16_streaming(benchmark):
+    table = run_once(
+        benchmark,
+        lambda: tables.e16_streaming_orders(n=8000, n_trials=3),
+    )
+    emit(table, "e16_streaming")
+    rows = {r["order"]: r for r in table.rows}
+    # Maximality floor.
+    for r in table.rows:
+        assert r["greedy_ratio"] >= 0.5
+    # Random arrival beats adversarial arrival for greedy.
+    assert rows["random"]["greedy_ratio"] > rows["adversarial"]["greedy_ratio"]
+    # Two-phase beats greedy on random arrival.
+    assert rows["random"]["two_phase_ratio"] > rows["random"]["greedy_ratio"]
+    # Semi-streaming memory: O(n) words.
+    for r in table.rows:
+        assert r["memory_words_over_n"] <= 4

@@ -1,0 +1,31 @@
+"""E17 — footnote 3: exact kernel coresets for small optima.
+
+When MM(G) ≤ K, composable kernels give the *exact* answer under any
+partitioning with Õ(K²)-scale messages — the regime the paper's main
+assumption (MM = ω(k log n)) excludes."""
+
+from _common import emit, run_once
+from repro.experiments import tables
+
+
+def test_e17_exact_kernel(benchmark):
+    table = run_once(
+        benchmark,
+        lambda: tables.e17_exact_kernel(
+            opt_values=(32, 128, 512), n=8000, k=8, n_trials=3
+        ),
+    )
+    emit(table, "e17_exact_kernel")
+    for row in table.rows:
+        assert row["exact_random"]
+        assert row["exact_adversarial"]
+        # O(K²) size envelope: ≤ 2K(3K+2) per machine (and never more than
+        # the graph itself).
+        k = 8
+        cap = 2 * row["opt_bound"] * (3 * row["opt_bound"] + 2)
+        assert row["kernel_edges_total"] <= min(
+            k * cap, row["graph_edges"] * 1.01
+        )
+    # The small-optimum kernels genuinely compress the dense instance.
+    first = table.rows[0]
+    assert first["kernel_edges_total"] < 0.5 * first["graph_edges"]

@@ -1,0 +1,24 @@
+"""E18 — robustness sweep: both coresets across five graph families.
+
+The theorems are worst-case over graphs (randomness is only in the
+partitioning), so the guarantees must hold on every family."""
+
+import math
+
+from _common import emit, run_once
+from repro.experiments import tables
+
+
+def test_e18_families(benchmark):
+    n = 4000
+    table = run_once(
+        benchmark,
+        lambda: tables.e18_family_robustness(n=n, k=8, n_trials=3),
+    )
+    emit(table, "e18_families")
+    assert len(table.rows) == 5
+    for row in table.rows:
+        assert row["matching_ratio_max"] <= 9, row["family"]
+        assert row["matching_ratio_mean"] <= 3, row["family"]
+        assert row["vc_ratio_mean"] <= 4 * math.log2(n), row["family"]
+        assert row["vc_feasible"], row["family"]

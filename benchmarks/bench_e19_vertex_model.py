@@ -1,0 +1,30 @@
+"""E19 — §1.3 / [10]: the edge-partition vs vertex-partition models.
+
+Same summarizer, two models: quality comparable on benign inputs, but the
+vertex model duplicates cross edges (factor → 2−1/k) and hands every
+machine a Θ(1) fraction of the graph — the regime where [10] proves Õ(n)
+summaries cannot work in the worst case."""
+
+from _common import emit, run_once
+from repro.experiments import tables
+
+
+def test_e19_models(benchmark):
+    table = run_once(
+        benchmark,
+        lambda: tables.e19_vertex_partition_model(
+            n=4000, k_values=(4, 16), n_trials=3
+        ),
+    )
+    emit(table, "e19_vertex_model")
+    for row in table.rows:
+        k = row["k"]
+        assert row["edge_model_ratio"] <= 3
+        assert row["vertex_model_ratio"] <= 3
+        # Input duplication factor approaches 2 - 1/k in the vertex model.
+        assert abs(row["duplication_factor"] - (2 - 1 / k)) < 0.1
+        # Communication is the same order in both models on benign inputs
+        # (the [10] hardness needs worst-case instances); messages are
+        # matchings, so duplication of *input* edges need not inflate them.
+        assert row["vertex_model_bits"] <= 3 * row["edge_model_bits"]
+        assert row["vertex_model_bits"] >= row["edge_model_bits"] / 3

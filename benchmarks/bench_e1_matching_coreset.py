@@ -1,0 +1,33 @@
+"""E1 — Theorem 1: the maximum-matching coreset is O(1)-approximate.
+
+Regenerates the approximation-ratio table across n and k on bipartite
+planted-matching workloads and general Gnp graphs.  Paper claim: ratio ≤ 9
+(analysis constant); expected measurement: ≤ ~3, flat in n and k.
+"""
+
+from _common import emit, run_once
+from repro.experiments import tables
+
+
+def test_e1_bipartite(benchmark):
+    table = run_once(
+        benchmark,
+        lambda: tables.e1_matching_coreset(
+            n_values=(2000, 8000), k_values=(4, 16, 64), n_trials=3
+        ),
+    )
+    emit(table, "e1_bipartite")
+    assert all(r <= 9 for r in table.column("ratio_max"))
+    assert all(r <= 3.5 for r in table.column("ratio_mean"))
+
+
+def test_e1_general_graphs(benchmark):
+    table = run_once(
+        benchmark,
+        lambda: tables.e1_matching_coreset(
+            n_values=(2000,), k_values=(4, 16), n_trials=3,
+            general_graphs=True,
+        ),
+    )
+    emit(table, "e1_general")
+    assert all(r <= 9 for r in table.column("ratio_max"))

@@ -1,0 +1,23 @@
+"""E20 — the "w.h.p." quantifier itself: tail probabilities of the
+Theorem 1 guarantee and the Claim 3.3 prefix deviation vanish as n grows."""
+
+from _common import emit, run_once
+from repro.experiments import tables
+
+
+def test_e20_concentration(benchmark):
+    table = run_once(
+        benchmark,
+        lambda: tables.e20_concentration(
+            n_values=(500, 2000, 8000), k=8, n_trials=20
+        ),
+    )
+    emit(table, "e20_concentration")
+    # No tail events at the (generous) 1.5 threshold at any n.
+    assert all(row["tail_probability"] == 0.0 for row in table.rows)
+    # Spread of the ratio shrinks with n (allow one inversion for noise).
+    stds = table.column("ratio_std")
+    assert stds[-1] < stds[0]
+    # Prefix deviation (Claim 3.3) shrinks with n.
+    devs = table.column("prefix_dev_max")
+    assert devs[-1] < devs[0]

@@ -1,0 +1,29 @@
+"""E2 — §1.2: a maximal (not maximum) matching coreset is Ω(k)-approximate.
+
+Regenerates the separation table on the hidden-matching-with-hubs instance:
+the worst-case maximal matching collapses linearly in k while the Theorem 1
+coreset stays at ratio ~1 on the same partitions.
+"""
+
+from _common import emit, run_once
+from repro.experiments import tables
+
+
+def test_e2_separation(benchmark):
+    table = run_once(
+        benchmark,
+        lambda: tables.e2_maximal_coreset_bad(
+            k_values=(4, 8, 16, 32), width=64, n_trials=3
+        ),
+    )
+    emit(table, "e2_maximal_bad")
+    bad = table.column("maximal_ratio")
+    good = table.column("maximum_ratio")
+    ks = table.column("k")
+    # Ω(k) growth: ratio at k=32 is ≥ 4x ratio at k=4.
+    assert bad[-1] >= 4 * bad[0] * 0.8
+    # Ratio tracks ~k/2 on this instance.
+    for k, r in zip(ks, bad):
+        assert r >= k / 4
+    # Theorem 1 coreset unaffected.
+    assert max(good) <= 2.0

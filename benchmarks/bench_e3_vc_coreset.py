@@ -1,0 +1,23 @@
+"""E3 — Theorem 2: the peeling coreset is O(log n)-approximate for vertex
+cover with O(n log n)-size messages."""
+
+import math
+
+from _common import emit, run_once
+from repro.experiments import tables
+
+
+def test_e3_vc_coreset(benchmark):
+    table = run_once(
+        benchmark,
+        lambda: tables.e3_vc_coreset(
+            n_values=(2000, 8000), k_values=(4, 16), n_trials=3
+        ),
+    )
+    emit(table, "e3_vc_coreset")
+    assert all(table.column("feasible"))
+    for row in table.rows:
+        # Ratio within the O(log n) envelope (generous constant 4).
+        assert row["ratio_max"] <= 4 * row["log2_n"]
+        # Message sizes within the O(n log n) envelope.
+        assert row["residual_edges_mean"] <= 8 * row["n"] * row["log2_n"]

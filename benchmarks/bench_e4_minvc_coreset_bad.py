@@ -1,0 +1,25 @@
+"""E4 — §1.2: min-VC-of-the-piece as a coreset is Ω(k)-approximate (the
+star example), while the Theorem 2 peeling coreset stays O(log n)."""
+
+from _common import emit, run_once
+from repro.experiments import tables
+
+
+def test_e4_separation(benchmark):
+    table = run_once(
+        benchmark,
+        lambda: tables.e4_minvc_coreset_bad(
+            k_values=(4, 8, 16, 32), n_stars=64, n_trials=3
+        ),
+    )
+    emit(table, "e4_minvc_bad")
+    bad = table.column("minvc_ratio")
+    good = table.column("peeling_ratio")
+    ks = table.column("k")
+    assert all(table.column("both_feasible"))
+    # Ω(k) growth of the bad coreset...
+    assert bad[-1] >= 3 * bad[0] * 0.9
+    for k, r in zip(ks, bad):
+        assert r >= k / 8
+    # ...while peeling stays constant.
+    assert max(good) <= 3.0

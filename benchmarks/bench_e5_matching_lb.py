@@ -1,0 +1,29 @@
+"""E5 — Theorem 3: matching coresets need Ω(n/α²) edges.
+
+Budget-limited coresets on D_Matching: achieved ratio crosses α exactly when
+the per-machine budget crosses ~n/α².
+"""
+
+from _common import emit, run_once
+from repro.experiments import tables
+
+
+def test_e5_size_threshold(benchmark):
+    n, alpha, k = 8000, 8.0, 8
+    table = run_once(
+        benchmark,
+        lambda: tables.e5_matching_size_lb(
+            n=n, alpha=alpha, k=k,
+            budget_factors=(0.125, 0.5, 1.0, 4.0, 16.0), n_trials=3,
+        ),
+    )
+    emit(table, "e5_matching_lb")
+    ratios = table.column("ratio_mean")
+    # Starved budgets cannot beat alpha; generous budgets can.
+    assert ratios[0] > alpha
+    assert ratios[-1] < alpha
+    # Monotone improvement with budget.
+    assert all(a >= b for a, b in zip(ratios, ratios[1:]))
+    # Hidden-edge recovery grows with budget (the counting argument).
+    rec = table.column("hidden_recovered_mean")
+    assert all(a <= b for a, b in zip(rec, rec[1:]))

@@ -1,0 +1,26 @@
+"""E6 — Theorem 4: vertex-cover coresets need Ω(n/α) size.
+
+Budget-limited coresets on D_VC: feasibility (covering the planted edge e*)
+collapses when the budget drops below ~n/α.
+"""
+
+from _common import emit, run_once
+from repro.experiments import tables
+
+
+def test_e6_size_threshold(benchmark):
+    n, alpha, k = 8000, 8.0, 8
+    table = run_once(
+        benchmark,
+        lambda: tables.e6_vc_size_lb(
+            n=n, alpha=alpha, k=k,
+            budget_factors=(0.05, 0.25, 1.0, 4.0), n_trials=5,
+        ),
+    )
+    emit(table, "e6_vc_lb")
+    feas = table.column("p_feasible")
+    # Starved budget: almost never feasible. Full budget: always.
+    assert feas[0] <= 0.4
+    assert feas[-1] == 1.0
+    # Monotone in budget.
+    assert all(a <= b + 1e-9 for a, b in zip(feas, feas[1:]))

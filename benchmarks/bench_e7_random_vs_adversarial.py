@@ -1,0 +1,23 @@
+"""E7 — the headline contrast: the same coreset succeeds under random
+partitioning and fails (ratio ≈ (k+1)/2) under adversarial partitioning."""
+
+from _common import emit, run_once
+from repro.experiments import tables
+
+
+def test_e7_contrast(benchmark):
+    table = run_once(
+        benchmark,
+        lambda: tables.e7_random_vs_adversarial(
+            k_values=(4, 8, 16), n_hidden_per_k=48, n_trials=3
+        ),
+    )
+    emit(table, "e7_random_vs_adversarial")
+    for row in table.rows:
+        assert row["random_ratio"] <= 1.5
+        # Adversarial ratio lands on the predicted (k+1)/2 within 25%.
+        predicted = row["predicted_adversarial"]
+        assert abs(row["adversarial_ratio"] - predicted) <= 0.25 * predicted
+    # Growth in k.
+    adv = table.column("adversarial_ratio")
+    assert adv[-1] > adv[0] * 2

@@ -1,0 +1,25 @@
+"""E8 — the MapReduce corollary: 2 rounds (1 pre-randomized) for the coreset
+algorithm vs ≥ 3 rounds for the Lattanzi et al. filtering baseline, at the
+paper's memory regime."""
+
+from _common import emit, run_once
+from repro.experiments import tables
+
+
+def test_e8_rounds_and_memory(benchmark):
+    table = run_once(
+        benchmark,
+        lambda: tables.e8_mapreduce_rounds(n=4000, avg_degree=24.0,
+                                           n_trials=3),
+    )
+    emit(table, "e8_mapreduce")
+    rows = {r["algorithm"]: r for r in table.rows}
+    assert rows["coreset-2round"]["rounds_mean"] == 2
+    assert rows["coreset-prerandomized"]["rounds_mean"] == 1
+    assert rows["filtering[46]"]["rounds_mean"] >= 3
+    # Approximations: coreset O(1), filtering ≤ 2.
+    assert rows["coreset-2round"]["ratio_mean"] <= 3
+    assert rows["filtering[46]"]["ratio_mean"] <= 2.05
+    # Memory: the central machine stays within the model cap.
+    for r in table.rows:
+        assert r["peak_machine_edges"] <= r["memory_cap"]

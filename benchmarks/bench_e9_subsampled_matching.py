@@ -1,0 +1,27 @@
+"""E9 — Remark 5.2: subsampled matching coresets give an α-approximation
+with Õ(nk/α²) total communication (tight by Theorem 5)."""
+
+from _common import emit, run_once
+from repro.experiments import tables
+
+
+def test_e9_alpha_sweep(benchmark):
+    table = run_once(
+        benchmark,
+        lambda: tables.e9_subsampled_matching(
+            n=8000, k=8, alpha_values=(2.0, 4.0, 8.0, 16.0), n_trials=3
+        ),
+    )
+    emit(table, "e9_subsampled")
+    assert all(table.column("within_3alpha"))
+    # On the Theorem 5-tight distribution, bits·alpha²/(nk) is ~constant:
+    # check the normalized column varies by at most 4x across the sweep
+    # (log factors + the E_AB noise matching keep it from being exactly
+    # flat at laptop scale).
+    norm = table.column("bits_x_alpha2_over_nk")
+    assert max(norm) <= 4 * min(norm)
+    # And raw bits strictly decrease superlinearly in alpha.
+    bits = table.column("total_bits_mean")
+    alphas = table.column("alpha")
+    for i in range(len(bits) - 1):
+        assert bits[i + 1] <= bits[i] / (alphas[i + 1] / alphas[i]) * 1.05

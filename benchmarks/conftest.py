@@ -1,0 +1,6 @@
+"""Make benchmarks/ a pytest rootdir-importable directory."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))

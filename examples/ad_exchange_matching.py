@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Distributed ad-exchange allocation with weighted coresets.
+
+Scenario: an ad exchange must match advertisers to impression slots.  Bid
+logs (edges: advertiser × slot, weight = bid value) arrive sharded across k
+ingestion servers.  We want a high-value allocation (a maximum-weight
+matching) with one round of communication.
+
+This drives the Crouch–Stubbs weighted extension (paper §1.1): every server
+buckets its bids into geometric value classes, computes a maximum matching
+*inside each class* (the Theorem 1 coreset per class), and ships the union;
+the coordinator greedily merges from the highest value class down.
+
+Run:  python examples/ad_exchange_matching.py
+"""
+
+import numpy as np
+
+from repro.core.weighted import weighted_matching_coreset_protocol
+from repro.graph.generators import bipartite_gnp
+from repro.graph.weights import WeightedGraph
+from repro.matching.weighted import greedy_weighted_matching
+from repro.utils.rng import spawn_generators
+
+
+def make_bid_log(n_advertisers, n_slots, rng):
+    """Bipartite bid graph with log-normal bid values (heavy-tailed, like
+    real auctions).  Dense: every advertiser bids on many slots, which is
+    the regime where shipping coresets instead of raw bid logs pays off.
+    """
+    base = bipartite_gnp(n_advertisers, n_slots, p=80.0 / n_slots, rng=rng)
+    bids = np.exp(rng.normal(loc=0.0, scale=1.2, size=base.n_edges)) + 0.01
+    return WeightedGraph(base.n_vertices, base.edges, bids, validated=True)
+
+
+def main() -> None:
+    gens = spawn_generators(seed=42, n=2)
+    n_adv = n_slots = 1000
+    k = 8
+    wg = make_bid_log(n_adv, n_slots, gens[0])
+    print(f"bid log: {wg.n_edges} bids, {n_adv} advertisers, "
+          f"{n_slots} slots, total value {wg.total_weight():.0f}")
+
+    for epsilon in (0.5, 1.0):
+        res = weighted_matching_coreset_protocol(
+            wg, k=k, epsilon=epsilon, rng=gens[1]
+        )
+        _, central = greedy_weighted_matching(wg)
+        print(f"\nepsilon={epsilon} (class width {1 + epsilon:g}x):")
+        print(f"  allocation value (distributed): {res.weight:.0f}")
+        print(f"  centralized greedy (>= OPT/2):  {central:.0f}")
+        print(f"  value retained:                 {res.weight / central:.1%}")
+        print(f"  communication:                  "
+              f"{res.ledger.total_bits()} bits "
+              f"(vs {wg.n_edges * 24} to ship every bid)")
+
+
+if __name__ == "__main__":
+    main()

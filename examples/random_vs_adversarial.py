@@ -1,0 +1,36 @@
+#!/usr/bin/env python
+"""The paper's headline insight, live: the *same* coreset on the *same*
+graph succeeds under random partitioning and collapses under adversarial
+partitioning.
+
+The instance is the decoy-gadget graph (see repro.lowerbounds.adversary):
+a perfect hidden matching plus per-edge decoy gadgets drawn from a small
+shared vertex pool.  The adversary co-locates each hidden edge with its
+gadget, making every machine's unique maximum matching avoid the hidden
+edge; random placement breaks the gadgets apart and the hidden matching
+sails through.
+
+Run:  python examples/random_vs_adversarial.py
+"""
+
+from repro.lowerbounds.adversary import contrast_partitionings
+from repro.utils.rng import spawn_generators
+
+
+def main() -> None:
+    print(f"{'k':>4} {'optimum':>8} {'random ratio':>13} "
+          f"{'adversarial ratio':>18} {'predicted (k+1)/2':>18}")
+    gens = spawn_generators(seed=3, n=8)
+    for i, k in enumerate((4, 8, 16, 32)):
+        c = contrast_partitionings(n_hidden=48 * k, k=k, rng=gens[i])
+        print(f"{k:>4} {c.optimum:>8} {c.random_ratio:>13.2f} "
+              f"{c.adversarial_ratio:>18.2f} {(k + 1) / 2:>18.1f}")
+    print(
+        "\nReading: random partitioning keeps the coreset O(1)-approximate\n"
+        "at every k; adversarial placement degrades it linearly in k —\n"
+        "the separation Results 1 vs. the [10] lower bound describe."
+    )
+
+
+if __name__ == "__main__":
+    main()

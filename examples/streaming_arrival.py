@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Random arrival helps a single machine too (the paper's §1.3 remark).
+
+The random k-partitioning that powers the coresets is the multi-machine
+analogue of a *randomly ordered* edge stream.  This example processes the
+same graph as a one-pass semi-streaming computation under
+
+* an adversarial arrival order (optimal edges last), and
+* a random arrival order,
+
+with the plain greedy matcher and the two-phase (KMM-style) matcher that
+exploits random arrival by collecting 3-augmentations in its second phase.
+
+Run:  python examples/streaming_arrival.py
+"""
+
+from repro.graph.generators import planted_matching_gnp
+from repro.matching.api import maximum_matching
+from repro.streaming import (
+    StreamingGreedyMatcher,
+    TwoPhaseStreamingMatcher,
+    adversarial_order,
+    random_order,
+)
+from repro.utils.rng import spawn_generators
+
+
+def main() -> None:
+    gens = spawn_generators(seed=11, n=3)
+    n = 20000
+    graph, _ = planted_matching_gnp(n // 2, n // 2, p=3.0 / n, rng=gens[0])
+    opt_matching = maximum_matching(graph)
+    opt = opt_matching.shape[0]
+    print(f"graph: n={graph.n_vertices}, m={graph.n_edges}, MM={opt}")
+    print(f"semi-streaming memory: "
+          f"{TwoPhaseStreamingMatcher(graph.n_vertices).memory_words} words "
+          f"(3n; the stream itself is {graph.n_edges} edges)\n")
+
+    orders = {
+        "adversarial": adversarial_order(graph, opt_matching, gens[1]),
+        "random": random_order(graph, gens[2]),
+    }
+    print(f"{'arrival order':>14} {'greedy':>8} {'two-phase':>10}")
+    for name, order in orders.items():
+        g_size = StreamingGreedyMatcher(graph.n_vertices).run(
+            graph, order
+        ).shape[0]
+        t_size = TwoPhaseStreamingMatcher(graph.n_vertices).run(
+            graph, order
+        ).shape[0]
+        print(f"{name:>14} {g_size / opt:>8.3f} {t_size / opt:>10.3f}")
+    print(
+        "\nReading: randomizing the arrival order lifts greedy above its\n"
+        "adversarial ratio, and the two-phase matcher converts the random\n"
+        "order into 3-augmentations — the same phenomenon the paper\n"
+        "harnesses across k machines."
+    )
+
+
+if __name__ == "__main__":
+    main()

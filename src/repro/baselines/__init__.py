@@ -1,0 +1,27 @@
+"""Baselines the paper compares against (or warns against).
+
+* :mod:`repro.baselines.filtering` — the Lattanzi–Moseley–Suri–Vassilvitskii
+  (SPAA'11) MapReduce filtering algorithm: 2-approximate matching/VC in
+  O(1/c) rounds with n^{1+c} memory.  The round-count comparison of the
+  paper's MapReduce corollary is against this algorithm.
+* :mod:`repro.baselines.bad_coresets` — the two provably bad coresets from
+  §1.2: an arbitrary *maximal* matching (Ω(k)-approximate) and a minimum
+  vertex cover of the piece (Ω(k)-approximate).
+* :mod:`repro.baselines.naive` — send-everything and single-machine exact
+  references.
+"""
+
+from repro.baselines.bad_coresets import (
+    maximal_matching_coreset_protocol,
+    min_vc_coreset_protocol,
+)
+from repro.baselines.filtering import FilteringResult, filtering_matching
+from repro.baselines.naive import send_everything_protocol
+
+__all__ = [
+    "FilteringResult",
+    "filtering_matching",
+    "maximal_matching_coreset_protocol",
+    "min_vc_coreset_protocol",
+    "send_everything_protocol",
+]

@@ -1,0 +1,175 @@
+"""The provably bad coresets of §1.2.
+
+* **Maximal matching as a coreset** — "one can easily show that this choice
+  of coreset performs poorly in general; there are simple instances in which
+  choosing arbitrary maximal matching in the graph G^(i) results only in an
+  Ω(k)-approximation."  The failure needs the *arbitrary choice* freedom: we
+  expose the edge-order policy so E2 can play the adversarial tie-breaker
+  on the :func:`~repro.graph.generators.layered_maximal_trap` instance.
+
+* **Minimum vertex cover as a coreset** — "there are simple instances (e.g.,
+  a star on k vertices) on which this leads to an Ω(k) approximation ratio."
+  Each machine of a randomly partitioned star sees ~deg/k leaves and may
+  legitimately output the leaves instead of the center once its local piece
+  makes that optimal or tie-equal; composing k such covers yields Ω(k)·VC.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.compose import compose_matching
+from repro.cover.konig import konig_cover
+from repro.dist.coordinator import SimultaneousProtocol
+from repro.dist.message import Message
+from repro.graph.bipartite import BipartiteGraph
+from repro.matching.maximal import OrderPolicy, greedy_maximal_matching
+
+__all__ = [
+    "maximal_matching_coreset_protocol",
+    "min_vc_coreset_protocol",
+    "blocking_maximal_protocol",
+]
+
+
+def maximal_matching_coreset_protocol(
+    order: OrderPolicy = "adversarial_key",
+    combiner: str = "exact",
+) -> SimultaneousProtocol[np.ndarray]:
+    """Each machine sends an (adversarially chosen) *maximal* matching."""
+
+    def summarize(piece, machine_index, rng, public=None):
+        del public
+        m = greedy_maximal_matching(piece, order=order, rng=rng)
+        return Message(sender=machine_index, edges=m)
+
+    def combine(coordinator, messages):
+        return compose_matching(
+            coordinator.n_vertices,
+            [m.edges for m in messages],
+            combiner=combiner,  # type: ignore[arg-type]
+            template=coordinator.template,
+        )
+
+    return SimultaneousProtocol(
+        name=f"maximal-matching-coreset[{order}]",
+        summarizer=summarize,
+        combine=combine,
+    )
+
+
+def blocking_maximal_protocol(
+    hub_boundary: int,
+    combiner: str = "exact",
+) -> SimultaneousProtocol[np.ndarray]:
+    """The worst-case maximal matching on the
+    :func:`~repro.graph.generators.hidden_matching_with_hubs` instance.
+
+    "Maximal matching" as a coreset means *any* maximal matching is a legal
+    output, so the adversary may pick the worst one.  On the hub instance
+    the worst choice is explicit: first compute a maximum "blocking"
+    matching from hidden-edge-owning lefts into the hub vertices (right ids
+    ≥ ``hub_boundary``), then extend maximally.  When the blocking matching
+    saturates the owners, no hidden edge is addable, and the machine's
+    message carries only hub edges — which compose into an Ω(k)-bad union.
+
+    This is still a *valid maximal matching of the piece*; tests assert
+    that invariant.
+    """
+
+    def summarize(piece, machine_index, rng, public=None):
+        del public
+        if not isinstance(piece, BipartiteGraph):
+            raise TypeError("blocking_maximal_protocol expects bipartite pieces")
+        e = piece.edges
+        is_hub_edge = e[:, 1] >= hub_boundary
+        hidden = e[~is_hub_edge]
+        owners = np.unique(hidden[:, 0])
+        owner_mask = np.zeros(piece.n_vertices, dtype=bool)
+        if owners.size:
+            owner_mask[owners] = True
+        # Blocking subgraph: owner lefts x hubs.
+        blockable = is_hub_edge & owner_mask[e[:, 0]]
+        block_graph = piece.subgraph_from_mask(blockable)
+        # A *maximum* matching of the blocking subgraph blocks the most
+        # owners (saturating w.h.p. given the instance's hub slack).
+        from repro.matching.hopcroft_karp import hopcroft_karp
+
+        blocking = hopcroft_karp(block_graph)
+        from repro.matching.maximal import complete_to_maximal
+
+        maximal = complete_to_maximal(piece, blocking, order="input")
+        return Message(sender=machine_index, edges=maximal)
+
+    def combine(coordinator, messages):
+        return compose_matching(
+            coordinator.n_vertices,
+            [m.edges for m in messages],
+            combiner=combiner,  # type: ignore[arg-type]
+            template=coordinator.template,
+        )
+
+    return SimultaneousProtocol(
+        name=f"blocking-maximal[hub>={hub_boundary}]",
+        summarizer=summarize,
+        combine=combine,
+    )
+
+
+def min_vc_coreset_protocol(
+    prefer_leaves: bool = True,
+) -> SimultaneousProtocol[np.ndarray]:
+    """Each machine sends a minimum vertex cover of its *piece* as a fixed
+    solution (no edges); the coordinator unions them.
+
+    The output always covers G — every edge lies in some piece and is
+    covered by that piece's cover — but its size composes additively.
+    ``prefer_leaves=True`` resolves ties away from high-degree vertices,
+    the adversarial (yet perfectly legal: any *minimum* cover is allowed)
+    choice that realizes the star lower bound.
+    """
+
+    def summarize(piece, machine_index, rng, public=None):
+        del rng, public
+        if not isinstance(piece, BipartiteGraph):
+            raise TypeError(
+                "min_vc_coreset_protocol needs bipartite pieces (exact VC)"
+            )
+        if prefer_leaves:
+            # König from the leaves' side: flip the bipartition so the cover
+            # lands on the leaf side whenever both sides are minimum.
+            flipped = _flip_bipartite(piece)
+            cover_flipped = konig_cover(flipped)
+            cover = _unflip_ids(cover_flipped, piece)
+        else:
+            cover = konig_cover(piece)
+        return Message(sender=machine_index, fixed_vertices=cover)
+
+    def combine(coordinator, messages):
+        return coordinator.fixed_vertices(messages)
+
+    return SimultaneousProtocol(
+        name=f"min-vc-coreset[prefer_leaves={prefer_leaves}]",
+        summarizer=summarize,
+        combine=combine,
+    )
+
+
+def _flip_bipartite(g: BipartiteGraph) -> BipartiteGraph:
+    """Swap the two sides of a bipartite graph (right ids become left)."""
+    e = g.edges
+    left_new = e[:, 1] - g.n_left
+    right_new = e[:, 0]
+    return BipartiteGraph.from_pairs(g.n_right, g.n_left, left_new, right_new)
+
+
+def _unflip_ids(cover_flipped: np.ndarray, original: BipartiteGraph) -> np.ndarray:
+    """Map vertex ids of the flipped graph back to the original layout."""
+    c = np.asarray(cover_flipped, dtype=np.int64)
+    is_left_flipped = c < original.n_right
+    back = np.where(
+        is_left_flipped,
+        c + original.n_left,  # flipped-left = original right
+        c - original.n_right,  # flipped-right = original left
+    )
+    return np.sort(back.astype(np.int64))

@@ -1,0 +1,117 @@
+"""Lattanzi–Moseley–Suri–Vassilvitskii "filtering" MapReduce matching.
+
+The algorithm the paper's MapReduce corollary is measured against
+(reference [46]; SPAA'11, "Filtering: a method for solving graph problems
+in MapReduce"):
+
+    repeat until the residual edge set fits on one machine:
+      1. sample each residual edge independently so that ~``memory`` edges
+         land on a central machine                       (1 MapReduce round)
+      2. the central machine computes a maximal matching M' of the sample
+         and broadcasts the matched vertices
+      3. every machine drops its edges with a matched endpoint (filtering)
+    finally: ship the residual to the central machine, extend the matching
+    maximally there                                      (1 final round)
+
+With memory ``η = n^{1+c}`` this terminates in O(1/c) rounds w.h.p. and the
+result is a *maximal* matching of G, hence a 2-approximation (and its
+endpoint set a 2-approximate vertex cover).  With the paper's memory budget
+``Õ(n√n)`` (c = 1/2) the expected round count is ≥ 3 — versus 2 rounds for
+the coreset algorithm — which is exactly the comparison of experiment E8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.edgelist import Graph
+from repro.matching.maximal import complete_to_maximal, greedy_maximal_matching
+from repro.utils.rng import RandomState, as_generator
+
+__all__ = ["FilteringResult", "filtering_matching"]
+
+
+@dataclass
+class FilteringResult:
+    """Output of one filtering run."""
+
+    matching: np.ndarray
+    n_rounds: int
+    peak_central_edges: int
+    sample_sizes: list[int]
+
+    @property
+    def matching_size(self) -> int:
+        return int(self.matching.shape[0])
+
+
+def filtering_matching(
+    graph: Graph,
+    memory_edges: int,
+    rng: RandomState = None,
+    max_rounds: int = 100,
+) -> FilteringResult:
+    """Run the filtering algorithm with a central-machine memory of
+    ``memory_edges`` edges.
+
+    Each sampling+filtering iteration counts as one round; the final
+    "ship the residual" step counts as one more, matching the accounting
+    used for the coreset algorithm (each communication phase = 1 round).
+    """
+    if memory_edges < 1:
+        raise ValueError(f"memory must be >= 1 edge, got {memory_edges}")
+    gen = as_generator(rng)
+
+    residual = graph.edges
+    matched = np.zeros(graph.n_vertices, dtype=bool)
+    matching_parts: list[np.ndarray] = []
+    rounds = 0
+    peak = 0
+    sample_sizes: list[int] = []
+
+    while residual.shape[0] > memory_edges:
+        rounds += 1
+        if rounds > max_rounds:
+            raise RuntimeError(
+                "filtering failed to converge; memory budget too small "
+                f"({memory_edges} edges for {graph.n_edges}-edge graph)"
+            )
+        p = min(1.0, memory_edges / (2.0 * residual.shape[0]))
+        keep = gen.random(residual.shape[0]) < p
+        sample = residual[keep]
+        sample_sizes.append(int(sample.shape[0]))
+        peak = max(peak, int(sample.shape[0]))
+        # Central machine: maximal matching of the sample, respecting the
+        # globally matched vertices accumulated so far.
+        free = ~matched[sample[:, 0]] & ~matched[sample[:, 1]]
+        m_new = greedy_maximal_matching(
+            Graph(graph.n_vertices, sample[free], validated=False),
+            order="random",
+            rng=gen,
+        )
+        if m_new.shape[0]:
+            matching_parts.append(m_new)
+            matched[m_new.ravel()] = True
+        # Filtering step: drop covered edges everywhere.
+        alive = ~matched[residual[:, 0]] & ~matched[residual[:, 1]]
+        residual = residual[alive]
+
+    # Final round: residual fits centrally; extend to a maximal matching.
+    rounds += 1
+    peak = max(peak, int(residual.shape[0]))
+    partial = (
+        np.vstack(matching_parts) if matching_parts
+        else np.zeros((0, 2), dtype=np.int64)
+    )
+    final = complete_to_maximal(
+        Graph(graph.n_vertices, residual, validated=False), partial,
+        order="random", rng=gen,
+    )
+    return FilteringResult(
+        matching=final,
+        n_rounds=rounds,
+        peak_central_edges=peak,
+        sample_sizes=sample_sizes,
+    )

@@ -1,0 +1,71 @@
+"""Naive reference protocols.
+
+* ``send_everything_protocol`` — every machine forwards its whole piece.
+  Exact output, Θ(m) total communication: the upper reference line in the
+  communication plots (the paper's point is that Õ(nk) ≪ m bits suffice).
+* ``single_machine_*`` — compute the optimum with no distribution at all:
+  the ground-truth denominators for every approximation ratio.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.compose import compose_matching
+from repro.cover.konig import konig_cover
+from repro.cover.two_approx import matching_based_cover
+from repro.dist.coordinator import SimultaneousProtocol
+from repro.dist.message import Message
+from repro.graph.bipartite import BipartiteGraph
+from repro.graph.edgelist import Graph
+from repro.matching.api import maximum_matching
+
+__all__ = [
+    "send_everything_protocol",
+    "single_machine_matching",
+    "single_machine_cover",
+]
+
+
+def send_everything_protocol(
+    problem: str = "matching",
+) -> SimultaneousProtocol[np.ndarray]:
+    """Each machine ships its entire piece; the coordinator solves exactly
+    (König for bipartite covers, 2-approx otherwise)."""
+    if problem not in ("matching", "vertex_cover"):
+        raise ValueError(f"unknown problem {problem!r}")
+
+    def summarize(piece, machine_index, rng, public=None):
+        del rng, public
+        return Message(sender=machine_index, edges=piece.edges)
+
+    def combine(coordinator, messages):
+        if problem == "matching":
+            return compose_matching(
+                coordinator.n_vertices,
+                [m.edges for m in messages],
+                combiner="exact",
+                template=coordinator.template,
+            )
+        union = coordinator.union_graph(messages)
+        if isinstance(union, BipartiteGraph):
+            return konig_cover(union)
+        return matching_based_cover(union)
+
+    return SimultaneousProtocol(
+        name=f"send-everything[{problem}]",
+        summarizer=summarize,
+        combine=combine,
+    )
+
+
+def single_machine_matching(graph: Graph) -> np.ndarray:
+    """Optimal matching with no distribution (ratio denominator)."""
+    return maximum_matching(graph)
+
+
+def single_machine_cover(graph: Graph) -> np.ndarray:
+    """Optimal (bipartite) or 2-approximate (general) cover, centralized."""
+    if isinstance(graph, BipartiteGraph):
+        return konig_cover(graph)
+    return matching_based_cover(graph)

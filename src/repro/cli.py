@@ -1,0 +1,142 @@
+"""Command-line interface.
+
+    python -m repro quickstart [--n 4000 --k 8 --seed 0]
+    python -m repro experiment e1 [--trials 3]
+    python -m repro list-experiments
+    python -m repro report [--results benchmarks/results -o report.md]
+
+The CLI is a thin shell over :mod:`repro.experiments` so that every table a
+benchmark can produce is also reachable without pytest — useful for quick
+parameter exploration on the command line.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Sequence
+
+__all__ = ["main", "build_parser"]
+
+
+def _experiment_registry() -> dict[str, Callable]:
+    from repro.experiments import tables
+
+    registry = {}
+    for name in tables.__all__:
+        key = name.split("_")[0]  # "e1_matching_coreset" -> "e1"
+        registry[key] = getattr(tables, name)
+    return registry
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Randomized composable coresets for matching and "
+                    "vertex cover (Assadi–Khanna SPAA'17 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    q = sub.add_parser("quickstart", help="run the Theorem 1 demo pipeline")
+    q.add_argument("--n", type=int, default=4000, help="vertices per side ×2")
+    q.add_argument("--k", type=int, default=8, help="number of machines")
+    q.add_argument("--seed", type=int, default=0)
+
+    e = sub.add_parser("experiment", help="run one experiment table")
+    e.add_argument("id", help="experiment id, e.g. e1, e7, e16")
+    e.add_argument("--trials", type=int, default=None,
+                   help="override the number of trials")
+    e.add_argument("--seed", type=int, default=None,
+                   help="override the experiment seed")
+
+    sub.add_parser("list-experiments", help="list available experiment ids")
+
+    r = sub.add_parser("report", help="stitch archived benchmark tables "
+                                      "into one markdown report")
+    r.add_argument("--results", default="benchmarks/results",
+                   help="directory of archived tables")
+    r.add_argument("-o", "--output", default=None,
+                   help="write the report here (default: stdout)")
+
+    return parser
+
+
+def _cmd_quickstart(args: argparse.Namespace) -> int:
+    from repro import quickstart_matching
+
+    out = quickstart_matching(n=args.n, k=args.k, seed=args.seed)
+    for key, value in out.items():
+        print(f"{key:>17}: {value}")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    registry = _experiment_registry()
+    key = args.id.lower()
+    if key not in registry:
+        print(f"unknown experiment {args.id!r}; available: "
+              f"{', '.join(sorted(registry, key=_exp_order))}",
+              file=sys.stderr)
+        return 2
+    kwargs = {}
+    if args.trials is not None:
+        kwargs["n_trials"] = args.trials
+    if args.seed is not None:
+        kwargs["seed"] = args.seed
+    table = registry[key](**kwargs)
+    print(table.format())
+    return 0
+
+
+def _exp_order(key: str) -> int:
+    try:
+        return int(key.lstrip("e"))
+    except ValueError:  # pragma: no cover - defensive
+        return 10**6
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    del args
+    from repro.experiments import tables
+
+    registry = _experiment_registry()
+    for key in sorted(registry, key=_exp_order):
+        fn = registry[key]
+        doc = (fn.__doc__ or "").strip().splitlines()[0]
+        print(f"{key:>4}  {doc}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.report import collect_results, render_report
+
+    results = collect_results(args.results)
+    text = render_report(results)
+    if args.output:
+        from pathlib import Path
+
+        Path(args.output).write_text(text)
+        print(f"wrote {args.output} ({len(results)} tables)")
+    else:
+        print(text)
+    return 0
+
+
+_COMMANDS = {
+    "quickstart": _cmd_quickstart,
+    "experiment": _cmd_experiment,
+    "list-experiments": _cmd_list,
+    "report": _cmd_report,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except BrokenPipeError:  # stdout closed early (e.g. piped to `head`)
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,45 @@
+"""The paper's contribution: randomized composable coresets for maximum
+matching (Theorem 1) and minimum vertex cover (Theorem 2), their combiners,
+weighted extensions, simultaneous protocols, and MapReduce algorithms.
+"""
+
+from repro.core.compose import compose_matching, compose_vertex_cover
+from repro.core.greedy_match import GreedyMatchTrace, greedy_match
+from repro.core.mapreduce_algos import mapreduce_matching, mapreduce_vertex_cover
+from repro.core.matching_coreset import (
+    matching_coreset_message,
+    maximum_matching_coreset,
+    subsampled_matching_coreset,
+)
+from repro.core.protocols import (
+    grouped_vertex_cover_protocol,
+    matching_coreset_protocol,
+    subsampled_matching_protocol,
+    vertex_cover_coreset_protocol,
+)
+from repro.core.vc_coreset import PeelingTrace, VCCoresetResult, vc_coreset
+from repro.core.weighted import (
+    weighted_matching_coreset_protocol,
+    weighted_vertex_cover_protocol,
+)
+
+__all__ = [
+    "GreedyMatchTrace",
+    "PeelingTrace",
+    "VCCoresetResult",
+    "compose_matching",
+    "compose_vertex_cover",
+    "greedy_match",
+    "grouped_vertex_cover_protocol",
+    "mapreduce_matching",
+    "mapreduce_vertex_cover",
+    "matching_coreset_message",
+    "matching_coreset_protocol",
+    "maximum_matching_coreset",
+    "subsampled_matching_coreset",
+    "subsampled_matching_protocol",
+    "vc_coreset",
+    "vertex_cover_coreset_protocol",
+    "weighted_matching_coreset_protocol",
+    "weighted_vertex_cover_protocol",
+]

@@ -1,0 +1,157 @@
+"""Exact kernel coresets for small optima (paper footnote 3).
+
+The paper's main results assume ``MM(G), VC(G) = ω(k log n)`` and note:
+
+    "Otherwise, we can use the algorithm of [20] to obtain exact coresets
+     of size Õ(k²)."
+
+[20] is Chitnis et al. (SODA'16), *Kernelization via sampling*: when the
+optimum is small (≤ K), classical kernelization gives **exact composable**
+summaries.  We implement the two deterministic kernels underlying that
+regime:
+
+* **Matching kernel** — keep, for every vertex, up to ``B = 3K + 2``
+  arbitrary incident edges.  Exchange argument: any matching ``M`` with
+  ``|M| ≤ K`` can be rebuilt edge by edge inside the kernel — a missing
+  edge ``(u, v)`` means ``u`` kept ``B`` edges, of which at most ``2K``
+  are blocked by the (≤ K)-edge partial rebuild plus the remaining edges
+  of ``M``, leaving a free substitute.  Crucially the argument never looks
+  at *which* machine kept which edge, so the union of per-machine kernels
+  is a kernel for the union: the coreset composes **exactly**.
+
+* **Vertex-cover kernel (Buss)** — any vertex of degree > K must be in
+  every cover of size ≤ K; take those as a fixed partial solution, and keep
+  the residual (which has ≤ K·(K+1) edges if VC ≤ K, else we can reject).
+
+Both kernels have size O(K²)-ish per machine — with ``K = Θ(k log n)``
+that is the footnote's Õ(k²).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.compose import compose_matching
+from repro.dist.coordinator import SimultaneousProtocol
+from repro.dist.message import Message
+from repro.graph.edgelist import Graph
+from repro.matching.maximal import greedy_maximal_matching
+
+__all__ = [
+    "matching_kernel",
+    "vc_kernel",
+    "exact_matching_kernel_protocol",
+    "KernelBudgetExceeded",
+]
+
+
+class KernelBudgetExceeded(ValueError):
+    """The optimum provably exceeds the kernel's bound K."""
+
+
+def matching_kernel(graph: Graph, opt_bound: int) -> Graph:
+    """Chitnis-style kernel preserving all matchings of size ≤ K, with
+    total size O(K²) independent of n.
+
+    Construction: take a greedy maximal matching ``M`` of the piece (every
+    edge touches a matched vertex, by maximality); keep all of ``M`` plus,
+    for every *matched* vertex, up to ``B = 3K + 2`` further incident
+    edges.  Size ≤ |M| + 2|M|·B = O(K·B) = O(K²) when MM ≤ K.
+
+    Exactness (exchange argument): a dropped edge has, by the keep rule, an
+    endpoint with B kept edges; rebuilding a ≤ K matching edge by edge
+    blocks at most 3K vertices (2K endpoints of the target matching plus
+    ≤ K earlier substitutes), so a substitute kept edge always exists —
+    and since the argument never asks *which machine* kept an edge, unions
+    of per-machine kernels are kernels of unions: the summary composes
+    exactly, under any partitioning.
+    """
+    if opt_bound < 0:
+        raise ValueError(f"opt_bound must be non-negative, got {opt_bound}")
+    cap = 3 * opt_bound + 2
+    e = graph.edges
+    if e.shape[0] == 0:
+        return graph
+    core = greedy_maximal_matching(graph, order="input")
+    matched = np.zeros(graph.n_vertices, dtype=bool)
+    if core.size:
+        matched[core.ravel()] = True
+    from repro.utils.arrays import isin_mask
+
+    keep = isin_mask(e, core, graph.n_vertices)
+    used = np.zeros(graph.n_vertices, dtype=np.int64)
+    # Sequential scan: keep an edge while some *matched* endpoint is under
+    # its cap.  O(m) with a few array reads per edge.
+    eu = e[:, 0].tolist()
+    ev = e[:, 1].tolist()
+    keep_list = keep.tolist()
+    for i in range(len(eu)):
+        if keep_list[i]:
+            continue
+        u, v = eu[i], ev[i]
+        if (matched[u] and used[u] < cap) or (matched[v] and used[v] < cap):
+            keep[i] = True
+            if matched[u]:
+                used[u] += 1
+            if matched[v]:
+                used[v] += 1
+    return graph.subgraph_from_mask(keep)
+
+
+def vc_kernel(
+    graph: Graph, opt_bound: int, strict: bool = False
+) -> tuple[np.ndarray, Graph]:
+    """Buss kernel: ``(forced_vertices, residual)``.
+
+    ``forced_vertices`` are the vertices of degree > K (in every ≤ K cover);
+    ``residual`` is the graph with them removed.  If ``strict`` and the
+    residual has more than K·(K+1) edges, VC(G) > K is certified and
+    :class:`KernelBudgetExceeded` is raised.
+    """
+    if opt_bound < 0:
+        raise ValueError(f"opt_bound must be non-negative, got {opt_bound}")
+    forced = np.flatnonzero(graph.degrees > opt_bound).astype(np.int64)
+    residual = graph.without_vertices(forced)
+    if strict:
+        if forced.shape[0] > opt_bound:
+            raise KernelBudgetExceeded(
+                f"{forced.shape[0]} vertices have degree > K = {opt_bound} "
+                f"and all must be in any ≤ K cover: VC(G) > {opt_bound}"
+            )
+        if residual.n_edges > opt_bound * (opt_bound + 1):
+            raise KernelBudgetExceeded(
+                f"residual has {residual.n_edges} edges > K(K+1) = "
+                f"{opt_bound * (opt_bound + 1)}: VC(G) > {opt_bound}"
+            )
+    return forced, residual
+
+
+def exact_matching_kernel_protocol(
+    opt_bound: int,
+) -> SimultaneousProtocol[np.ndarray]:
+    """Simultaneous protocol with **exact** output whenever MM(G) ≤ K.
+
+    Each machine sends the matching kernel of its piece; the coordinator
+    solves the union exactly.  Unlike Theorem 1's coreset this works for
+    *any* partitioning (kernels are composable deterministically) but only
+    in the small-optimum regime of footnote 3.
+    """
+
+    def summarize(piece, machine_index, rng, public=None):
+        del rng, public
+        kernel = matching_kernel(piece, opt_bound)
+        return Message(sender=machine_index, edges=kernel.edges)
+
+    def combine(coordinator, messages):
+        return compose_matching(
+            coordinator.n_vertices,
+            [m.edges for m in messages],
+            combiner="exact",
+            template=coordinator.template,
+        )
+
+    return SimultaneousProtocol(
+        name=f"exact-kernel-matching[K={opt_bound}]",
+        summarizer=summarize,
+        combine=combine,
+    )

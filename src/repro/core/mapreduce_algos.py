@@ -1,0 +1,170 @@
+"""The paper's MapReduce algorithms (§1.1, "MapReduce Framework").
+
+With ``k = √n`` machines of memory Õ(n·√n):
+
+* **Round 1** — every machine re-routes each of its edges to a uniformly
+  random machine.  This turns an *arbitrary* initial placement into exactly
+  the random k-partitioning the coresets need.
+* **Round 2** — every machine computes its randomized composable coreset
+  (maximum matching, or VC peeling) and sends it to a designated machine M;
+  since each coreset is Õ(n) and there are k = √n machines, M receives
+  Õ(n·√n), within its memory.  M then solves the composed instance locally.
+
+If the input is *already* randomly distributed, round 1 is skipped and the
+whole computation takes **one** round (the paper cites [52] for when that
+assumption applies) — exposed via ``assume_random_input=True``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.compose import compose_matching, compose_vertex_cover
+from repro.core.vc_coreset import VCCoresetResult, vc_coreset
+from repro.dist.mapreduce import MapReduceJob, MapReduceSimulator
+from repro.graph.edgelist import Graph
+from repro.matching.api import Algorithm, maximum_matching
+from repro.utils.rng import RandomState, as_generator, spawn_generators
+
+__all__ = ["MapReduceMatchingResult", "MapReduceCoverResult",
+           "mapreduce_matching", "mapreduce_vertex_cover", "default_machine_count"]
+
+
+def default_machine_count(n_vertices: int) -> int:
+    """The paper's ``k = √n`` choice."""
+    return max(1, int(math.isqrt(max(n_vertices, 1))))
+
+
+def _initial_pieces(
+    graph: Graph, k: int, how: str, rng: np.random.Generator
+) -> list[np.ndarray]:
+    """Round-0 placement of edges on machines.
+
+    ``"contiguous"`` models an arbitrary/adversarial ingest (consecutive
+    chunks of the edge list); ``"random"`` models an input that is already
+    randomly distributed.
+    """
+    e = graph.edges
+    if how == "contiguous":
+        return [chunk for chunk in np.array_split(e, k)]
+    if how == "random":
+        dest = rng.integers(0, k, size=e.shape[0])
+        return [e[dest == i] for i in range(k)]
+    raise ValueError(f"unknown initial placement {how!r}")
+
+
+@dataclass
+class MapReduceMatchingResult:
+    matching: np.ndarray
+    job: MapReduceJob
+    k: int
+
+
+@dataclass
+class MapReduceCoverResult:
+    cover: np.ndarray
+    job: MapReduceJob
+    k: int
+
+
+def mapreduce_matching(
+    graph: Graph,
+    k: int | None = None,
+    rng: RandomState = None,
+    memory_cap_edges: int | None = None,
+    assume_random_input: bool = False,
+    combiner_algorithm: Algorithm = "auto",
+    initial_placement: str = "contiguous",
+) -> MapReduceMatchingResult:
+    """O(1)-approximate maximum matching in ≤ 2 MapReduce rounds."""
+    gen = as_generator(rng)
+    k = default_machine_count(graph.n_vertices) if k is None else int(k)
+    sim = MapReduceSimulator(
+        graph.n_vertices, k, memory_cap_edges=memory_cap_edges, rng=gen
+    )
+    placement = "random" if assume_random_input else initial_placement
+    sim.load(_initial_pieces(graph, k, placement, gen))
+
+    if not assume_random_input:
+        # Round 1: random re-partitioning.
+        sim.shuffle_round(
+            lambda i, edges, r: r.integers(0, k, size=edges.shape[0])
+        )
+
+    template = graph  # carries the bipartition, if any
+
+    def compute_coreset(i: int, edges: np.ndarray, r: np.random.Generator) -> np.ndarray:
+        piece = _piece_like(template, edges)
+        return maximum_matching(piece)
+
+    # Round 2: coreset per machine, shipped to machine 0.
+    sim.compute_round(compute_coreset, send_to=0)
+
+    final_edges = sim.machine_edges(0)
+    matching = compose_matching(
+        graph.n_vertices, [final_edges], combiner="exact",
+        algorithm=combiner_algorithm, template=template,
+    )
+    return MapReduceMatchingResult(matching=matching, job=sim.job, k=k)
+
+
+def mapreduce_vertex_cover(
+    graph: Graph,
+    k: int | None = None,
+    rng: RandomState = None,
+    memory_cap_edges: int | None = None,
+    assume_random_input: bool = False,
+    log_slack: float = 4.0,
+    initial_placement: str = "contiguous",
+) -> MapReduceCoverResult:
+    """O(log n)-approximate vertex cover in ≤ 2 MapReduce rounds."""
+    gen, cover_gen = spawn_generators(rng, 2)
+    k = default_machine_count(graph.n_vertices) if k is None else int(k)
+    sim = MapReduceSimulator(
+        graph.n_vertices, k, memory_cap_edges=memory_cap_edges, rng=gen
+    )
+    placement = "random" if assume_random_input else initial_placement
+    sim.load(_initial_pieces(graph, k, placement, gen))
+
+    if not assume_random_input:
+        sim.shuffle_round(
+            lambda i, edges, r: r.integers(0, k, size=edges.shape[0])
+        )
+
+    fixed_sets: list[np.ndarray] = [np.zeros(0, dtype=np.int64)] * k
+
+    def compute_coreset(i: int, edges: np.ndarray, r: np.random.Generator) -> np.ndarray:
+        piece = Graph(graph.n_vertices, edges)
+        result = vc_coreset(piece, n=graph.n_vertices, k=k, log_slack=log_slack)
+        # Fixed vertices ride along with the residual edges; they are ≤ n
+        # vertex ids, well inside the same Õ(n) message budget.
+        fixed_sets[i] = result.fixed_vertices
+        return result.residual.edges
+
+    sim.compute_round(compute_coreset, send_to=0)
+
+    residual_union = Graph(graph.n_vertices, sim.machine_edges(0))
+    results = [
+        VCCoresetResult(
+            fixed_vertices=fixed_sets[i],
+            residual=residual_union if i == 0 else Graph(graph.n_vertices),
+            trace=None,  # type: ignore[arg-type]
+        )
+        for i in range(k)
+    ]
+    cover = compose_vertex_cover(
+        graph.n_vertices, results, combiner="auto", template=graph, rng=cover_gen
+    )
+    return MapReduceCoverResult(cover=cover, job=sim.job, k=k)
+
+
+def _piece_like(template: Graph, edges: np.ndarray) -> Graph:
+    """Rebuild a machine piece with the template's (possible) bipartition."""
+    from repro.graph.bipartite import BipartiteGraph
+
+    if isinstance(template, BipartiteGraph):
+        return BipartiteGraph(template.n_left, template.n_right, edges)
+    return Graph(template.n_vertices, edges)

@@ -1,0 +1,86 @@
+"""The maximum-matching randomized composable coreset (Theorem 1).
+
+    "Any maximum matching of a graph G(V, E) is an O(1)-approximation
+     randomized composable coreset of size O(n) for the maximum matching
+     problem."
+
+The summarizer is therefore almost embarrassingly simple — compute *any*
+maximum matching of the machine's piece and send exactly those ≤ n/2 edges.
+The entire content of the theorem is that this suffices under random
+partitioning; no coordination, no consistent tie-breaking, and each machine
+may even use a *different* maximum-matching algorithm (a property our tests
+exercise explicitly).
+
+Also provided: the subsampled variant of Remark 5.2 (keep each matched edge
+with probability 1/α) which trades a factor α in approximation for a factor
+α² in communication — the matching upper bound to the Ω(nk/α²) lower bound
+of Theorem 5.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.dist.message import Message
+from repro.graph.edgelist import Graph
+from repro.matching.api import Algorithm, maximum_matching
+from repro.utils.rng import RandomState, as_generator
+
+__all__ = [
+    "maximum_matching_coreset",
+    "subsampled_matching_coreset",
+    "matching_coreset_message",
+]
+
+
+def maximum_matching_coreset(
+    piece: Graph, algorithm: Algorithm = "auto"
+) -> np.ndarray:
+    """The coreset of machine ``i``: an arbitrary maximum matching of
+    ``G^(i)``, as an ``(s, 2)`` edge array with ``s ≤ n/2``."""
+    return maximum_matching(piece, algorithm=algorithm)
+
+
+def subsampled_matching_coreset(
+    piece: Graph,
+    alpha: float,
+    rng: RandomState = None,
+    algorithm: Algorithm = "auto",
+) -> np.ndarray:
+    """Remark 5.2: maximum matching subsampled at rate ``1/alpha``.
+
+    Every edge of the machine's maximum matching survives independently with
+    probability ``1/alpha``; expected size ``MM(G^(i))/alpha``.
+    """
+    if alpha < 1:
+        raise ValueError(f"alpha must be >= 1, got {alpha}")
+    gen = as_generator(rng)
+    matching = maximum_matching(piece, algorithm=algorithm)
+    if matching.shape[0] == 0 or alpha == 1:
+        return matching
+    keep = gen.random(matching.shape[0]) < 1.0 / alpha
+    return matching[keep]
+
+
+def matching_coreset_message(
+    piece: Graph,
+    machine_index: int,
+    rng: np.random.Generator,
+    public: Any | None = None,
+    *,
+    alpha: float = 1.0,
+    algorithm: Algorithm = "auto",
+) -> Message:
+    """Summarizer adapter for :func:`repro.dist.coordinator.run_simultaneous`.
+
+    With ``alpha == 1`` this is the Theorem 1 coreset; with ``alpha > 1`` it
+    is the Remark 5.2 subsampled protocol.
+    """
+    del public  # the matching coreset needs no shared setup
+    if alpha == 1.0:
+        edges = maximum_matching_coreset(piece, algorithm=algorithm)
+    else:
+        edges = subsampled_matching_coreset(piece, alpha, rng, algorithm=algorithm)
+    return Message(sender=machine_index, edges=edges)

@@ -1,0 +1,47 @@
+"""Minimum vertex cover algorithms, implemented from scratch.
+
+The coordinator in the paper's VC protocol computes a 2-approximate cover of
+the union of residual coresets (Theorem 2's combine step); experiments also
+need exact optima to measure true approximation ratios:
+
+* :func:`~repro.cover.two_approx.matching_based_cover` — classic
+  2-approximation (both endpoints of a maximal matching);
+* :func:`~repro.cover.greedy.greedy_cover` — max-degree greedy
+  (H_Δ ≈ ln n approximation);
+* :func:`~repro.cover.konig.konig_cover` — *exact* minimum VC on bipartite
+  graphs via König's theorem from a Hopcroft–Karp matching;
+* :func:`~repro.cover.exact.exact_cover` — exact branch-and-bound with
+  kernelization for small general graphs (test oracle);
+* :func:`~repro.cover.lp.lp_cover` — half-integral LP rounding
+  (2-approximation with a fractional lower-bound certificate).
+"""
+
+from repro.cover.exact import exact_cover, exact_cover_size
+from repro.cover.greedy import greedy_cover
+from repro.cover.konig import konig_cover
+from repro.cover.lp import lp_cover, lp_lower_bound
+from repro.cover.two_approx import matching_based_cover
+from repro.cover.verify import is_vertex_cover, uncovered_edges
+
+__all__ = [
+    "exact_cover",
+    "exact_cover_size",
+    "greedy_cover",
+    "is_vertex_cover",
+    "konig_cover",
+    "lp_cover",
+    "lp_lower_bound",
+    "matching_based_cover",
+    "uncovered_edges",
+    "vertex_cover_number",
+]
+
+
+def vertex_cover_number(graph) -> int:
+    """``VC(G)``: exact for bipartite inputs (König), branch-and-bound
+    otherwise (small graphs only)."""
+    from repro.graph.bipartite import BipartiteGraph
+
+    if isinstance(graph, BipartiteGraph):
+        return int(konig_cover(graph).shape[0])
+    return exact_cover_size(graph)

@@ -1,0 +1,61 @@
+"""Exact minimum vertex cover on bipartite graphs via König's theorem.
+
+König: in a bipartite graph, min vertex cover size equals maximum matching
+size.  Constructively: run Hopcroft–Karp; let ``Z`` be the set of vertices
+reachable from *free left* vertices by alternating paths (unmatched edges
+left→right, matched edges right→left).  Then ``(L \\ Z) ∪ (R ∩ Z)`` is a
+minimum vertex cover.
+
+This gives the experiments an exact ``VC(G)`` on all bipartite workloads at
+Hopcroft–Karp cost, which is what makes measuring true approximation ratios
+of the coreset pipeline feasible at n ~ 10⁴.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.graph.bipartite import BipartiteGraph
+from repro.matching.hopcroft_karp import hopcroft_karp_mates
+
+__all__ = ["konig_cover"]
+
+
+def konig_cover(graph: BipartiteGraph) -> np.ndarray:
+    """Exact minimum vertex cover of a bipartite graph (global vertex ids)."""
+    nl = graph.n_left
+    mate_left, mate_right = hopcroft_karp_mates(graph)
+    adj = graph.adjacency
+    indptr, indices = adj.indptr, adj.indices
+
+    visited_left = np.zeros(nl, dtype=bool)
+    visited_right = np.zeros(graph.n_right, dtype=bool)
+
+    queue: deque[int] = deque()
+    for u in np.flatnonzero(mate_left == -1).tolist():
+        visited_left[u] = True
+        queue.append(u)
+    while queue:
+        u = queue.popleft()
+        for r_global in indices[indptr[u] : indptr[u + 1]].tolist():
+            r = r_global - nl
+            if visited_right[r]:
+                continue
+            if mate_left[u] == r:
+                continue  # alternating paths leave L along unmatched edges
+            visited_right[r] = True
+            w = mate_right[r]
+            if w != -1 and not visited_left[w]:
+                visited_left[w] = True
+                queue.append(w)
+
+    left_cover = np.flatnonzero(~visited_left)
+    # Left vertices with no edges never cover anything; drop them so the
+    # cover is minimum, not just min-size-plus-isolated-clutter.
+    deg_left = (indptr[1 : nl + 1] - indptr[:nl]) > 0
+    left_cover = left_cover[deg_left[left_cover]]
+    right_cover = np.flatnonzero(visited_right) + nl
+    cover = np.concatenate([left_cover, right_cover]).astype(np.int64)
+    return np.sort(cover)

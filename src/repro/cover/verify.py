@@ -1,0 +1,36 @@
+"""Vertex-cover certificates."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.edgelist import Graph
+
+__all__ = ["is_vertex_cover", "uncovered_edges", "cover_mask"]
+
+
+def cover_mask(graph: Graph, cover: np.ndarray) -> np.ndarray:
+    """Boolean vertex mask of the cover set (validates ids)."""
+    c = np.asarray(cover, dtype=np.int64).ravel()
+    mask = np.zeros(graph.n_vertices, dtype=bool)
+    if c.size:
+        if c.min() < 0 or c.max() >= graph.n_vertices:
+            raise ValueError("cover vertex id out of range")
+        mask[c] = True
+    return mask
+
+
+def uncovered_edges(graph: Graph, cover: np.ndarray) -> np.ndarray:
+    """Edges of ``graph`` with neither endpoint in ``cover`` (certificate of
+    infeasibility when non-empty)."""
+    mask = cover_mask(graph, cover)
+    e = graph.edges
+    if e.size == 0:
+        return np.zeros((0, 2), dtype=np.int64)
+    bad = ~mask[e[:, 0]] & ~mask[e[:, 1]]
+    return e[bad]
+
+
+def is_vertex_cover(graph: Graph, cover: np.ndarray) -> bool:
+    """True iff every edge has at least one endpoint in ``cover``."""
+    return uncovered_edges(graph, cover).shape[0] == 0

@@ -1,0 +1,8 @@
+"""Experiment harness: trial running, aggregation, and the E1–E15 table
+definitions that regenerate every quantitative claim of the paper.
+"""
+
+from repro.experiments.harness import ExperimentTable, run_trials
+from repro.experiments import tables
+
+__all__ = ["ExperimentTable", "run_trials", "tables"]

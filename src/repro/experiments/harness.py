@@ -1,0 +1,81 @@
+"""Trial running and table formatting for the experiment suite.
+
+Every experiment in :mod:`repro.experiments.tables` produces an
+:class:`ExperimentTable` — a named list of dict rows with aligned text
+rendering — so benchmark output looks like the rows a paper would print and
+EXPERIMENTS.md can be regenerated mechanically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.utils.rng import RandomState, spawn_seeds
+
+__all__ = ["ExperimentTable", "run_trials"]
+
+
+@dataclass
+class ExperimentTable:
+    """A named table of result rows."""
+
+    name: str
+    description: str
+    columns: list[str]
+    rows: list[dict[str, Any]] = field(default_factory=list)
+
+    def add_row(self, **values: Any) -> None:
+        missing = [c for c in self.columns if c not in values]
+        if missing:
+            raise ValueError(f"row missing columns {missing}")
+        self.rows.append({c: values[c] for c in self.columns})
+
+    # ------------------------------------------------------------------ #
+    def format(self) -> str:
+        """Aligned text rendering (monospace table)."""
+
+        def fmt(v: Any) -> str:
+            if isinstance(v, float):
+                return f"{v:.4g}"
+            return str(v)
+
+        header = list(self.columns)
+        body = [[fmt(r[c]) for c in header] for r in self.rows]
+        widths = [
+            max(len(h), *(len(row[i]) for row in body)) if body else len(h)
+            for i, h in enumerate(header)
+        ]
+        lines = [f"== {self.name} ==", self.description]
+        lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in body:
+            lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def column(self, name: str) -> list[Any]:
+        return [r[name] for r in self.rows]
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.format()
+
+
+def run_trials(
+    fn: Callable[[np.random.SeedSequence], dict[str, float]],
+    n_trials: int,
+    seed: RandomState = None,
+) -> dict[str, np.ndarray]:
+    """Run ``fn`` on ``n_trials`` independent child seeds; stack the per-trial
+    scalar dicts into arrays keyed by metric name."""
+    if n_trials < 1:
+        raise ValueError(f"need at least one trial, got {n_trials}")
+    seeds = spawn_seeds(seed, n_trials)
+    outputs = [fn(s) for s in seeds]
+    keys = outputs[0].keys()
+    for out in outputs[1:]:
+        if out.keys() != keys:
+            raise ValueError("trials returned inconsistent metric sets")
+    return {k: np.asarray([out[k] for out in outputs], dtype=np.float64)
+            for k in keys}

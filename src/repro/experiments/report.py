@@ -1,0 +1,72 @@
+"""Regenerate a results report from archived benchmark tables.
+
+``pytest benchmarks/ --benchmark-only`` archives every experiment table
+under ``benchmarks/results/``.  This module stitches those text tables back
+into a single markdown report — the mechanical half of EXPERIMENTS.md —
+so re-running the benchmarks and refreshing the report is one command:
+
+    python -m repro report --results benchmarks/results -o report.md
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = ["ArchivedTable", "collect_results", "render_report"]
+
+# Human ordering of the archived stems (prefix match).
+_ORDER = [
+    "e1_", "e2_", "e3_", "e4_", "e5_", "e6_", "e7_", "e8_",
+    "e9_", "e10_", "e11_", "e12_", "e13_", "e14_", "e15_", "e16_", "e17_",
+]
+
+
+@dataclass(frozen=True)
+class ArchivedTable:
+    """One archived benchmark table."""
+
+    stem: str
+    title: str
+    body: str
+
+
+def _sort_key(stem: str) -> tuple[int, str]:
+    for i, prefix in enumerate(_ORDER):
+        if stem.startswith(prefix):
+            return (i, stem)
+    return (len(_ORDER), stem)
+
+
+def collect_results(results_dir: str | Path) -> list[ArchivedTable]:
+    """Load all archived tables from a results directory, in E-order."""
+    directory = Path(results_dir)
+    if not directory.is_dir():
+        raise FileNotFoundError(
+            f"results directory {directory} does not exist — run "
+            "`pytest benchmarks/ --benchmark-only` first"
+        )
+    out = []
+    for path in sorted(directory.glob("*.txt"), key=lambda p: _sort_key(p.stem)):
+        text = path.read_text().rstrip("\n")
+        lines = text.splitlines()
+        title = lines[0].strip("= ").strip() if lines else path.stem
+        out.append(ArchivedTable(stem=path.stem, title=title, body=text))
+    return out
+
+
+def render_report(
+    results: list[ArchivedTable], heading: str = "Benchmark results"
+) -> str:
+    """Render the archived tables as one markdown document."""
+    parts = [f"# {heading}", ""]
+    if not results:
+        parts.append("*(no archived results found)*")
+    for table in results:
+        parts.append(f"## {table.title}")
+        parts.append("")
+        parts.append("```")
+        parts.append(table.body)
+        parts.append("```")
+        parts.append("")
+    return "\n".join(parts)

@@ -1,0 +1,28 @@
+"""Graph substrate: immutable numpy edge-list graphs, CSR adjacency,
+generators, and edge partitioning.
+
+This package deliberately avoids networkx in every hot path (networkx is used
+only as a slow test oracle).  A graph is ``n`` vertices labelled
+``0..n-1`` plus an ``(m, 2)`` int64 array of canonical undirected edges.
+"""
+
+from repro.graph.bipartite import BipartiteGraph
+from repro.graph.csr import CSRAdjacency
+from repro.graph.edgelist import Graph
+from repro.graph.partition import (
+    PartitionedGraph,
+    adversarial_degree_partition,
+    random_k_partition,
+)
+from repro.graph.weights import WeightedGraph, weight_classes
+
+__all__ = [
+    "BipartiteGraph",
+    "CSRAdjacency",
+    "Graph",
+    "PartitionedGraph",
+    "WeightedGraph",
+    "adversarial_degree_partition",
+    "random_k_partition",
+    "weight_classes",
+]

@@ -1,0 +1,447 @@
+"""Graph generators for the paper's workloads.
+
+Three families:
+
+1. **Benchmark workloads** — Erdős–Rényi graphs (general and bipartite),
+   planted-matching graphs, skewed-degree graphs.  Used by E1/E3/E8/E12/E13.
+2. **Counterexample instances** — the layered instance on which a maximal
+   (not maximum) matching coreset degrades to Ω(k) (§1.2), and the star
+   instance on which min-VC-as-coreset degrades to Ω(k).  Used by E2/E4.
+3. **Primitive pieces** — random perfect matchings, random d-regular-ish
+   bipartite graphs — reused by the hard distributions in
+   :mod:`repro.lowerbounds`.
+
+All samplers take an explicit RNG (see :mod:`repro.utils.rng`) and are fully
+vectorized: Bernoulli edge sets are drawn via the binomial-count +
+index-unranking trick rather than materializing an n×n probability matrix.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.bipartite import BipartiteGraph
+from repro.graph.edgelist import Graph
+from repro.utils.rng import RandomState, as_generator
+
+__all__ = [
+    "gnp",
+    "bipartite_gnp",
+    "bipartite_gnm",
+    "random_perfect_matching",
+    "random_left_regular",
+    "planted_matching_gnp",
+    "skewed_bipartite",
+    "star_forest",
+    "bipartite_star_forest",
+    "hidden_matching_with_hubs",
+    "power_law_bipartite",
+    "clustered_bipartite",
+    "layered_maximal_trap",
+    "path_graph",
+    "complete_graph",
+    "complete_bipartite",
+]
+
+
+# --------------------------------------------------------------------- #
+# Bernoulli samplers
+# --------------------------------------------------------------------- #
+def _sample_pair_indices(n_pairs_total: int, p: float, rng: np.random.Generator) -> np.ndarray:
+    """Sample each of ``n_pairs_total`` potential items independently w.p. ``p``,
+    returning the *indices* of the chosen items.
+
+    Implemented as: draw the Binomial(n, p) count, then choose that many
+    distinct indices uniformly — an exact sampling of the same distribution
+    that avoids allocating a length-``n_pairs_total`` uniform array when
+    ``p`` is small (the regime the paper's distributions live in).
+    """
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"probability must be in [0, 1], got {p}")
+    if n_pairs_total == 0 or p == 0.0:
+        return np.zeros(0, dtype=np.int64)
+    count = rng.binomial(n_pairs_total, p)
+    if count == 0:
+        return np.zeros(0, dtype=np.int64)
+    return rng.choice(n_pairs_total, size=count, replace=False).astype(np.int64)
+
+
+def gnp(n: int, p: float, rng: RandomState = None) -> Graph:
+    """Erdős–Rényi ``G(n, p)`` on ``n`` vertices.
+
+    Every one of the ``n(n-1)/2`` unordered pairs is an edge independently
+    with probability ``p``.
+    """
+    gen = as_generator(rng)
+    total = n * (n - 1) // 2
+    idx = _sample_pair_indices(total, p, gen)
+    if idx.size == 0:
+        return Graph(n)
+    # Unrank the linear index of pair (u, v), u < v, in colexicographic
+    # order: index(u, v) = v*(v-1)/2 + u.
+    v = np.floor((1.0 + np.sqrt(1.0 + 8.0 * idx.astype(np.float64))) / 2.0).astype(
+        np.int64
+    )
+    # Guard against floating point boundary errors on huge indices.
+    v = np.where(v * (v - 1) // 2 > idx, v - 1, v)
+    v = np.where((v + 1) * v // 2 <= idx, v + 1, v)
+    u = idx - v * (v - 1) // 2
+    return Graph(n, np.stack([u, v], axis=1), validated=False)
+
+
+def bipartite_gnp(
+    n_left: int, n_right: int, p: float, rng: RandomState = None
+) -> BipartiteGraph:
+    """Bipartite ``G(n_left, n_right, p)``: each left-right pair is an edge
+    independently with probability ``p``."""
+    gen = as_generator(rng)
+    idx = _sample_pair_indices(n_left * n_right, p, gen)
+    if idx.size == 0:
+        return BipartiteGraph(n_left, n_right)
+    left = idx // n_right
+    right = idx % n_right
+    return BipartiteGraph.from_pairs(n_left, n_right, left, right)
+
+
+def bipartite_gnm(
+    n_left: int, n_right: int, m: int, rng: RandomState = None
+) -> BipartiteGraph:
+    """Bipartite graph with exactly ``m`` distinct edges chosen uniformly."""
+    total = n_left * n_right
+    if m > total:
+        raise ValueError(f"cannot place {m} distinct edges among {total} pairs")
+    gen = as_generator(rng)
+    idx = gen.choice(total, size=m, replace=False).astype(np.int64)
+    return BipartiteGraph.from_pairs(n_left, n_right, idx // n_right, idx % n_right)
+
+
+# --------------------------------------------------------------------- #
+# Structured pieces
+# --------------------------------------------------------------------- #
+def random_perfect_matching(
+    n_left: int,
+    n_right: int,
+    size: int | None = None,
+    rng: RandomState = None,
+) -> BipartiteGraph:
+    """A uniformly random matching of ``size`` edges between the two sides.
+
+    With ``size=None`` a perfect matching of ``min(n_left, n_right)`` edges.
+    This is the building block of the paper's ``E_{A̅B̅}`` (hard distribution
+    for matching, §4.1).
+    """
+    gen = as_generator(rng)
+    if size is None:
+        size = min(n_left, n_right)
+    if size > min(n_left, n_right):
+        raise ValueError(
+            f"matching of size {size} impossible between sides of "
+            f"{n_left} and {n_right}"
+        )
+    left = gen.choice(n_left, size=size, replace=False).astype(np.int64)
+    right = gen.choice(n_right, size=size, replace=False).astype(np.int64)
+    return BipartiteGraph.from_pairs(n_left, n_right, left, right)
+
+
+def random_left_regular(
+    n_left: int, n_right: int, degree: int, rng: RandomState = None
+) -> BipartiteGraph:
+    """Each left vertex picks ``degree`` random distinct right neighbors.
+
+    This is the "k random neighbors" construction of the ``D_VC`` hard
+    distribution (§5.3) and an approximation of a random k-regular graph as
+    used in §1.2's sketch of the matching lower bound.
+    """
+    if degree > n_right:
+        raise ValueError(f"degree {degree} exceeds right side size {n_right}")
+    gen = as_generator(rng)
+    if n_left == 0 or degree == 0:
+        return BipartiteGraph(n_left, n_right)
+    # Vectorized distinct sampling per row via argpartition of random keys
+    # would be O(n_left * n_right); instead use repeated sampling with a
+    # per-row dedupe, which is fast because degree << n_right in all uses.
+    rows = []
+    cols = []
+    for u in range(n_left):
+        nbrs = gen.choice(n_right, size=degree, replace=False)
+        rows.append(np.full(degree, u, dtype=np.int64))
+        cols.append(nbrs.astype(np.int64))
+    return BipartiteGraph.from_pairs(
+        n_left, n_right, np.concatenate(rows), np.concatenate(cols)
+    )
+
+
+def planted_matching_gnp(
+    n_left: int,
+    n_right: int,
+    p: float,
+    planted_size: int | None = None,
+    rng: RandomState = None,
+) -> tuple[BipartiteGraph, np.ndarray]:
+    """Bipartite Gnp plus a planted perfect matching.
+
+    Guarantees ``MM(G) >= planted_size`` so approximation ratios can be
+    bounded without running an exact matcher on huge instances.  Returns the
+    graph and the planted matching's ``(size, 2)`` edge array (global ids).
+    """
+    gen = as_generator(rng)
+    base = bipartite_gnp(n_left, n_right, p, gen)
+    planted = random_perfect_matching(n_left, n_right, planted_size, gen)
+    return base.union(planted), planted.edges
+
+
+def skewed_bipartite(
+    n_left: int,
+    n_right: int,
+    hub_count: int,
+    hub_degree: int,
+    leaf_p: float,
+    rng: RandomState = None,
+) -> BipartiteGraph:
+    """A skewed-degree bipartite graph: ``hub_count`` left hubs of degree
+    ``hub_degree`` plus background Gnp noise at rate ``leaf_p``.
+
+    Exercises the VC coreset's peeling schedule across many degree scales
+    (hubs are peeled in early iterations, noise survives to the residual).
+    """
+    gen = as_generator(rng)
+    if hub_count > n_left:
+        raise ValueError(f"hub_count {hub_count} exceeds n_left {n_left}")
+    noise = bipartite_gnp(n_left, n_right, leaf_p, gen)
+    if hub_count == 0 or hub_degree == 0:
+        return noise
+    hubs = gen.choice(n_left, size=hub_count, replace=False).astype(np.int64)
+    rows = np.repeat(hubs, hub_degree)
+    cols = np.concatenate(
+        [
+            gen.choice(n_right, size=hub_degree, replace=False).astype(np.int64)
+            for _ in range(hub_count)
+        ]
+    )
+    hubs_graph = BipartiteGraph.from_pairs(n_left, n_right, rows, cols)
+    return noise.union(hubs_graph)
+
+
+def star_forest(n_stars: int, leaves_per_star: int) -> Graph:
+    """Disjoint union of ``n_stars`` stars with ``leaves_per_star`` leaves.
+
+    The paper's §1.2 counterexample for min-VC-as-coreset is "a star on k
+    vertices": the optimal cover is the centers, but each machine sees a
+    partial star and may certify the wrong side.  Centers get the low ids
+    ``0..n_stars-1``; leaves follow.
+    """
+    if n_stars < 0 or leaves_per_star < 0:
+        raise ValueError("star parameters must be non-negative")
+    n = n_stars * (1 + leaves_per_star)
+    centers = np.repeat(np.arange(n_stars, dtype=np.int64), leaves_per_star)
+    leaves = np.arange(n_stars * leaves_per_star, dtype=np.int64) + n_stars
+    return Graph(n, np.stack([centers, leaves], axis=1))
+
+
+def hidden_matching_with_hubs(
+    k: int,
+    width: int,
+    hub_slack: int = 2,
+    rng: RandomState = None,
+) -> tuple[BipartiteGraph, int, int]:
+    """The Ω(k) instance for maximal-matching coresets (§1.2).
+
+    A perfect hidden matching ``l_j – r_j`` on ``N = k·width`` pairs, plus a
+    small set of ``H = hub_slack·width`` right-side *hub* vertices with each
+    left vertex connected to ``min(H, 8k)`` random hubs.
+
+    Under a random k-partition each machine owns ~``width`` hidden edges.
+    A *maximum* matching of the piece must keep (almost) all of them —
+    hidden edges are vertex-disjoint from each other and hubs can absorb at
+    most ``H ≪ N/k·k`` lefts globally.  But a worst-case *maximal* matching
+    may first match every hidden-edge-owning left to a hub (per piece there
+    are ~``width`` such lefts and ``2·width`` hubs, so a saturating
+    "blocking" matching exists w.h.p.), leaving no hidden edge addable.
+    The union of such coresets then only contains hub edges, whose maximum
+    matching is ≤ H = 2·width ≈ 2N/k, an Ω(k) gap from MM(G) ≥ N.
+
+    Returns ``(graph, N, hub_count)``; the hubs are the right-side global
+    ids ``N + N .. N + N + hub_count - 1`` (left ids ``0..N-1``, non-hub
+    right ids ``N..2N-1``).
+    """
+    if k < 1 or width < 1:
+        raise ValueError("k and width must be >= 1")
+    if hub_slack < 1:
+        raise ValueError("hub_slack must be >= 1")
+    gen = as_generator(rng)
+    n_pairs = k * width
+    n_hubs = hub_slack * width
+    hub_degree = min(n_hubs, 8 * k)
+
+    hidden_left = np.arange(n_pairs, dtype=np.int64)
+    hidden_right = np.arange(n_pairs, dtype=np.int64)
+    hub_rows = np.repeat(hidden_left, hub_degree)
+    hub_cols = np.concatenate(
+        [
+            gen.choice(n_hubs, size=hub_degree, replace=False).astype(np.int64)
+            for _ in range(n_pairs)
+        ]
+    ) + n_pairs
+    left = np.concatenate([hidden_left, hub_rows])
+    right = np.concatenate([hidden_right, hub_cols])
+    graph = BipartiteGraph.from_pairs(n_pairs, n_pairs + n_hubs, left, right)
+    return graph, n_pairs, n_hubs
+
+
+def bipartite_star_forest(n_stars: int, leaves_per_star: int) -> BipartiteGraph:
+    """Disjoint stars with centers on the left and leaves on the right.
+
+    The §1.2 counterexample workload for min-VC-as-coreset: VC(G) = n_stars
+    (the centers), but a machine seeing a single star edge may legally
+    certify the leaf.  Center ``s`` is left vertex ``s``; its leaves are
+    right vertices ``s*leaves_per_star .. (s+1)*leaves_per_star - 1``.
+    """
+    if n_stars < 0 or leaves_per_star < 1:
+        raise ValueError("need n_stars >= 0 and leaves_per_star >= 1")
+    centers = np.repeat(np.arange(n_stars, dtype=np.int64), leaves_per_star)
+    leaves = np.arange(n_stars * leaves_per_star, dtype=np.int64)
+    return BipartiteGraph.from_pairs(
+        n_stars, n_stars * leaves_per_star, centers, leaves
+    )
+
+
+def layered_maximal_trap(k: int, width: int, rng: RandomState = None) -> tuple[Graph, int]:
+    """The Ω(k) counterexample for maximal-matching coresets (§1.2).
+
+    Construction: a bipartite graph ``L = L0 ∪ L1``, ``R = R0 ∪ R1`` with
+    ``|L0| = |R0| = width`` and ``|L1| = |R1| = k * width``:
+
+    * a *trap biclique* between ``L0`` and ``R0`` (dense: each machine keeps
+      seeing L0–R0 edges and a lazy maximal matching happily matches L0 into
+      R0 ... killing both sides of the real matching);
+    * a perfect matching ``L0 → R1`` and a perfect matching ``R0 ← L1``
+      spread thinly so each machine sees only ~width/k of them.
+
+    The true maximum matching has size ``≈ 2·width`` (match L0 into R1 and
+    R0 into L1); an adversarially lazy maximal matching that prefers trap
+    edges keeps only ``width`` edges *total* in each coreset and the union
+    collapses.  With random partitioning a *maximum* matching per machine
+    escapes the trap (Theorem 1), which is exactly what E2 measures.
+
+    Returns ``(graph, optimal_matching_size)``.
+    """
+    if k < 1 or width < 1:
+        raise ValueError("k and width must be >= 1")
+    gen = as_generator(rng)
+    n_l0 = n_r0 = width
+    n_l1 = n_r1 = width
+    # Vertex layout: [L0 | L1 | R0 | R1]
+    l0 = np.arange(n_l0, dtype=np.int64)
+    l1 = np.arange(n_l1, dtype=np.int64) + n_l0
+    r0 = np.arange(n_r0, dtype=np.int64) + n_l0 + n_l1
+    r1 = np.arange(n_r1, dtype=np.int64) + n_l0 + n_l1 + n_r0
+    n = n_l0 + n_l1 + n_r0 + n_r1
+    # Trap biclique L0 x R0.
+    trap = np.stack(
+        [np.repeat(l0, n_r0), np.tile(r0, n_l0)], axis=1
+    )
+    # Real matchings: L0 -> R1 and L1 -> R0 (random bijections).
+    m1 = np.stack([l0, r1[gen.permutation(n_r1)]], axis=1)
+    m2 = np.stack([l1[gen.permutation(n_l1)], r0], axis=1)
+    g = Graph(n, np.vstack([trap, m1, m2]))
+    return g, 2 * width
+
+
+def power_law_bipartite(
+    n_left: int,
+    n_right: int,
+    avg_degree: float,
+    exponent: float = 2.5,
+    rng: RandomState = None,
+) -> BipartiteGraph:
+    """Configuration-model bipartite graph with power-law left degrees.
+
+    Left vertex ``i`` draws a target degree from a Pareto-like distribution
+    with tail exponent ``exponent``, scaled so the mean is ``avg_degree``;
+    stubs are matched to uniformly random right vertices (duplicate edges
+    collapse, so realized degrees are a lower bound on targets).  This is
+    the classic heavy-tailed workload shape (web graphs, tag bipartite
+    graphs) and exercises the coresets far from the Gnp regime: a handful
+    of vertices carry Θ(n) edges while the median vertex carries O(1).
+    """
+    if avg_degree <= 0:
+        raise ValueError(f"avg_degree must be positive, got {avg_degree}")
+    if exponent <= 1.0:
+        raise ValueError(f"exponent must exceed 1, got {exponent}")
+    gen = as_generator(rng)
+    if n_left == 0 or n_right == 0:
+        return BipartiteGraph(n_left, n_right)
+    # Pareto(a) has mean a/(a-1) for a > 1; rescale to the requested mean.
+    raw = gen.pareto(exponent - 1.0, size=n_left) + 1.0
+    raw *= avg_degree / max(raw.mean(), 1e-12)
+    degrees = np.minimum(
+        np.maximum(1, np.round(raw)).astype(np.int64), n_right
+    )
+    rows = np.repeat(np.arange(n_left, dtype=np.int64), degrees)
+    cols = gen.integers(0, n_right, size=int(degrees.sum()), dtype=np.int64)
+    return BipartiteGraph.from_pairs(n_left, n_right, rows, cols)
+
+
+def clustered_bipartite(
+    n_blocks: int,
+    block_size: int,
+    p_in: float,
+    p_out: float,
+    rng: RandomState = None,
+) -> BipartiteGraph:
+    """Stochastic-block bipartite graph: dense within-community blocks plus
+    sparse cross-community noise.
+
+    Community structure is the adversary's friend in partitioned
+    computation (locality-correlated edges are exactly what random
+    partitioning destroys), making this the most demanding of the
+    robustness-sweep families for a fixed edge budget.
+    """
+    if n_blocks < 1 or block_size < 1:
+        raise ValueError("n_blocks and block_size must be >= 1")
+    gen = as_generator(rng)
+    n = n_blocks * block_size
+    parts = []
+    # Dense diagonal blocks.
+    for b in range(n_blocks):
+        idx = _sample_pair_indices(block_size * block_size, p_in, gen)
+        if idx.size:
+            rows = b * block_size + idx // block_size
+            cols = b * block_size + idx % block_size
+            parts.append(np.stack([rows, cols], axis=1))
+    # Sparse background across everything.
+    idx = _sample_pair_indices(n * n, p_out, gen)
+    if idx.size:
+        parts.append(np.stack([idx // n, idx % n], axis=1))
+    if parts:
+        all_pairs = np.vstack(parts)
+        return BipartiteGraph.from_pairs(
+            n, n, all_pairs[:, 0], all_pairs[:, 1]
+        )
+    return BipartiteGraph(n, n)
+
+
+# --------------------------------------------------------------------- #
+# Deterministic small graphs (tests, examples)
+# --------------------------------------------------------------------- #
+def path_graph(n: int) -> Graph:
+    """The path ``0-1-2-...-(n-1)``."""
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    if n < 2:
+        return Graph(n)
+    idx = np.arange(n - 1, dtype=np.int64)
+    return Graph(n, np.stack([idx, idx + 1], axis=1))
+
+
+def complete_graph(n: int) -> Graph:
+    """The complete graph ``K_n``."""
+    u, v = np.triu_indices(n, k=1)
+    return Graph(n, np.stack([u.astype(np.int64), v.astype(np.int64)], axis=1))
+
+
+def complete_bipartite(n_left: int, n_right: int) -> BipartiteGraph:
+    """The complete bipartite graph ``K_{n_left, n_right}``."""
+    left = np.repeat(np.arange(n_left, dtype=np.int64), n_right)
+    right = np.tile(np.arange(n_right, dtype=np.int64), n_left)
+    return BipartiteGraph.from_pairs(n_left, n_right, left, right)

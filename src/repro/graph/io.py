@@ -1,0 +1,81 @@
+"""Graph serialization: compact ``.npz`` round trips and a human-readable
+edge-list text format.
+
+Mainly used by the examples (to cache generated workloads between runs) and
+by tests exercising the round-trip invariants.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+
+import numpy as np
+
+from repro.graph.bipartite import BipartiteGraph
+from repro.graph.edgelist import Graph
+from repro.graph.weights import WeightedGraph
+
+__all__ = ["save_npz", "load_npz", "dumps_edgelist", "loads_edgelist"]
+
+_KIND_PLAIN = 0
+_KIND_BIPARTITE = 1
+_KIND_WEIGHTED = 2
+
+
+def save_npz(path: str | Path, g: Graph) -> None:
+    """Serialize a graph (plain, bipartite, or weighted) to ``.npz``."""
+    payload: dict[str, np.ndarray] = {"edges": g.edges}
+    if isinstance(g, BipartiteGraph):
+        payload["kind"] = np.array([_KIND_BIPARTITE])
+        payload["shape"] = np.array([g.n_left, g.n_right], dtype=np.int64)
+    elif isinstance(g, WeightedGraph):
+        payload["kind"] = np.array([_KIND_WEIGHTED])
+        payload["shape"] = np.array([g.n_vertices], dtype=np.int64)
+        payload["weights"] = g.weights
+    else:
+        payload["kind"] = np.array([_KIND_PLAIN])
+        payload["shape"] = np.array([g.n_vertices], dtype=np.int64)
+    np.savez_compressed(path, **payload)
+
+
+def load_npz(path: str | Path) -> Graph:
+    """Load a graph saved by :func:`save_npz`."""
+    with np.load(path) as data:
+        kind = int(data["kind"][0])
+        edges = data["edges"]
+        shape = data["shape"]
+        if kind == _KIND_BIPARTITE:
+            return BipartiteGraph(int(shape[0]), int(shape[1]), edges)
+        if kind == _KIND_WEIGHTED:
+            return WeightedGraph(int(shape[0]), edges, data["weights"])
+        if kind == _KIND_PLAIN:
+            return Graph(int(shape[0]), edges)
+    raise ValueError(f"unknown graph kind tag {kind}")
+
+
+def dumps_edgelist(g: Graph) -> str:
+    """Human-readable text format: header line then one ``u v`` per edge."""
+    buf = io.StringIO()
+    if isinstance(g, BipartiteGraph):
+        buf.write(f"# bipartite {g.n_left} {g.n_right}\n")
+    else:
+        buf.write(f"# graph {g.n_vertices}\n")
+    for u, v in g.edges.tolist():
+        buf.write(f"{u} {v}\n")
+    return buf.getvalue()
+
+
+def loads_edgelist(text: str) -> Graph:
+    """Parse the format produced by :func:`dumps_edgelist`."""
+    lines = [ln.strip() for ln in text.splitlines() if ln.strip()]
+    if not lines or not lines[0].startswith("#"):
+        raise ValueError("missing header line")
+    header = lines[0][1:].split()
+    rows = [tuple(map(int, ln.split())) for ln in lines[1:]]
+    edges = np.asarray(rows, dtype=np.int64).reshape(-1, 2)
+    if header[0] == "bipartite":
+        return BipartiteGraph(int(header[1]), int(header[2]), edges)
+    if header[0] == "graph":
+        return Graph(int(header[1]), edges)
+    raise ValueError(f"unknown header kind {header[0]!r}")

@@ -1,0 +1,50 @@
+"""Hard distributions and lower-bound experiments (Results 2 and 3).
+
+The paper's lower bounds are statements about concrete input distributions:
+
+* :mod:`repro.lowerbounds.dmatching` — ``D_Matching`` (§4.1/§5.1): a sparse
+  random bipartite graph whose near-perfect matching hides inside an
+  indistinguishable induced matching on every machine;
+* :mod:`repro.lowerbounds.dvc` — ``D_VC`` (§4.2/§5.3): a skewed random
+  bipartite graph hiding a single must-cover edge ``e*``;
+* :mod:`repro.lowerbounds.induced` — induced-matching extraction and the
+  ``n/e³`` constants of Appendix A;
+* :mod:`repro.lowerbounds.hvp` — the Hidden Vertex Problem as a playable
+  one-way communication game;
+* :mod:`repro.lowerbounds.adversary` — adversarial partitionings (the
+  regime where [10] rules out all small summaries).
+
+Each module pairs a sampler with the metric the corresponding theorem
+bounds, so the benchmark harness can sweep summary-size budgets and watch
+the predicted collapse.
+"""
+
+from repro.lowerbounds.dmatching import (
+    DMatchingInstance,
+    budget_limited_matching_protocol,
+    sample_dmatching,
+)
+from repro.lowerbounds.dvc import (
+    DVCInstance,
+    budget_limited_cover_protocol,
+    sample_dvc,
+)
+from repro.lowerbounds.hvp import HVPInstance, play_subsample_protocol, sample_hvp
+from repro.lowerbounds.induced import (
+    induced_matching,
+    induced_matching_density_theory,
+)
+
+__all__ = [
+    "DMatchingInstance",
+    "DVCInstance",
+    "HVPInstance",
+    "budget_limited_cover_protocol",
+    "budget_limited_matching_protocol",
+    "induced_matching",
+    "induced_matching_density_theory",
+    "play_subsample_protocol",
+    "sample_dmatching",
+    "sample_dvc",
+    "sample_hvp",
+]

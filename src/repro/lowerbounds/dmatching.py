@@ -1,0 +1,161 @@
+"""``D_Matching`` — the hard input distribution for matching (§4.1, §5.1).
+
+Construction on a bipartite vertex set ``L``, ``R`` with ``|L| = |R| = n``:
+
+1. pick ``A ⊆ L`` and ``B ⊆ R``, each of size ``n/α``, uniformly at random;
+2. ``E_AB``: each edge of ``A × B`` independently with probability ``kα/n``;
+3. ``E_ĀB̄``: a random perfect matching between ``Ā = L \\ A`` and
+   ``B̄ = R \\ B`` (size ``n − n/α``);
+4. ``E = E_AB ∪ E_ĀB̄``, randomly k-partitioned.
+
+``MM(G) ≥ n − n/α``, but any matching larger than ``2n/α`` must recover
+``Ω(n/α)`` edges of the *hidden* matching ``E_ĀB̄`` — and inside each
+machine those edges sit in the induced matching ``M^(i)`` (size Θ(n/α) by
+Lemma 4.1) where they are exchangeable with the ``E_AB`` noise.  A coreset
+of ``s`` edges can therefore only recover an O(s·α/k) expected fraction
+(the Theorem 3 counting argument), which this module's budget-limited
+protocol measures directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dist.coordinator import SimultaneousProtocol
+from repro.dist.message import Message
+from repro.core.compose import compose_matching
+from repro.graph.bipartite import BipartiteGraph
+from repro.matching.api import maximum_matching
+from repro.utils.arrays import isin_mask
+from repro.utils.rng import RandomState, as_generator
+
+__all__ = [
+    "DMatchingInstance",
+    "sample_dmatching",
+    "budget_limited_matching_protocol",
+    "hidden_edges_recovered",
+]
+
+
+@dataclass(frozen=True)
+class DMatchingInstance:
+    """One sample of D_Matching with its ground truth."""
+
+    graph: BipartiteGraph
+    n: int
+    alpha: float
+    k: int
+    set_a: np.ndarray  # A ⊆ L (global ids)
+    set_b: np.ndarray  # B ⊆ R (global ids)
+    hidden_matching: np.ndarray  # E_ĀB̄, (n - n/α, 2) global-id edges
+
+    @property
+    def optimal_size_lower_bound(self) -> int:
+        """MM(G) ≥ |E_ĀB̄| (the hidden matching is itself a matching)."""
+        return int(self.hidden_matching.shape[0])
+
+
+def sample_dmatching(
+    n: int, alpha: float, k: int, rng: RandomState = None
+) -> DMatchingInstance:
+    """Draw one instance of ``D_Matching(n, α, k)``."""
+    if alpha < 1:
+        raise ValueError(f"alpha must be >= 1, got {alpha}")
+    if not 1 <= k:
+        raise ValueError(f"k must be >= 1, got {k}")
+    gen = as_generator(rng)
+    size_a = max(1, int(round(n / alpha)))
+    if size_a >= n:
+        raise ValueError("n/alpha must be smaller than n")
+
+    a_local = np.sort(gen.choice(n, size=size_a, replace=False)).astype(np.int64)
+    b_local = np.sort(gen.choice(n, size=size_a, replace=False)).astype(np.int64)
+    a_mask = np.zeros(n, dtype=bool)
+    a_mask[a_local] = True
+    b_mask = np.zeros(n, dtype=bool)
+    b_mask[b_local] = True
+    a_bar = np.flatnonzero(~a_mask).astype(np.int64)
+    b_bar = np.flatnonzero(~b_mask).astype(np.int64)
+
+    # E_AB: Bernoulli(kα/n) over A × B.
+    p = min(1.0, k * alpha / n)
+    count = gen.binomial(size_a * size_a, p)
+    if count:
+        idx = gen.choice(size_a * size_a, size=count, replace=False)
+        eab_left = a_local[idx // size_a]
+        eab_right = b_local[idx % size_a]
+    else:
+        eab_left = np.zeros(0, dtype=np.int64)
+        eab_right = np.zeros(0, dtype=np.int64)
+
+    # E_ĀB̄: random perfect matching between the complements.
+    perm = gen.permutation(b_bar.shape[0])
+    hidden_left = a_bar
+    hidden_right = b_bar[perm]
+
+    left = np.concatenate([eab_left, hidden_left])
+    right = np.concatenate([eab_right, hidden_right])
+    graph = BipartiteGraph.from_pairs(n, n, left, right)
+    hidden = np.stack([hidden_left, hidden_right + n], axis=1)
+    return DMatchingInstance(
+        graph=graph,
+        n=n,
+        alpha=float(alpha),
+        k=k,
+        set_a=a_local,
+        set_b=b_local + n,
+        hidden_matching=hidden,
+    )
+
+
+def hidden_edges_recovered(
+    instance: DMatchingInstance, matching: np.ndarray
+) -> int:
+    """How many hidden-matching edges the output matching contains — the
+    quantity that caps its size at 2n/α + recovered (§4.1)."""
+    if np.asarray(matching).size == 0:
+        return 0
+    mask = isin_mask(matching, instance.hidden_matching, instance.graph.n_vertices)
+    return int(mask.sum())
+
+
+def budget_limited_matching_protocol(
+    budget: int,
+    combiner: str = "exact",
+) -> SimultaneousProtocol[np.ndarray]:
+    """The strongest size-``budget`` coreset available to an oblivious
+    machine on D_Matching.
+
+    The machine computes a maximum matching of its piece (the Theorem 1
+    coreset — information-theoretically it cannot do better at selecting
+    candidate edges, since hidden and noise edges are exchangeable within
+    its induced matching) and then truncates to ``budget`` uniformly random
+    edges of it.  Sweeping ``budget`` around n/α² exposes the Theorem 3
+    threshold.
+    """
+    if budget < 0:
+        raise ValueError(f"budget must be non-negative, got {budget}")
+
+    def summarize(piece, machine_index, rng, public=None):
+        del public
+        matching = maximum_matching(piece)
+        if matching.shape[0] > budget:
+            keep = rng.choice(matching.shape[0], size=budget, replace=False)
+            matching = matching[np.sort(keep)]
+        return Message(sender=machine_index, edges=matching)
+
+    def combine(coordinator, messages):
+        return compose_matching(
+            coordinator.n_vertices,
+            [m.edges for m in messages],
+            combiner=combiner,  # type: ignore[arg-type]
+            template=coordinator.template,
+        )
+
+    return SimultaneousProtocol(
+        name=f"budget-matching[s={budget}]",
+        summarizer=summarize,
+        combine=combine,
+    )

@@ -1,0 +1,155 @@
+"""``D_VC`` — the hard input distribution for vertex cover (§4.2, §5.3).
+
+Construction on ``L``, ``R`` with ``|L| = |R| = n``:
+
+1. pick ``A ⊆ L`` of size ``n/α`` uniformly at random;
+2. ``E_A``: each edge of ``A × R`` independently with probability ``k/2n``;
+3. pick ``v* ∈ A`` uniformly; ``e*`` is a uniformly random edge incident on
+   ``v*`` (i.e., a uniform endpoint in ``R``);
+4. ``E = E_A ∪ {e*}``, randomly k-partitioned.
+
+``VC(G) ≤ n/α + 1`` (take ``A ∪ {one endpoint of e*}``), but a feasible
+cover *must* cover ``e*`` — and on the machine that received ``e*``, the
+vertex ``v*`` hides among the Θ(n/α) degree-one vertices of ``A``
+(Lemma 4.2).  A coreset of ``o(n/α)`` edges + fixed vertices misses ``e*``
+with probability 1 − o(1), so the coordinator must either output an
+infeasible set or blow the cover up to Ω(n) — which is exactly what the
+budget-limited protocol below lets experiments observe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.compose import compose_vertex_cover
+from repro.core.vc_coreset import VCCoresetResult, vc_coreset
+from repro.dist.coordinator import SimultaneousProtocol
+from repro.dist.message import Message
+from repro.graph.bipartite import BipartiteGraph
+from repro.graph.edgelist import Graph
+from repro.utils.rng import RandomState, as_generator
+
+__all__ = [
+    "DVCInstance",
+    "sample_dvc",
+    "budget_limited_cover_protocol",
+    "covers_estar",
+]
+
+
+@dataclass(frozen=True)
+class DVCInstance:
+    """One sample of D_VC with its ground truth."""
+
+    graph: BipartiteGraph
+    n: int
+    alpha: float
+    k: int
+    set_a: np.ndarray  # A ⊆ L (global ids)
+    v_star: int  # global id in L
+    e_star: tuple[int, int]  # global-id edge (v*, r*)
+
+    @property
+    def optimal_size_upper_bound(self) -> int:
+        """VC(G) ≤ |A| + 1."""
+        return int(self.set_a.shape[0]) + 1
+
+
+def sample_dvc(n: int, alpha: float, k: int, rng: RandomState = None) -> DVCInstance:
+    """Draw one instance of ``D_VC(n, α, k)``."""
+    if alpha < 1:
+        raise ValueError(f"alpha must be >= 1, got {alpha}")
+    gen = as_generator(rng)
+    size_a = max(1, int(round(n / alpha)))
+    if size_a > n:
+        raise ValueError("n/alpha must be at most n")
+
+    a_local = np.sort(gen.choice(n, size=size_a, replace=False)).astype(np.int64)
+
+    p = min(1.0, k / (2.0 * n))
+    count = gen.binomial(size_a * n, p)
+    if count:
+        idx = gen.choice(size_a * n, size=count, replace=False)
+        ea_left = a_local[idx // n]
+        ea_right = idx % n
+    else:
+        ea_left = np.zeros(0, dtype=np.int64)
+        ea_right = np.zeros(0, dtype=np.int64)
+
+    v_star = int(a_local[gen.integers(0, size_a)])
+    r_star = int(gen.integers(0, n))
+
+    left = np.concatenate([ea_left, [v_star]])
+    right = np.concatenate([ea_right, [r_star]])
+    graph = BipartiteGraph.from_pairs(n, n, left, right)
+    return DVCInstance(
+        graph=graph,
+        n=n,
+        alpha=float(alpha),
+        k=k,
+        set_a=a_local,
+        v_star=v_star,
+        e_star=(v_star, r_star + n),
+    )
+
+
+def covers_estar(instance: DVCInstance, cover: np.ndarray) -> bool:
+    """Does the output cover the planted edge e*?"""
+    c = np.asarray(cover, dtype=np.int64)
+    return bool(np.isin(instance.e_star[0], c) or np.isin(instance.e_star[1], c))
+
+
+def budget_limited_cover_protocol(
+    edge_budget: int,
+    vertex_budget: int,
+    k: int,
+    log_slack: float = 4.0,
+) -> SimultaneousProtocol[np.ndarray]:
+    """The strongest budgeted coreset available on D_VC.
+
+    Each machine runs the Theorem 2 peeling coreset and then truncates its
+    message to ``edge_budget`` uniformly random residual edges and
+    ``vertex_budget`` uniformly random fixed vertices.  Because ``e*`` is
+    exchangeable with the machine's other degree-one edges, truncation
+    hits it obliviously — the information constraint the Theorem 4 proof
+    formalizes.
+    """
+    if edge_budget < 0 or vertex_budget < 0:
+        raise ValueError("budgets must be non-negative")
+
+    def summarize(piece, machine_index, rng, public=None):
+        del public
+        result = vc_coreset(piece, k=k, log_slack=log_slack)
+        edges = result.residual.edges
+        fixed = result.fixed_vertices
+        if edges.shape[0] > edge_budget:
+            keep = rng.choice(edges.shape[0], size=edge_budget, replace=False)
+            edges = edges[np.sort(keep)]
+        if fixed.shape[0] > vertex_budget:
+            keep = rng.choice(fixed.shape[0], size=vertex_budget, replace=False)
+            fixed = fixed[np.sort(keep)]
+        return Message(sender=machine_index, edges=edges, fixed_vertices=fixed)
+
+    def combine(coordinator, messages):
+        results = [
+            VCCoresetResult(
+                fixed_vertices=m.fixed_vertices,
+                residual=Graph(coordinator.n_vertices, m.edges),
+                trace=None,  # type: ignore[arg-type]
+            )
+            for m in messages
+        ]
+        return compose_vertex_cover(
+            coordinator.n_vertices,
+            results,
+            combiner="auto",
+            template=coordinator.template,
+        )
+
+    return SimultaneousProtocol(
+        name=f"budget-vc[e={edge_budget},v={vertex_budget}]",
+        summarizer=summarize,
+        combine=combine,
+    )

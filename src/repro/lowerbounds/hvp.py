@@ -1,0 +1,88 @@
+"""The Hidden Vertex Problem (HVP) as a playable one-way game (§5.3).
+
+Problem 2 of the paper: a universe ``U``, a disjoint set ``V``, and a public
+mapping ``σ : U → V``.  Bob holds ``T ⊆ U``.  Alice holds ``S ⊆ T`` *plus*
+one extra element ``u* ∈ U \\ T`` — but Alice only sees the unlabeled union
+``S ∪ {u*}``; she cannot tell which of her elements is the special one
+(she does not know ``T``).  Alice sends one message; Bob must output sets
+``X ⊆ U``, ``Y ⊆ V`` with ``u* ∈ X`` or ``σ(u*) ∈ Y``, keeping
+``|X ∪ Y|`` small.
+
+Lemma 5.7: success with ``|X ∪ Y| ≤ C·n`` and probability ≥ 2/3 needs an
+Ω(n/α) bit message.  The game here instantiates the natural budget-b
+protocol family (Alice forwards b uniformly chosen elements of her set; Bob
+returns the forwarded elements not in ``T``) and measures its success rate
+— linear in b/|S|, i.e. a budget of Ω(|S|) = Ω(n/α) is necessary, matching
+the lemma's shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import RandomState, as_generator
+
+__all__ = ["HVPInstance", "sample_hvp", "play_subsample_protocol"]
+
+
+@dataclass(frozen=True)
+class HVPInstance:
+    """One HVP instance (distribution of §5.3's D_HVP, Claim 5.6 regime:
+    each element of T belongs to S independently w.p. ≈ 1/3)."""
+
+    universe_size: int
+    sigma: np.ndarray  # (universe_size,) mapping U -> V ids
+    bob_t: np.ndarray  # T ⊆ U
+    alice_set: np.ndarray  # S ∪ {u*}, unlabeled, shuffled
+    u_star: int
+
+
+def sample_hvp(
+    universe_size: int, t_size: int, rng: RandomState = None, s_prob: float = 1 / 3
+) -> HVPInstance:
+    """Draw an HVP instance: T uniform of size ``t_size``; S ⊆ T by
+    independent coin flips at rate ``s_prob``; u* uniform outside T."""
+    if t_size >= universe_size:
+        raise ValueError("need t_size < universe_size to leave room for u*")
+    gen = as_generator(rng)
+    sigma = gen.permutation(universe_size).astype(np.int64)
+    t = np.sort(gen.choice(universe_size, size=t_size, replace=False)).astype(np.int64)
+    in_s = gen.random(t_size) < s_prob
+    s = t[in_s]
+    outside = np.setdiff1d(
+        np.arange(universe_size, dtype=np.int64), t, assume_unique=False
+    )
+    u_star = int(outside[gen.integers(0, outside.shape[0])])
+    alice = np.concatenate([s, [u_star]])
+    gen.shuffle(alice)
+    return HVPInstance(
+        universe_size=universe_size,
+        sigma=sigma,
+        bob_t=t,
+        alice_set=alice,
+        u_star=u_star,
+    )
+
+
+def play_subsample_protocol(
+    instance: HVPInstance, message_budget: int, rng: RandomState = None
+) -> tuple[bool, int]:
+    """Play the budget-b forwarding protocol; return ``(success, |X ∪ Y|)``.
+
+    Alice cannot distinguish u* from S, so the best she can do with a budget
+    of b element-ids is forward b of her elements chosen uniformly (any
+    deterministic selection rule does no better against the uniform
+    placement of u*).  Bob outputs ``X = forwarded \\ T`` and ``Y = ∅``.
+    """
+    gen = as_generator(rng)
+    alice = instance.alice_set
+    b = min(message_budget, alice.shape[0])
+    forwarded = alice[gen.choice(alice.shape[0], size=b, replace=False)] if b else \
+        np.zeros(0, dtype=np.int64)
+    t_mask = np.zeros(instance.universe_size, dtype=bool)
+    t_mask[instance.bob_t] = True
+    x = forwarded[~t_mask[forwarded]]
+    success = bool(np.isin(instance.u_star, x))
+    return success, int(x.shape[0])

@@ -1,0 +1,62 @@
+"""Front-door matching API.
+
+``maximum_matching(g)`` dispatches to Hopcroft–Karp for bipartite inputs and
+to the blossom algorithm otherwise; the coreset code calls only this
+function, which is exactly the paper's "ALG outputs an arbitrary maximum
+matching" black box.
+"""
+
+from __future__ import annotations
+
+from typing import Literal
+
+import numpy as np
+
+from repro.graph.bipartite import BipartiteGraph
+from repro.graph.edgelist import Graph
+from repro.matching.augmenting import augmenting_path_matching
+from repro.matching.blossom import blossom_maximum_matching
+from repro.matching.hopcroft_karp import hopcroft_karp
+from repro.matching.maximal import greedy_maximal_matching
+from repro.utils.rng import RandomState
+
+__all__ = ["maximum_matching", "maximal_matching", "matching_number"]
+
+Algorithm = Literal["auto", "hopcroft_karp", "blossom", "augmenting"]
+
+
+def maximum_matching(graph: Graph, algorithm: Algorithm = "auto") -> np.ndarray:
+    """Compute a maximum matching of ``graph``.
+
+    ``algorithm="auto"`` picks Hopcroft–Karp when the input carries a
+    bipartition and blossom otherwise.  All algorithms return an ``(s, 2)``
+    int64 edge array (the particular maximum matching may differ between
+    algorithms — Theorem 1 is indifferent to the choice, and our tests
+    exploit that).
+    """
+    if algorithm == "auto":
+        algorithm = "hopcroft_karp" if isinstance(graph, BipartiteGraph) else "blossom"
+    if algorithm == "hopcroft_karp":
+        if not isinstance(graph, BipartiteGraph):
+            raise TypeError("hopcroft_karp requires a BipartiteGraph")
+        return hopcroft_karp(graph)
+    if algorithm == "augmenting":
+        if not isinstance(graph, BipartiteGraph):
+            raise TypeError("augmenting-path matcher requires a BipartiteGraph")
+        return augmenting_path_matching(graph)
+    if algorithm == "blossom":
+        return blossom_maximum_matching(graph)
+    raise ValueError(f"unknown algorithm {algorithm!r}")
+
+
+def maximal_matching(
+    graph: Graph, rng: RandomState = None, order: str = "random"
+) -> np.ndarray:
+    """Compute a (greedy) maximal matching; see
+    :func:`repro.matching.maximal.greedy_maximal_matching`."""
+    return greedy_maximal_matching(graph, order=order, rng=rng)  # type: ignore[arg-type]
+
+
+def matching_number(graph: Graph, algorithm: Algorithm = "auto") -> int:
+    """``MM(G)``: the size of a maximum matching."""
+    return int(maximum_matching(graph, algorithm).shape[0])

@@ -1,0 +1,136 @@
+"""Maximum matching in general graphs: Edmonds' blossom algorithm.
+
+Theorem 1 holds for general (non-bipartite) graphs, so the library needs a
+true general-graph maximum matcher.  This is the classic O(V³) blossom
+contraction algorithm: grow an alternating BFS forest from each free vertex;
+when two even-level vertices meet, contract the odd cycle (blossom) to its
+base and continue; when a free vertex is reached, augment.
+
+Implementation notes:
+
+* plain Python lists in the search kernel — for the pointer-chasing access
+  pattern of this algorithm, list indexing is measurably faster than numpy
+  scalar indexing (per the profiling-first rule of the HPC guides);
+* a greedy maximal matching seeds the search, which removes ~half of the
+  augmentation phases on random graphs;
+* validated in tests against networkx.max_weight_matching(maxcardinality)
+  on hundreds of random and structured instances.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.graph.edgelist import Graph
+from repro.matching.maximal import greedy_maximal_matching
+
+__all__ = ["blossom_maximum_matching"]
+
+
+def blossom_maximum_matching(graph: Graph, seed_greedy: bool = True) -> np.ndarray:
+    """Maximum matching of a general graph as an ``(s, 2)`` edge array."""
+    n = graph.n_vertices
+    if n == 0 or graph.n_edges == 0:
+        return np.zeros((0, 2), dtype=np.int64)
+
+    adj = graph.adjacency
+    indptr = adj.indptr.tolist()
+    indices = adj.indices.tolist()
+
+    match = [-1] * n
+    if seed_greedy:
+        for u, v in greedy_maximal_matching(graph, order="input").tolist():
+            match[u] = v
+            match[v] = u
+
+    p = [-1] * n  # BFS tree parent pointers (to the *even* predecessor)
+    base = list(range(n))  # blossom base of each vertex
+    used = [False] * n  # vertex is an even (outer) node of the forest
+    blossom = [False] * n  # scratch marks for the current contraction
+
+    def lca(a: int, b: int) -> int:
+        """Lowest common ancestor of a and b in the alternating forest,
+        walking through blossom bases."""
+        seen = [False] * n
+        x = a
+        while True:
+            x = base[x]
+            seen[x] = True
+            if match[x] == -1:
+                break
+            x = p[match[x]]
+        y = b
+        while True:
+            y = base[y]
+            if seen[y]:
+                return y
+            y = p[match[y]]
+
+    def mark_path(v: int, b: int, child: int) -> None:
+        """Mark blossom vertices on the path from v down to base b and
+        re-root their parent pointers for the contracted cycle."""
+        while base[v] != b:
+            blossom[base[v]] = True
+            blossom[base[match[v]]] = True
+            p[v] = child
+            child = match[v]
+            v = p[match[v]]
+
+    # Only vertices with at least one edge can appear in a search tree;
+    # restricting resets and roots to them makes the algorithm O(active³)
+    # instead of O(n³), a large win on the near-empty machine subgraphs the
+    # coreset pipeline feeds it.
+    active = np.unique(graph.edges.ravel()).tolist()
+
+    def find_augmenting_path(root: int) -> bool:
+        for i in active:
+            p[i] = -1
+            base[i] = i
+            used[i] = False
+        used[root] = True
+        queue: deque[int] = deque([root])
+        while queue:
+            v = queue.popleft()
+            for ei in range(indptr[v], indptr[v + 1]):
+                to = indices[ei]
+                if base[v] == base[to] or match[v] == to:
+                    continue
+                if to == root or (match[to] != -1 and p[match[to]] != -1):
+                    # `to` is an even vertex of the forest: odd cycle found.
+                    curbase = lca(v, to)
+                    for i in active:
+                        blossom[i] = False
+                    mark_path(v, curbase, to)
+                    mark_path(to, curbase, v)
+                    for i in active:
+                        if blossom[base[i]]:
+                            base[i] = curbase
+                            if not used[i]:
+                                used[i] = True
+                                queue.append(i)
+                elif p[to] == -1:
+                    p[to] = v
+                    if match[to] == -1:
+                        # Augment along root -> ... -> to.
+                        w = to
+                        while w != -1:
+                            pw = p[w]
+                            nxt = match[pw]
+                            match[w] = pw
+                            match[pw] = w
+                            w = nxt
+                        return True
+                    used[match[to]] = True
+                    queue.append(match[to])
+        return False
+
+    for v in active:
+        if match[v] == -1:
+            find_augmenting_path(v)
+
+    out = [(u, match[u]) for u in active if match[u] > u]
+    if not out:
+        return np.zeros((0, 2), dtype=np.int64)
+    return np.asarray(out, dtype=np.int64)

@@ -1,0 +1,119 @@
+"""Greedy maximal matching.
+
+A maximal matching is a 2-approximation to the maximum matching on a single
+graph — but §1.2 of the paper shows it is only an Ω(k)-approximate
+*randomized coreset*: the freedom to pick a bad maximal matching lets an
+adversarial tie-breaking rule destroy the composed solution.  We expose the
+edge-ordering policy explicitly so experiment E2 can reproduce exactly that
+failure (``order="adversarial_key"``) and also show that a *random* order
+does not save maximality in the worst case.
+"""
+
+from __future__ import annotations
+
+from typing import Literal
+
+import numpy as np
+
+from repro.graph.edgelist import Graph
+from repro.utils.rng import RandomState, as_generator
+
+__all__ = ["greedy_maximal_matching", "complete_to_maximal"]
+
+OrderPolicy = Literal["input", "random", "adversarial_key"]
+
+
+def greedy_maximal_matching(
+    graph: Graph,
+    order: OrderPolicy = "random",
+    rng: RandomState = None,
+    priority: np.ndarray | None = None,
+) -> np.ndarray:
+    """Scan the edges in the given order, keeping every edge whose endpoints
+    are both free.
+
+    Parameters
+    ----------
+    order:
+        * ``"input"`` — canonical edge order (deterministic);
+        * ``"random"`` — a uniformly random order (the usual randomized
+          greedy);
+        * ``"adversarial_key"`` — ascending by scalar edge key, which on the
+          :func:`~repro.graph.generators.layered_maximal_trap` instance
+          systematically prefers trap-biclique edges (low vertex ids) and
+          realizes the Ω(k) lower bound of §1.2.
+    priority:
+        Explicit per-edge sort key overriding ``order`` (smaller = earlier).
+
+    Returns an ``(s, 2)`` matched-edge array.
+    """
+    e = graph.edges
+    if e.shape[0] == 0:
+        return np.zeros((0, 2), dtype=np.int64)
+    if priority is not None:
+        priority = np.asarray(priority)
+        if priority.shape != (graph.n_edges,):
+            raise ValueError(
+                f"priority must have shape ({graph.n_edges},), got {priority.shape}"
+            )
+        perm = np.argsort(priority, kind="stable")
+    elif order == "input":
+        perm = np.arange(e.shape[0])
+    elif order == "random":
+        perm = as_generator(rng).permutation(e.shape[0])
+    elif order == "adversarial_key":
+        # Canonical order *is* ascending key order, but restate explicitly so
+        # the policy is independent of Graph's storage convention.
+        keys = e[:, 0] * np.int64(max(graph.n_vertices, 1)) + e[:, 1]
+        perm = np.argsort(keys, kind="stable")
+    else:  # pragma: no cover - typo guard
+        raise ValueError(f"unknown order policy {order!r}")
+
+    taken = np.zeros(graph.n_vertices, dtype=bool)
+    out_u = []
+    out_v = []
+    eu = e[perm, 0]
+    ev = e[perm, 1]
+    # The sequential scan is inherently order-dependent, so this loop cannot
+    # be fully vectorized; it is O(m) with two array reads per edge.
+    for u, v in zip(eu.tolist(), ev.tolist()):
+        if not taken[u] and not taken[v]:
+            taken[u] = True
+            taken[v] = True
+            out_u.append(u)
+            out_v.append(v)
+    if not out_u:
+        return np.zeros((0, 2), dtype=np.int64)
+    return np.stack(
+        [np.asarray(out_u, dtype=np.int64), np.asarray(out_v, dtype=np.int64)], axis=1
+    )
+
+
+def complete_to_maximal(
+    graph: Graph,
+    partial: np.ndarray,
+    order: OrderPolicy = "input",
+    rng: RandomState = None,
+) -> np.ndarray:
+    """Extend a partial matching of ``graph`` to a maximal one.
+
+    This is the inner step of the paper's GreedyMatch combiner (§3.1): "let
+    M^(i) be a maximal matching obtained by adding to M^(i-1) the edges
+    [of the coreset] that do not violate the matching property."
+    """
+    partial = np.asarray(partial, dtype=np.int64).reshape(-1, 2)
+    taken = np.zeros(graph.n_vertices, dtype=bool)
+    if partial.size:
+        verts = partial.ravel()
+        if np.bincount(verts, minlength=graph.n_vertices).max() > 1:
+            raise ValueError("partial matching is not a matching")
+        taken[verts] = True
+    free_mask = ~taken[graph.edges[:, 0]] & ~taken[graph.edges[:, 1]]
+    addition = greedy_maximal_matching(
+        graph.subgraph_from_mask(free_mask), order=order, rng=rng
+    )
+    if addition.size == 0:
+        return partial
+    if partial.size == 0:
+        return addition
+    return np.vstack([partial, addition])

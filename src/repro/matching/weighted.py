@@ -1,0 +1,92 @@
+"""Weighted matching: greedy 2-approximation and a small exact solver.
+
+The Crouch–Stubbs weighted coreset (paper §1.1, our
+:mod:`repro.core.weighted`) reduces weighted matching to unweighted matching
+inside geometric weight classes, so the library only needs
+
+* a fast 2-approximation (sort edges by descending weight, greedily keep) —
+  the standard comparator and the coordinator-side combiner, and
+* an exact exponential solver for small graphs — the test oracle that pins
+  down true approximation ratios.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.weights import WeightedGraph
+
+__all__ = ["greedy_weighted_matching", "exact_weighted_matching"]
+
+
+def greedy_weighted_matching(wg: WeightedGraph) -> tuple[np.ndarray, float]:
+    """Greedy descending-weight matching: a 1/2-approximation to the maximum
+    weight matching.  Returns ``(edges, total_weight)``."""
+    if wg.n_edges == 0:
+        return np.zeros((0, 2), dtype=np.int64), 0.0
+    order = np.argsort(-wg.weights, kind="stable")
+    e = wg.edges[order]
+    w = wg.weights[order]
+    taken = np.zeros(wg.n_vertices, dtype=bool)
+    keep_rows = []
+    for i, (u, v) in enumerate(e.tolist()):
+        if not taken[u] and not taken[v]:
+            taken[u] = True
+            taken[v] = True
+            keep_rows.append(i)
+    if not keep_rows:
+        return np.zeros((0, 2), dtype=np.int64), 0.0
+    rows = np.asarray(keep_rows, dtype=np.int64)
+    return e[rows], float(w[rows].sum())
+
+
+def exact_weighted_matching(wg: WeightedGraph) -> tuple[np.ndarray, float]:
+    """Exact maximum-weight matching by branch and bound over edges.
+
+    Intended for oracle use on small graphs (≤ ~24 edges of nonzero degree
+    interaction); raises on inputs that would blow up.
+    """
+    m = wg.n_edges
+    if m == 0:
+        return np.zeros((0, 2), dtype=np.int64), 0.0
+    if m > 26:
+        raise ValueError(
+            f"exact_weighted_matching is an oracle for small graphs; got {m} edges"
+        )
+    edges = wg.edges.tolist()
+    weights = wg.weights.tolist()
+    # Sort by descending weight so the bound prunes early.
+    order = sorted(range(m), key=lambda i: -weights[i])
+    edges = [edges[i] for i in order]
+    weights = [weights[i] for i in order]
+    suffix = [0.0] * (m + 1)
+    for i in range(m - 1, -1, -1):
+        suffix[i] = suffix[i + 1] + weights[i]
+
+    best_w = -1.0
+    best_set: list[int] = []
+    taken = [False] * wg.n_vertices
+
+    def rec(i: int, acc: float, chosen: list[int]) -> None:
+        nonlocal best_w, best_set
+        if acc + suffix[i] <= best_w:
+            return
+        if i == m:
+            if acc > best_w:
+                best_w = acc
+                best_set = list(chosen)
+            return
+        u, v = edges[i]
+        if not taken[u] and not taken[v]:
+            taken[u] = taken[v] = True
+            chosen.append(i)
+            rec(i + 1, acc + weights[i], chosen)
+            chosen.pop()
+            taken[u] = taken[v] = False
+        rec(i + 1, acc, chosen)
+
+    rec(0, 0.0, [])
+    if not best_set:
+        return np.zeros((0, 2), dtype=np.int64), 0.0
+    out = np.asarray([edges[i] for i in best_set], dtype=np.int64)
+    return out, float(best_w)

@@ -1,0 +1,34 @@
+"""Random-arrival streaming: the paper's §1.3 connection.
+
+The paper notes that "similar ideas as randomized coreset for optimization
+problems [have] also been used in random arrival streams [38, 44]" — the
+random k-partitioning is the k-machine analogue of a randomly ordered edge
+stream.  This subpackage makes the connection executable:
+
+* :class:`~repro.streaming.matcher.StreamingGreedyMatcher` — the classic
+  one-pass, O(n)-memory semi-streaming greedy (½-approximation on any
+  order);
+* :class:`~repro.streaming.matcher.TwoPhaseStreamingMatcher` — the
+  Konrad–Magniez–Mathieu random-arrival improvement: run greedy on a
+  prefix, then use the rest of the stream to 3-augment, beating ½ on
+  randomly ordered streams;
+* :func:`~repro.streaming.order.arrival_orders` — adversarial vs random
+  arrival orders for the comparison.
+
+Experiment E16 measures the greedy ratio under both orders and the
+two-phase gain — the streaming shadow of the paper's random-vs-adversarial
+partitioning story.
+"""
+
+from repro.streaming.matcher import (
+    StreamingGreedyMatcher,
+    TwoPhaseStreamingMatcher,
+)
+from repro.streaming.order import adversarial_order, random_order
+
+__all__ = [
+    "StreamingGreedyMatcher",
+    "TwoPhaseStreamingMatcher",
+    "adversarial_order",
+    "random_order",
+]

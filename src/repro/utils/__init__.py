@@ -1,0 +1,35 @@
+"""Shared low-level utilities: RNG discipline, bit accounting, statistics.
+
+These helpers are deliberately free of any graph or protocol knowledge so
+that every other subpackage can depend on them without cycles.
+"""
+
+from repro.utils.bits import (
+    BitCost,
+    edge_bits,
+    edges_bits,
+    vertex_bits,
+    vertices_bits,
+)
+from repro.utils.rng import as_generator, spawn_generators, spawn_seeds
+from repro.utils.stats import (
+    RunningStat,
+    confidence_interval,
+    geometric_mean,
+    summarize,
+)
+
+__all__ = [
+    "BitCost",
+    "RunningStat",
+    "as_generator",
+    "confidence_interval",
+    "edge_bits",
+    "edges_bits",
+    "geometric_mean",
+    "spawn_generators",
+    "spawn_seeds",
+    "summarize",
+    "vertex_bits",
+    "vertices_bits",
+]

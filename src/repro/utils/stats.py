@@ -1,0 +1,185 @@
+"""Streaming statistics and summaries for experiment aggregation.
+
+The experiment harness (:mod:`repro.experiments`) repeats every measurement
+across independent trials; these helpers turn the per-trial samples into the
+mean/std/CI rows printed in the benchmark tables.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "RunningStat",
+    "Summary",
+    "confidence_interval",
+    "geometric_mean",
+    "summarize",
+]
+
+
+@dataclass
+class RunningStat:
+    """Welford-style online mean/variance accumulator.
+
+    Numerically stable single-pass accumulation; used where trials are
+    generated lazily and we do not want to hold all samples.
+    """
+
+    count: int = 0
+    _mean: float = 0.0
+    _m2: float = 0.0
+    _min: float = field(default=math.inf)
+    _max: float = field(default=-math.inf)
+
+    def add(self, x: float) -> None:
+        x = float(x)
+        self.count += 1
+        delta = x - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (x - self._mean)
+        self._min = min(self._min, x)
+        self._max = max(self._max, x)
+
+    def extend(self, xs: Iterable[float]) -> None:
+        for x in xs:
+            self.add(x)
+
+    @property
+    def mean(self) -> float:
+        if self.count == 0:
+            raise ValueError("no samples accumulated")
+        return self._mean
+
+    @property
+    def variance(self) -> float:
+        """Sample (Bessel-corrected) variance; 0.0 for a single sample."""
+        if self.count == 0:
+            raise ValueError("no samples accumulated")
+        if self.count == 1:
+            return 0.0
+        return self._m2 / (self.count - 1)
+
+    @property
+    def std(self) -> float:
+        return math.sqrt(self.variance)
+
+    @property
+    def min(self) -> float:
+        if self.count == 0:
+            raise ValueError("no samples accumulated")
+        return self._min
+
+    @property
+    def max(self) -> float:
+        if self.count == 0:
+            raise ValueError("no samples accumulated")
+        return self._max
+
+
+@dataclass(frozen=True, slots=True)
+class Summary:
+    """Aggregated view of a sample: mean, std, extremes, and a 95% CI."""
+
+    n: int
+    mean: float
+    std: float
+    min: float
+    max: float
+    ci_low: float
+    ci_high: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.mean:.4g} ± {self.std:.2g} (n={self.n})"
+
+
+# Two-sided 95% normal quantile; with the small trial counts used in the
+# benchmarks an exact t-quantile would differ by < 15%, which is immaterial
+# for the shape comparisons we make.
+_Z95 = 1.959963984540054
+
+
+def confidence_interval(
+    samples: Sequence[float] | np.ndarray, level: float = 0.95
+) -> tuple[float, float]:
+    """Normal-approximation confidence interval for the mean of ``samples``."""
+    xs = np.asarray(samples, dtype=np.float64)
+    if xs.size == 0:
+        raise ValueError("cannot compute a confidence interval of no samples")
+    if not 0.0 < level < 1.0:
+        raise ValueError(f"confidence level must be in (0, 1), got {level}")
+    mean = float(xs.mean())
+    if xs.size == 1:
+        return (mean, mean)
+    # Inverse normal CDF via scipy would add a dependency edge here; the
+    # benchmarks only ever use 95%, so special-case it and fall back to a
+    # rational approximation otherwise.
+    if abs(level - 0.95) < 1e-12:
+        z = _Z95
+    else:
+        z = _normal_quantile(0.5 + level / 2.0)
+    half = z * float(xs.std(ddof=1)) / math.sqrt(xs.size)
+    return (mean - half, mean + half)
+
+
+def _normal_quantile(p: float) -> float:
+    """Acklam's rational approximation to the standard normal quantile."""
+    if not 0.0 < p < 1.0:
+        raise ValueError(f"quantile argument must be in (0, 1), got {p}")
+    # Coefficients from Peter Acklam's algorithm (relative error < 1.15e-9).
+    a = (-3.969683028665376e01, 2.209460984245205e02, -2.759285104469687e02,
+         1.383577518672690e02, -3.066479806614716e01, 2.506628277459239e00)
+    b = (-5.447609879822406e01, 1.615858368580409e02, -1.556989798598866e02,
+         6.680131188771972e01, -1.328068155288572e01)
+    c = (-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e00,
+         -2.549732539343734e00, 4.374664141464968e00, 2.938163982698783e00)
+    d = (7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e00,
+         3.754408661907416e00)
+    p_low, p_high = 0.02425, 1 - 0.02425
+    if p < p_low:
+        q = math.sqrt(-2 * math.log(p))
+        return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) / (
+            (((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1
+        )
+    if p <= p_high:
+        q = p - 0.5
+        r = q * q
+        return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q / (
+            ((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1
+        )
+    q = math.sqrt(-2 * math.log(1 - p))
+    return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) / (
+        (((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1
+    )
+
+
+def summarize(samples: Sequence[float] | np.ndarray, level: float = 0.95) -> Summary:
+    """Build a :class:`Summary` from raw per-trial samples."""
+    xs = np.asarray(samples, dtype=np.float64)
+    if xs.size == 0:
+        raise ValueError("cannot summarize an empty sample")
+    lo, hi = confidence_interval(xs, level)
+    std = float(xs.std(ddof=1)) if xs.size > 1 else 0.0
+    return Summary(
+        n=int(xs.size),
+        mean=float(xs.mean()),
+        std=std,
+        min=float(xs.min()),
+        max=float(xs.max()),
+        ci_low=lo,
+        ci_high=hi,
+    )
+
+
+def geometric_mean(samples: Sequence[float] | np.ndarray) -> float:
+    """Geometric mean, used for aggregating approximation ratios."""
+    xs = np.asarray(samples, dtype=np.float64)
+    if xs.size == 0:
+        raise ValueError("cannot take the geometric mean of an empty sample")
+    if np.any(xs <= 0):
+        raise ValueError("geometric mean requires strictly positive samples")
+    return float(np.exp(np.mean(np.log(xs))))

@@ -1,0 +1,60 @@
+"""Shared fixtures and oracles for the test suite.
+
+networkx is used here (and only here + in a few oracle helpers) as an
+independent reference implementation; the library itself never imports it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph.bipartite import BipartiteGraph
+from repro.graph.edgelist import Graph
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def tiny_graph():
+    """A 6-vertex graph with a known maximum matching of size 3."""
+    return Graph(6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)])
+
+
+@pytest.fixture
+def tiny_bipartite():
+    """K_{3,3} minus one edge; MM = 3."""
+    edges = [(0, 3), (0, 4), (0, 5), (1, 3), (1, 4), (2, 3), (2, 5)]
+    return BipartiteGraph(3, 3, edges)
+
+
+# ------------------------------------------------------------------ #
+# networkx oracles
+# ------------------------------------------------------------------ #
+def nx_graph(g: Graph):
+    import networkx as nx
+
+    G = nx.Graph()
+    G.add_nodes_from(range(g.n_vertices))
+    G.add_edges_from(map(tuple, g.edges.tolist()))
+    return G
+
+
+def nx_matching_number(g: Graph) -> int:
+    import networkx as nx
+
+    if isinstance(g, BipartiteGraph):
+        if g.n_edges == 0:
+            return 0
+        G = nx_graph(g)
+        return len(nx.bipartite.maximum_matching(G, top_nodes=range(g.n_left))) // 2
+    G = nx_graph(g)
+    return len(nx.max_weight_matching(G, maxcardinality=True))
+
+
+def nx_min_vertex_cover_bipartite(g: BipartiteGraph) -> int:
+    """König via networkx: |min VC| = |max matching| on bipartite graphs."""
+    return nx_matching_number(g)

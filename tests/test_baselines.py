@@ -1,0 +1,155 @@
+"""Tests for the baselines: filtering, bad coresets, naive."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.bad_coresets import (
+    blocking_maximal_protocol,
+    maximal_matching_coreset_protocol,
+    min_vc_coreset_protocol,
+)
+from repro.baselines.filtering import filtering_matching
+from repro.baselines.naive import (
+    send_everything_protocol,
+    single_machine_cover,
+    single_machine_matching,
+)
+from repro.cover.verify import is_vertex_cover
+from repro.dist.coordinator import run_simultaneous
+from repro.graph.generators import (
+    bipartite_gnp,
+    bipartite_star_forest,
+    gnp,
+    hidden_matching_with_hubs,
+)
+from repro.graph.partition import random_k_partition
+from repro.matching.api import matching_number
+from repro.matching.verify import is_matching, is_maximal_matching
+
+
+class TestFiltering:
+    def test_two_approximation(self, rng):
+        g = bipartite_gnp(150, 150, 0.05, rng)
+        res = filtering_matching(g, memory_edges=max(50, g.n_edges // 10),
+                                 rng=rng)
+        assert is_matching(g, res.matching)
+        assert is_maximal_matching(g, res.matching)
+        assert res.matching_size >= matching_number(g) / 2
+
+    def test_rounds_grow_as_memory_shrinks(self, rng):
+        g = bipartite_gnp(200, 200, 0.1, rng)
+        large = filtering_matching(g, memory_edges=g.n_edges, rng=rng)
+        small = filtering_matching(g, memory_edges=g.n_edges // 20, rng=rng)
+        assert large.n_rounds == 1  # fits immediately
+        assert small.n_rounds > large.n_rounds
+
+    def test_memory_respected(self, rng):
+        g = bipartite_gnp(150, 150, 0.08, rng)
+        mem = g.n_edges // 10
+        res = filtering_matching(g, memory_edges=mem, rng=rng)
+        # Peak sample concentrates near mem/2; allow slack.
+        assert res.peak_central_edges <= 2 * mem
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            filtering_matching(gnp(10, 0.3, rng), memory_edges=0, rng=rng)
+
+    def test_max_rounds_guard(self, rng):
+        g = bipartite_gnp(100, 100, 0.5, rng)
+        with pytest.raises(RuntimeError, match="converge"):
+            filtering_matching(g, memory_edges=1, rng=rng, max_rounds=2)
+
+    def test_general_graph(self, rng):
+        g = gnp(120, 0.08, rng)
+        res = filtering_matching(g, memory_edges=g.n_edges // 5, rng=rng)
+        assert is_maximal_matching(g, res.matching)
+
+
+class TestMaximalCoreset:
+    def test_messages_are_maximal_matchings(self, rng):
+        g = bipartite_gnp(60, 60, 0.05, rng)
+        part = random_k_partition(g, 4, rng)
+        proto = maximal_matching_coreset_protocol(order="random")
+        res = run_simultaneous(proto, part, rng)
+        for i, msg in enumerate(res.messages):
+            assert is_maximal_matching(part.piece(i), msg.edges)
+
+    def test_output_is_matching(self, rng):
+        g = bipartite_gnp(60, 60, 0.05, rng)
+        part = random_k_partition(g, 4, rng)
+        proto = maximal_matching_coreset_protocol(order="random")
+        res = run_simultaneous(proto, part, rng)
+        assert is_matching(g, res.output)
+
+
+class TestBlockingMaximal:
+    def test_blocking_message_is_maximal(self, rng):
+        g, n_pairs, _ = hidden_matching_with_hubs(4, 16, rng=rng)
+        part = random_k_partition(g, 4, rng)
+        proto = blocking_maximal_protocol(hub_boundary=2 * n_pairs)
+        res = run_simultaneous(proto, part, rng)
+        for i, msg in enumerate(res.messages):
+            assert is_maximal_matching(part.piece(i), msg.edges), \
+                f"machine {i} message is not a maximal matching"
+
+    def test_omega_k_failure(self, rng):
+        """The §1.2 separation: ratio ≥ k/4 for the blocking coreset."""
+        k = 8
+        g, n_pairs, _ = hidden_matching_with_hubs(k, 32, rng=rng)
+        part = random_k_partition(g, k, rng)
+        proto = blocking_maximal_protocol(hub_boundary=2 * n_pairs)
+        res = run_simultaneous(proto, part, rng)
+        ratio = n_pairs / max(1, res.output.shape[0])
+        assert ratio >= k / 4
+
+
+class TestMinVCCoreset:
+    def test_output_always_feasible(self, rng):
+        g = bipartite_star_forest(20, 8)
+        part = random_k_partition(g, 8, rng)
+        res = run_simultaneous(min_vc_coreset_protocol(), part, rng)
+        assert is_vertex_cover(g, res.output)
+
+    def test_omega_k_failure_on_stars(self, rng):
+        k = 16
+        g = bipartite_star_forest(40, k)
+        part = random_k_partition(g, k, rng)
+        res = run_simultaneous(min_vc_coreset_protocol(True), part, rng)
+        ratio = res.output.shape[0] / 40  # OPT = 40 centers
+        assert ratio > k / 8
+
+    def test_messages_are_minimum_covers(self, rng):
+        from repro.cover.konig import konig_cover
+
+        g = bipartite_star_forest(10, 4)
+        part = random_k_partition(g, 4, rng)
+        res = run_simultaneous(min_vc_coreset_protocol(True), part, rng)
+        for i, msg in enumerate(res.messages):
+            piece = part.piece(i)
+            assert is_vertex_cover(piece, msg.fixed_vertices)
+            assert msg.n_fixed_vertices == konig_cover(piece).shape[0]
+
+
+class TestNaive:
+    def test_send_everything_exact_matching(self, rng):
+        g = bipartite_gnp(50, 50, 0.06, rng)
+        part = random_k_partition(g, 4, rng)
+        res = run_simultaneous(send_everything_protocol("matching"), part, rng)
+        assert res.output.shape[0] == matching_number(g)
+
+    def test_send_everything_cover(self, rng):
+        g = bipartite_gnp(50, 50, 0.06, rng)
+        part = random_k_partition(g, 4, rng)
+        res = run_simultaneous(
+            send_everything_protocol("vertex_cover"), part, rng
+        )
+        assert is_vertex_cover(g, res.output)
+
+    def test_unknown_problem(self):
+        with pytest.raises(ValueError):
+            send_everything_protocol("tsp")
+
+    def test_single_machine_helpers(self, rng):
+        g = bipartite_gnp(30, 30, 0.1, rng)
+        assert single_machine_matching(g).shape[0] == matching_number(g)
+        assert is_vertex_cover(g, single_machine_cover(g))

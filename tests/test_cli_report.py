@@ -1,0 +1,78 @@
+"""Tests for the CLI and the report tool."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.experiments.report import collect_results, render_report
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_quickstart_defaults(self):
+        args = build_parser().parse_args(["quickstart"])
+        assert args.n == 4000 and args.k == 8
+
+    def test_experiment_args(self):
+        args = build_parser().parse_args(
+            ["experiment", "e1", "--trials", "2", "--seed", "7"]
+        )
+        assert args.id == "e1" and args.trials == 2 and args.seed == 7
+
+
+class TestCommands:
+    def test_quickstart_runs(self, capsys):
+        assert main(["quickstart", "--n", "400", "--k", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "ratio" in out
+
+    def test_list_experiments(self, capsys):
+        assert main(["list-experiments"]) == 0
+        out = capsys.readouterr().out
+        assert "e1" in out and "e17" in out
+
+    def test_experiment_runs_tiny(self, capsys):
+        assert main(["experiment", "e11", "--trials", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "E11" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["experiment", "e99"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown experiment" in err
+
+
+class TestReport:
+    def _make_results(self, tmp_path):
+        d = tmp_path / "results"
+        d.mkdir()
+        (d / "e2_x.txt").write_text("== E2: demo ==\nbody2\n")
+        (d / "e1_x.txt").write_text("== E1: demo ==\nbody1\n")
+        (d / "e10_x.txt").write_text("== E10: demo ==\nbody10\n")
+        return d
+
+    def test_collect_ordering(self, tmp_path):
+        results = collect_results(self._make_results(tmp_path))
+        assert [r.stem for r in results] == ["e1_x", "e2_x", "e10_x"]
+        assert results[0].title == "E1: demo"
+
+    def test_render(self, tmp_path):
+        results = collect_results(self._make_results(tmp_path))
+        text = render_report(results)
+        assert text.index("E1: demo") < text.index("E10: demo")
+        assert "```" in text
+
+    def test_missing_dir_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            collect_results(tmp_path / "nope")
+
+    def test_render_empty(self):
+        assert "no archived results" in render_report([])
+
+    def test_cli_report_to_file(self, tmp_path, capsys):
+        d = self._make_results(tmp_path)
+        out_file = tmp_path / "report.md"
+        assert main(["report", "--results", str(d), "-o", str(out_file)]) == 0
+        assert "E2: demo" in out_file.read_text()

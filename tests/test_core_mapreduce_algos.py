@@ -1,0 +1,90 @@
+"""Tests for the 2-round MapReduce algorithms."""
+
+import pytest
+
+from repro.core.mapreduce_algos import (
+    default_machine_count,
+    mapreduce_matching,
+    mapreduce_vertex_cover,
+)
+from repro.cover import is_vertex_cover, konig_cover
+from repro.graph.generators import bipartite_gnp, gnp, skewed_bipartite
+from repro.matching.api import matching_number
+from repro.matching.verify import is_matching
+
+
+class TestDefaults:
+    def test_sqrt_n_machines(self):
+        assert default_machine_count(10000) == 100
+        assert default_machine_count(1) == 1
+        assert default_machine_count(0) == 1
+
+
+class TestMapReduceMatching:
+    def test_two_rounds(self, rng):
+        g = bipartite_gnp(150, 150, 0.02, rng)
+        res = mapreduce_matching(g, rng=rng)
+        assert res.job.n_rounds == 2
+
+    def test_one_round_when_prerandomized(self, rng):
+        g = bipartite_gnp(150, 150, 0.02, rng)
+        res = mapreduce_matching(g, rng=rng, assume_random_input=True)
+        assert res.job.n_rounds == 1
+
+    def test_valid_matching_and_ratio(self, rng):
+        g = bipartite_gnp(200, 200, 0.015, rng)
+        res = mapreduce_matching(g, rng=rng)
+        assert is_matching(g, res.matching)
+        assert res.matching.shape[0] >= matching_number(g) / 9
+
+    def test_general_graph(self, rng):
+        g = gnp(120, 0.04, rng)
+        res = mapreduce_matching(g, k=6, rng=rng)
+        assert is_matching(g, res.matching)
+
+    def test_memory_cap_enforced(self, rng):
+        from repro.dist.mapreduce import MemoryCapExceeded
+
+        g = bipartite_gnp(100, 100, 0.2, rng)
+        with pytest.raises(MemoryCapExceeded):
+            mapreduce_matching(g, k=2, rng=rng, memory_cap_edges=10)
+
+    def test_explicit_k(self, rng):
+        g = bipartite_gnp(100, 100, 0.02, rng)
+        res = mapreduce_matching(g, k=7, rng=rng)
+        assert res.k == 7
+
+    def test_bad_placement_name(self, rng):
+        g = bipartite_gnp(20, 20, 0.1, rng)
+        with pytest.raises(ValueError, match="placement"):
+            mapreduce_matching(g, rng=rng, initial_placement="weird")
+
+
+class TestMapReduceVertexCover:
+    def test_two_rounds_and_feasible(self, rng):
+        g = skewed_bipartite(200, 200, 10, 80, 0.01, rng)
+        res = mapreduce_vertex_cover(g, rng=rng)
+        assert res.job.n_rounds == 2
+        assert is_vertex_cover(g, res.cover)
+
+    def test_one_round_when_prerandomized(self, rng):
+        g = skewed_bipartite(150, 150, 8, 60, 0.01, rng)
+        res = mapreduce_vertex_cover(g, rng=rng, assume_random_input=True)
+        assert res.job.n_rounds == 1
+        assert is_vertex_cover(g, res.cover)
+
+    def test_ratio_within_log(self, rng):
+        import math
+
+        g = skewed_bipartite(250, 250, 12, 100, 0.008, rng)
+        res = mapreduce_vertex_cover(g, k=10, rng=rng)
+        opt = konig_cover(g).shape[0]
+        assert res.cover.shape[0] <= 4 * math.log2(g.n_vertices) * max(1, opt)
+
+    def test_reproducible(self, rng):
+        import numpy as np
+
+        g = skewed_bipartite(100, 100, 5, 40, 0.02, rng)
+        a = mapreduce_vertex_cover(g, k=5, rng=33)
+        b = mapreduce_vertex_cover(g, k=5, rng=33)
+        np.testing.assert_array_equal(a.cover, b.cover)

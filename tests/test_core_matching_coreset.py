@@ -1,0 +1,76 @@
+"""Tests for the Theorem 1 matching coreset and its subsampled variant."""
+
+import numpy as np
+import pytest
+
+from repro.core.matching_coreset import (
+    matching_coreset_message,
+    maximum_matching_coreset,
+    subsampled_matching_coreset,
+)
+from repro.graph.generators import bipartite_gnp, gnp
+from repro.matching.verify import is_matching
+
+
+class TestMaximumMatchingCoreset:
+    def test_is_maximum_matching_of_piece(self, rng):
+        from repro.matching.api import matching_number
+
+        g = bipartite_gnp(30, 30, 0.08, rng)
+        c = maximum_matching_coreset(g)
+        assert is_matching(g, c)
+        assert c.shape[0] == matching_number(g)
+
+    def test_size_at_most_half_n(self, rng):
+        g = gnp(40, 0.3, rng)
+        assert maximum_matching_coreset(g).shape[0] <= 20
+
+    def test_algorithm_choice_respected(self, rng):
+        g = bipartite_gnp(20, 20, 0.1, rng)
+        a = maximum_matching_coreset(g, algorithm="hopcroft_karp")
+        b = maximum_matching_coreset(g, algorithm="blossom")
+        assert a.shape[0] == b.shape[0]
+
+
+class TestSubsampled:
+    def test_alpha_one_is_full(self, rng):
+        g = bipartite_gnp(30, 30, 0.1, rng)
+        full = maximum_matching_coreset(g)
+        sub = subsampled_matching_coreset(g, alpha=1.0, rng=rng)
+        assert sub.shape[0] == full.shape[0]
+
+    def test_expected_reduction(self, rng):
+        g = bipartite_gnp(200, 200, 0.02, rng)
+        full_size = maximum_matching_coreset(g).shape[0]
+        sizes = [
+            subsampled_matching_coreset(g, alpha=4.0, rng=rng).shape[0]
+            for _ in range(20)
+        ]
+        mean = np.mean(sizes)
+        assert 0.5 * full_size / 4 < mean < 2.0 * full_size / 4
+
+    def test_subset_of_a_matching(self, rng):
+        g = bipartite_gnp(40, 40, 0.1, rng)
+        sub = subsampled_matching_coreset(g, alpha=2.0, rng=rng)
+        assert is_matching(g, sub)
+
+    def test_alpha_below_one_rejected(self, rng):
+        with pytest.raises(ValueError):
+            subsampled_matching_coreset(gnp(5, 0.5, rng), alpha=0.5, rng=rng)
+
+
+class TestMessageAdapter:
+    def test_message_contents(self, rng):
+        g = bipartite_gnp(20, 20, 0.1, rng)
+        msg = matching_coreset_message(g, 3, np.random.default_rng(0))
+        assert msg.sender == 3
+        assert msg.n_fixed_vertices == 0
+        assert is_matching(g, msg.edges)
+
+    def test_subsampled_message(self, rng):
+        g = bipartite_gnp(50, 50, 0.1, rng)
+        msg = matching_coreset_message(
+            g, 0, np.random.default_rng(0), alpha=4.0
+        )
+        full = maximum_matching_coreset(g)
+        assert msg.n_edges <= full.shape[0]

@@ -1,0 +1,123 @@
+"""Tests for the Theorem 2 VC-Coreset peeling algorithm."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.vc_coreset import peeling_levels, vc_coreset
+from repro.cover.verify import is_vertex_cover
+from repro.graph.edgelist import Graph
+from repro.graph.generators import bipartite_gnp, skewed_bipartite
+
+
+class TestPeelingLevels:
+    def test_monotone_in_n(self):
+        assert peeling_levels(10**6, 4) >= peeling_levels(10**3, 4)
+
+    def test_monotone_in_k(self):
+        assert peeling_levels(10**5, 2) >= peeling_levels(10**5, 64)
+
+    def test_definition(self):
+        n, k = 100_000, 10
+        delta = peeling_levels(n, k)
+        assert n / (k * 2**delta) <= 4 * math.log2(n)
+        if delta > 1:
+            assert n / (k * 2 ** (delta - 1)) > 4 * math.log2(n)
+
+    def test_small_graph_no_peeling(self):
+        assert peeling_levels(10, 100) == 1
+
+    def test_degenerate(self):
+        assert peeling_levels(0, 1) == 1
+        assert peeling_levels(1, 1) == 1
+
+
+class TestVCCoreset:
+    def test_cover_property(self, rng):
+        """fixed ∪ (any cover of residual) covers the piece — Theorem 2's
+        feasibility argument, per machine."""
+        from repro.cover.two_approx import matching_based_cover
+
+        g = skewed_bipartite(500, 500, hub_count=20, hub_degree=200,
+                             leaf_p=0.004, rng=rng)
+        result = vc_coreset(g, k=4)
+        residual_cover = matching_based_cover(result.residual, rng=rng)
+        combined = np.unique(
+            np.concatenate([result.fixed_vertices, residual_cover])
+        )
+        assert is_vertex_cover(g, combined)
+
+    def test_residual_subgraph_of_piece(self, rng):
+        from repro.utils.arrays import isin_mask
+
+        g = bipartite_gnp(100, 100, 0.05, rng)
+        result = vc_coreset(g, k=2)
+        if result.residual.n_edges:
+            assert isin_mask(result.residual.edges, g.edges,
+                             g.n_vertices).all()
+
+    def test_fixed_vertices_have_high_degree(self, rng):
+        """Every peeled vertex had degree ≥ the last threshold at peel time,
+        so in the original piece its degree is at least that threshold."""
+        g = skewed_bipartite(400, 400, hub_count=10, hub_degree=300,
+                             leaf_p=0.002, rng=rng)
+        result = vc_coreset(g, k=2)
+        if result.fixed_vertices.size:
+            min_threshold = min(result.trace.thresholds)
+            assert (g.degrees[result.fixed_vertices] >= min_threshold).all()
+
+    def test_residual_max_degree_bounded(self, rng):
+        """After peeling, residual degrees are below the last threshold."""
+        g = skewed_bipartite(600, 600, hub_count=30, hub_degree=300,
+                             leaf_p=0.004, rng=rng)
+        result = vc_coreset(g, k=1)
+        if result.trace.levels:
+            last_threshold = result.trace.thresholds[-1]
+            if result.residual.n_edges:
+                assert result.residual.degrees.max() <= last_threshold * 2
+
+    def test_no_peeling_when_delta_one(self):
+        g = Graph(10, [(0, 1), (2, 3)])
+        result = vc_coreset(g, k=100)
+        assert result.fixed_vertices.shape == (0,)
+        assert result.residual == g
+
+    def test_empty_piece(self):
+        result = vc_coreset(Graph(50), k=4)
+        assert result.size_vertices == 0
+        assert result.residual.n_edges == 0
+
+    def test_trace_consistency(self, rng):
+        g = skewed_bipartite(400, 400, hub_count=10, hub_degree=200,
+                             leaf_p=0.01, rng=rng)
+        result = vc_coreset(g, k=2)
+        t = result.trace
+        assert t.levels == len(t.peeled_counts) == len(t.residual_edges)
+        assert sum(t.peeled_counts) == result.size_vertices
+        # Thresholds halve each level.
+        for a, b in zip(t.thresholds, t.thresholds[1:]):
+            assert b == pytest.approx(a / 2)
+
+    def test_k_validation(self, rng):
+        with pytest.raises(ValueError):
+            vc_coreset(Graph(5), k=0)
+
+    def test_global_n_parameter(self, rng):
+        """Peeling thresholds use the global n, not the piece size."""
+        g = bipartite_gnp(50, 50, 0.2, rng)
+        a = vc_coreset(g, n=100, k=1)
+        b = vc_coreset(g, n=100_000, k=1)
+        # A huge global n means huge thresholds: nothing peeled.
+        assert b.size_vertices == 0
+        assert a.size_vertices >= b.size_vertices
+
+    def test_residual_size_bound(self, rng):
+        """Theorem 2: the residual has O(n log n) edges.  We check the
+        explicit form: ≤ n · 8·log2(n) (max degree ≤ 2·4·log n after the
+        last peel, counting each edge once)."""
+        n = 1000
+        g = skewed_bipartite(n // 2, n // 2, hub_count=50, hub_degree=400,
+                             leaf_p=0.05, rng=rng)
+        result = vc_coreset(g, k=1)
+        assert result.residual.n_edges <= n * 8 * math.log2(n)

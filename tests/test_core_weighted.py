@@ -1,0 +1,112 @@
+"""Tests for the weighted coreset extensions."""
+
+import numpy as np
+import pytest
+
+from repro.core.weighted import (
+    weight_class_index,
+    weighted_matching_coreset_protocol,
+    weighted_vertex_cover_protocol,
+)
+from repro.cover.verify import is_vertex_cover
+from repro.graph.generators import bipartite_gnp
+from repro.graph.weights import WeightedGraph
+from repro.matching.verify import is_matching
+from repro.matching.weighted import greedy_weighted_matching
+
+
+def make_weighted(rng, n=200, p=0.02, spread=50.0):
+    g = bipartite_gnp(n, n, p, rng)
+    w = np.exp(rng.uniform(0, np.log(spread), size=g.n_edges))
+    return WeightedGraph(g.n_vertices, g.edges, w, validated=True)
+
+
+class TestWeightClassIndex:
+    def test_geometric_buckets(self):
+        idx = weight_class_index(np.array([1.0, 2.0, 4.0, 8.0]), epsilon=1.0)
+        np.testing.assert_array_equal(idx, [0, 1, 2, 3])
+
+    def test_consistency_across_machines(self):
+        """Absolute bucketing: the same weight maps to the same class no
+        matter which subset of edges a machine sees."""
+        w = np.array([3.7, 12.1, 0.5])
+        all_idx = weight_class_index(w, 0.5)
+        solo_idx = np.array(
+            [weight_class_index(w[i : i + 1], 0.5)[0] for i in range(3)]
+        )
+        np.testing.assert_array_equal(all_idx, solo_idx)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            weight_class_index(np.array([1.0]), epsilon=0)
+        with pytest.raises(ValueError):
+            weight_class_index(np.array([0.0]), epsilon=1.0)
+
+
+class TestWeightedMatchingProtocol:
+    def test_valid_matching(self, rng):
+        wg = make_weighted(rng)
+        res = weighted_matching_coreset_protocol(wg, k=4, rng=rng)
+        assert is_matching(wg, res.matching)
+        assert res.weight == pytest.approx(wg.matching_weight(res.matching))
+
+    def test_constant_factor_vs_central_greedy(self, rng):
+        """central greedy ≥ OPT/2, protocol should land within a small
+        constant of it on random inputs."""
+        wg = make_weighted(rng)
+        res = weighted_matching_coreset_protocol(wg, k=4, rng=rng)
+        _, central = greedy_weighted_matching(wg)
+        assert res.weight >= central / 6
+
+    def test_ledger_populated(self, rng):
+        wg = make_weighted(rng)
+        res = weighted_matching_coreset_protocol(wg, k=3, rng=rng)
+        assert res.ledger.total_bits() > 0
+        assert res.ledger.k == 3
+
+    def test_empty_graph(self):
+        wg = WeightedGraph(10, np.zeros((0, 2), dtype=np.int64),
+                           np.zeros(0), validated=True)
+        res = weighted_matching_coreset_protocol(wg, k=2, rng=0)
+        assert res.weight == 0.0
+
+    def test_partition_graph_mismatch_rejected(self, rng):
+        from repro.graph.partition import random_k_partition
+
+        wg = make_weighted(rng)
+        other = make_weighted(rng)
+        part = random_k_partition(other, 2, rng)
+        with pytest.raises(ValueError, match="partition"):
+            weighted_matching_coreset_protocol(wg, k=2, rng=rng,
+                                               partitioned=part)
+
+
+class TestWeightedVCProtocol:
+    def test_feasible(self, rng):
+        g = bipartite_gnp(150, 150, 0.03, rng)
+        weights = rng.uniform(1, 20, size=g.n_vertices)
+        res = weighted_vertex_cover_protocol(g, weights, k=4, rng=rng)
+        assert is_vertex_cover(g, res.cover)
+        assert res.weight == pytest.approx(weights[res.cover].sum())
+
+    def test_weight_validation(self, rng):
+        g = bipartite_gnp(10, 10, 0.2, rng)
+        with pytest.raises(ValueError, match="positive"):
+            weighted_vertex_cover_protocol(
+                g, np.zeros(g.n_vertices), k=2, rng=rng
+            )
+        with pytest.raises(ValueError, match="shape"):
+            weighted_vertex_cover_protocol(g, np.ones(3), k=2, rng=rng)
+
+    def test_reasonable_weight_vs_uniform_opt(self, rng):
+        """With uniform weights the weighted protocol should track the
+        unweighted coreset's quality."""
+        from repro.cover.konig import konig_cover
+
+        g = bipartite_gnp(150, 150, 0.03, rng)
+        weights = np.ones(g.n_vertices)
+        res = weighted_vertex_cover_protocol(g, weights, k=4, rng=rng)
+        opt = konig_cover(g).shape[0]
+        import math
+
+        assert res.weight <= 6 * math.log2(g.n_vertices) * max(1, opt)

@@ -1,0 +1,180 @@
+"""Tests for the vertex-cover algorithms (two_approx, greedy, König, exact,
+LP) against each other and against brute force."""
+
+from itertools import combinations
+
+import numpy as np
+import pytest
+
+from conftest import nx_matching_number
+from repro.cover.exact import exact_cover, exact_cover_size
+from repro.cover.greedy import greedy_cover
+from repro.cover.konig import konig_cover
+from repro.cover.lp import lp_cover, lp_lower_bound
+from repro.cover.two_approx import matching_based_cover
+from repro.cover.verify import cover_mask, is_vertex_cover, uncovered_edges
+from repro.graph.edgelist import Graph
+from repro.graph.generators import (
+    bipartite_gnp,
+    bipartite_star_forest,
+    complete_graph,
+    gnp,
+    path_graph,
+    star_forest,
+)
+
+
+def brute_force_vc_size(g: Graph) -> int:
+    for size in range(g.n_vertices + 1):
+        for sub in combinations(range(g.n_vertices), size):
+            if is_vertex_cover(g, np.array(sub, dtype=np.int64)):
+                return size
+    raise AssertionError("unreachable")
+
+
+class TestVerify:
+    def test_uncovered_edges_certificate(self, tiny_graph):
+        bad = uncovered_edges(tiny_graph, np.array([0]))
+        assert bad.shape[0] > 0
+        full = uncovered_edges(tiny_graph, np.arange(6))
+        assert full.shape[0] == 0
+
+    def test_cover_mask_validates(self, tiny_graph):
+        with pytest.raises(ValueError):
+            cover_mask(tiny_graph, np.array([99]))
+
+    def test_empty_cover_on_empty_graph(self):
+        assert is_vertex_cover(Graph(3), np.zeros(0, dtype=np.int64))
+
+
+class TestTwoApprox:
+    def test_feasible_and_bounded(self, rng):
+        for _ in range(5):
+            g = gnp(30, 0.1, rng)
+            c = matching_based_cover(g, rng=rng)
+            assert is_vertex_cover(g, c)
+            assert c.shape[0] <= 2 * nx_matching_number(g)
+
+    def test_even_size(self, rng):
+        g = gnp(40, 0.1, rng)
+        assert matching_based_cover(g, rng=rng).shape[0] % 2 == 0
+
+    def test_with_supplied_matching(self, rng):
+        from repro.matching.maximal import greedy_maximal_matching
+
+        g = gnp(30, 0.15, rng)
+        m = greedy_maximal_matching(g, order="input")
+        c = matching_based_cover(g, matching=m)
+        assert is_vertex_cover(g, c)
+        assert c.shape[0] == 2 * m.shape[0]
+
+
+class TestGreedyCover:
+    def test_feasible(self, rng):
+        for _ in range(5):
+            g = gnp(50, 0.1, rng)
+            c = greedy_cover(g)
+            assert is_vertex_cover(g, c)
+
+    def test_star_takes_center(self):
+        g = star_forest(3, 5)
+        c = greedy_cover(g)
+        assert c.tolist() == [0, 1, 2]
+
+    def test_empty(self):
+        assert greedy_cover(Graph(5)).shape == (0,)
+
+    def test_path(self):
+        c = greedy_cover(path_graph(5))
+        assert is_vertex_cover(path_graph(5), c)
+        assert c.shape[0] == 2  # optimal on P5
+
+
+class TestKonig:
+    def test_size_equals_matching_number(self, rng):
+        for _ in range(8):
+            g = bipartite_gnp(25, 30, 0.1, rng)
+            c = konig_cover(g)
+            assert is_vertex_cover(g, c)
+            assert c.shape[0] == nx_matching_number(g)
+
+    def test_star_forest_centers(self):
+        g = bipartite_star_forest(4, 6)
+        c = konig_cover(g)
+        assert c.shape[0] == 4
+        assert set(c.tolist()) == {0, 1, 2, 3}
+
+    def test_empty(self):
+        from repro.graph.bipartite import BipartiteGraph
+
+        assert konig_cover(BipartiteGraph(3, 3)).shape == (0,)
+
+    def test_perfect_matching_graph(self, rng):
+        from repro.graph.generators import random_perfect_matching
+
+        g = random_perfect_matching(20, 20, rng=rng)
+        assert konig_cover(g).shape[0] == 20
+
+
+class TestExactCover:
+    def test_matches_brute_force(self, rng):
+        for _ in range(6):
+            g = gnp(11, 0.25, rng)
+            c = exact_cover(g)
+            assert is_vertex_cover(g, c)
+            assert c.shape[0] == brute_force_vc_size(g)
+
+    def test_complete_graph(self):
+        assert exact_cover_size(complete_graph(6)) == 5
+
+    def test_path(self):
+        assert exact_cover_size(path_graph(7)) == 3
+
+    def test_empty(self):
+        assert exact_cover(Graph(4)).shape == (0,)
+
+    def test_budget_guard(self, rng):
+        g = gnp(60, 0.5, rng)
+        with pytest.raises(RuntimeError, match="budget"):
+            exact_cover(g, node_budget=3)
+
+    def test_bipartite_agrees_with_konig(self, rng):
+        for _ in range(5):
+            g = bipartite_gnp(12, 12, 0.2, rng)
+            assert exact_cover_size(g) == konig_cover(g).shape[0]
+
+
+class TestLP:
+    def test_lower_bound_below_opt(self, rng):
+        for _ in range(5):
+            g = gnp(14, 0.2, rng)
+            lb = lp_lower_bound(g)
+            opt = exact_cover_size(g)
+            assert lb <= opt + 1e-6
+            assert lb >= opt / 2 - 1e-6  # half-integrality
+
+    def test_rounding_feasible_and_2approx(self, rng):
+        g = gnp(40, 0.1, rng)
+        c = lp_cover(g)
+        assert is_vertex_cover(g, c)
+        assert c.shape[0] <= 2 * lp_lower_bound(g) + 1e-6
+
+    def test_empty(self):
+        assert lp_lower_bound(Graph(5)) == 0.0
+        assert lp_cover(Graph(5)).shape == (0,)
+
+    def test_star_lp(self):
+        # Star: LP puts 1 on the center (or 1/2 everywhere); value ≤ ... = 1?
+        # For a star K_{1,t}, LP optimum is 1 (x_center = 1).
+        g = star_forest(1, 6)
+        assert lp_lower_bound(g) == pytest.approx(1.0, abs=1e-6)
+
+
+class TestVertexCoverNumber:
+    def test_dispatcher(self, rng):
+        from repro.cover import vertex_cover_number
+
+        bg = bipartite_gnp(10, 10, 0.2, rng)
+        assert vertex_cover_number(bg) == konig_cover(bg).shape[0]
+        gg = gnp(10, 0.3, rng)
+        assert vertex_cover_number(gg) == exact_cover_size(gg)

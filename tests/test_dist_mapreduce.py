@@ -1,0 +1,113 @@
+"""Tests for the MapReduce simulator."""
+
+import numpy as np
+import pytest
+
+from repro.dist.mapreduce import MapReduceSimulator, MemoryCapExceeded
+from repro.graph.generators import gnp
+
+
+def split_pieces(graph, k):
+    return list(np.array_split(graph.edges, k))
+
+
+class TestLoadAndState:
+    def test_load_and_sizes(self, rng):
+        g = gnp(30, 0.3, rng)
+        sim = MapReduceSimulator(30, 3, rng=rng)
+        sim.load(split_pieces(g, 3))
+        assert sim.machine_sizes().sum() == g.n_edges
+
+    def test_load_wrong_count(self, rng):
+        sim = MapReduceSimulator(10, 2, rng=rng)
+        with pytest.raises(ValueError, match="expected 2 pieces"):
+            sim.load([np.zeros((0, 2))])
+
+    def test_machine_graph(self, rng):
+        g = gnp(20, 0.3, rng)
+        sim = MapReduceSimulator(20, 2, rng=rng)
+        sim.load(split_pieces(g, 2))
+        mg = sim.machine_graph(0)
+        assert mg.n_vertices == 20
+
+
+class TestShuffleRound:
+    def test_conserves_edges(self, rng):
+        g = gnp(40, 0.2, rng)
+        sim = MapReduceSimulator(40, 4, rng=rng)
+        sim.load(split_pieces(g, 4))
+        total_before = sim.machine_sizes().sum()
+        sim.shuffle_round(lambda i, e, r: r.integers(0, 4, size=e.shape[0]))
+        assert sim.machine_sizes().sum() == total_before
+        assert sim.job.n_rounds == 1
+        assert sim.job.rounds[0].kind == "shuffle"
+
+    def test_route_shape_validated(self, rng):
+        g = gnp(20, 0.3, rng)
+        sim = MapReduceSimulator(20, 2, rng=rng)
+        sim.load(split_pieces(g, 2))
+        with pytest.raises(ValueError, match="one destination per edge"):
+            sim.shuffle_round(lambda i, e, r: np.zeros(1, dtype=np.int64))
+
+    def test_route_range_validated(self, rng):
+        g = gnp(20, 0.3, rng)
+        sim = MapReduceSimulator(20, 2, rng=rng)
+        sim.load(split_pieces(g, 2))
+        with pytest.raises(ValueError, match="out of range"):
+            sim.shuffle_round(
+                lambda i, e, r: np.full(e.shape[0], 7, dtype=np.int64)
+            )
+
+    def test_moved_count_excludes_local(self, rng):
+        g = gnp(30, 0.3, rng)
+        sim = MapReduceSimulator(30, 3, rng=rng)
+        sim.load(split_pieces(g, 3))
+        sim.shuffle_round(lambda i, e, r: np.full(e.shape[0], i, np.int64))
+        assert sim.job.rounds[0].total_edges_moved == 0
+
+
+class TestComputeRound:
+    def test_local_compute(self, rng):
+        g = gnp(30, 0.3, rng)
+        sim = MapReduceSimulator(30, 3, rng=rng)
+        sim.load(split_pieces(g, 3))
+        sim.compute_round(lambda i, e, r: e[: e.shape[0] // 2])
+        assert sim.job.rounds[-1].kind == "compute"
+
+    def test_send_to_concentrates(self, rng):
+        g = gnp(30, 0.3, rng)
+        sim = MapReduceSimulator(30, 3, rng=rng)
+        sim.load(split_pieces(g, 3))
+        sim.compute_round(lambda i, e, r: e, send_to=1)
+        sizes = sim.machine_sizes()
+        assert sizes[1] == g.n_edges
+        assert sizes[0] == sizes[2] == 0
+
+    def test_send_to_range_checked(self, rng):
+        sim = MapReduceSimulator(10, 2, rng=rng)
+        sim.load([np.zeros((0, 2), dtype=np.int64)] * 2)
+        with pytest.raises(ValueError):
+            sim.compute_round(lambda i, e, r: e, send_to=9)
+
+
+class TestMemoryCap:
+    def test_violation_raises(self, rng):
+        g = gnp(30, 0.5, rng)
+        sim = MapReduceSimulator(30, 2, memory_cap_edges=5, rng=rng)
+        with pytest.raises(MemoryCapExceeded):
+            sim.load(split_pieces(g, 2))
+
+    def test_cap_respected(self, rng):
+        g = gnp(20, 0.2, rng)
+        cap = g.n_edges  # loose cap
+        sim = MapReduceSimulator(20, 2, memory_cap_edges=cap, rng=rng)
+        sim.load(split_pieces(g, 2))
+        sim.compute_round(lambda i, e, r: e, send_to=0)  # still under cap
+
+    def test_job_peak_tracking(self, rng):
+        g = gnp(30, 0.3, rng)
+        sim = MapReduceSimulator(30, 3, rng=rng)
+        sim.load(split_pieces(g, 3))
+        sim.compute_round(lambda i, e, r: e, send_to=0)
+        assert sim.job.peak_machine_edges == g.n_edges
+        assert sim.job.total_shuffled_edges > 0

@@ -1,0 +1,77 @@
+"""Tests for repro.dist.message and repro.dist.ledger."""
+
+import numpy as np
+import pytest
+
+from repro.dist.ledger import CommunicationLedger
+from repro.dist.message import Message
+from repro.utils.bits import edge_bits, vertex_bits
+
+
+class TestMessage:
+    def test_defaults_empty(self):
+        m = Message(sender=0)
+        assert m.n_edges == 0
+        assert m.n_fixed_vertices == 0
+        assert m.bit_size(100) == 0
+
+    def test_bit_size(self):
+        m = Message(sender=1, edges=np.array([[0, 1], [2, 3]]),
+                    fixed_vertices=np.array([4]), aux_bits=3)
+        n = 1000
+        assert m.bit_size(n) == 2 * edge_bits(n) + vertex_bits(n) + 3
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError, match="shape"):
+            Message(sender=0, edges=np.array([[1, 2, 3]]))
+
+    def test_negative_aux_rejected(self):
+        with pytest.raises(ValueError):
+            Message(sender=0, aux_bits=-1)
+
+    def test_cost_breakdown(self):
+        m = Message(sender=0, edges=np.array([[0, 1]]),
+                    fixed_vertices=np.array([2, 3]))
+        c = m.cost()
+        assert c.edge_count == 1
+        assert c.vertex_count == 2
+
+
+class TestLedger:
+    def test_per_player_accounting(self):
+        led = CommunicationLedger(n_vertices=1024, k=3)
+        led.record(Message(sender=0, edges=np.array([[0, 1]])))
+        led.record(Message(sender=2, fixed_vertices=np.array([5])))
+        led.record(Message(sender=0, aux_bits=7))
+        per = led.per_player_bits()
+        assert per.shape == (3,)
+        assert per[0] == edge_bits(1024) + 7
+        assert per[1] == 0
+        assert per[2] == vertex_bits(1024)
+        assert led.total_bits() == per.sum()
+        assert led.max_player_bits() == per.max()
+
+    def test_sender_range_checked(self):
+        led = CommunicationLedger(n_vertices=10, k=2)
+        with pytest.raises(ValueError, match="sender"):
+            led.record(Message(sender=5))
+
+    def test_edge_and_vertex_totals(self):
+        led = CommunicationLedger(n_vertices=10, k=2)
+        led.record(Message(sender=0, edges=np.array([[0, 1], [2, 3]])))
+        led.record(Message(sender=1, fixed_vertices=np.array([1, 2, 3])))
+        assert led.total_edges() == 2
+        assert led.total_fixed_vertices() == 3
+
+    def test_summary_keys(self):
+        led = CommunicationLedger(n_vertices=10, k=2)
+        led.record(Message(sender=0, edges=np.array([[0, 1]])))
+        s = led.summary()
+        for key in ("k", "total_bits", "max_player_bits", "mean_player_bits",
+                    "total_edges", "total_fixed_vertices"):
+            assert key in s
+
+    def test_empty_ledger(self):
+        led = CommunicationLedger(n_vertices=10, k=2)
+        assert led.total_bits() == 0
+        assert led.max_player_bits() == 0

@@ -1,0 +1,210 @@
+"""Edge cases and failure injection across the whole stack.
+
+These tests exercise the degenerate inputs (empty graphs, k larger than m,
+single vertices) and the misuse paths (malformed messages, dishonest
+summarizers, budget violations) that production code meets long before the
+happy path does.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.protocols import (
+    matching_coreset_protocol,
+    vertex_cover_coreset_protocol,
+)
+from repro.cover.verify import is_vertex_cover
+from repro.dist.coordinator import SimultaneousProtocol, run_simultaneous
+from repro.dist.message import Message
+from repro.graph.bipartite import BipartiteGraph
+from repro.graph.edgelist import Graph
+from repro.graph.partition import random_k_partition
+
+
+class TestDegenerateGraphs:
+    def test_empty_graph_matching_protocol(self, rng):
+        g = Graph(10)
+        part = random_k_partition(g, 4, rng)
+        res = run_simultaneous(matching_coreset_protocol(), part, rng)
+        assert res.output.shape == (0, 2)
+        assert res.total_bits == 0
+
+    def test_empty_graph_vc_protocol(self, rng):
+        g = BipartiteGraph(5, 5)
+        part = random_k_partition(g, 3, rng)
+        res = run_simultaneous(vertex_cover_coreset_protocol(k=3), part, rng)
+        assert res.output.shape == (0,)
+
+    def test_single_edge_many_machines(self, rng):
+        g = BipartiteGraph(1, 1, [(0, 1)])
+        part = random_k_partition(g, 16, rng)
+        res = run_simultaneous(matching_coreset_protocol(), part, rng)
+        assert res.output.tolist() == [[0, 1]]
+
+    def test_k_exceeds_edge_count(self, rng):
+        g = BipartiteGraph(4, 4, [(0, 4), (1, 5), (2, 6)])
+        part = random_k_partition(g, 50, rng)
+        res = run_simultaneous(matching_coreset_protocol(), part, rng)
+        assert res.output.shape[0] == 3  # all three disjoint edges survive
+
+    def test_zero_vertex_graph(self):
+        g = Graph(0)
+        assert g.n_edges == 0
+        assert g.degrees.shape == (0,)
+
+    def test_one_vertex_graph(self):
+        g = Graph(1)
+        from repro.matching.api import maximum_matching
+
+        assert maximum_matching(g, "blossom").shape == (0, 2)
+
+    def test_quickstart_tiny(self):
+        from repro import quickstart_matching
+
+        out = quickstart_matching(n=40, k=2, seed=0)
+        assert out["ratio"] >= 1.0
+
+
+class TestMalformedMessages:
+    def test_wrong_sender_rejected(self, rng):
+        def lying(piece, machine_index, rng_, public=None):
+            return Message(sender=0)  # always claims to be machine 0
+
+        proto = SimultaneousProtocol(
+            "liar", lying, lambda c, ms: len(ms)
+        )
+        g = Graph(4, [(0, 1), (2, 3)])
+        part = random_k_partition(g, 3, rng)
+        with pytest.raises(ValueError, match="sender"):
+            run_simultaneous(proto, part, rng)
+
+    def test_bad_edges_shape_rejected(self):
+        with pytest.raises(ValueError):
+            Message(sender=0, edges=np.ones((2, 3)))
+
+    def test_ledger_rejects_foreign_sender(self):
+        from repro.dist.ledger import CommunicationLedger
+
+        led = CommunicationLedger(n_vertices=4, k=2)
+        with pytest.raises(ValueError):
+            led.record(Message(sender=3))
+
+    def test_coordinator_union_rejects_out_of_range_edges(self, rng):
+        """A message naming vertices outside V must not silently pass."""
+        def evil(piece, machine_index, rng_, public=None):
+            return Message(sender=machine_index,
+                           edges=np.array([[0, 10**6]]))
+
+        def combine(coordinator, messages):
+            return coordinator.union_graph(messages)
+
+        proto = SimultaneousProtocol("evil", evil, combine)
+        g = Graph(4, [(0, 1)])
+        part = random_k_partition(g, 1, rng)
+        with pytest.raises(ValueError):
+            run_simultaneous(proto, part, rng)
+
+
+class TestProtocolRobustness:
+    def test_machine_dropping_message_content(self, rng):
+        """A machine sending nothing degrades quality but never breaks
+        feasibility of the matching output."""
+        base = matching_coreset_protocol()
+
+        def flaky(piece, machine_index, rng_, public=None):
+            if machine_index == 0:
+                return Message(sender=0)  # lost content
+            return base.summarizer(piece, machine_index, rng_, public)
+
+        proto = SimultaneousProtocol("flaky", flaky, base.combine)
+        from repro.graph.generators import bipartite_gnp
+        from repro.matching.verify import is_matching
+
+        g = bipartite_gnp(50, 50, 0.08, rng)
+        part = random_k_partition(g, 4, rng)
+        res = run_simultaneous(proto, part, rng)
+        assert is_matching(g, res.output)
+
+    def test_vc_protocol_with_empty_machines(self, rng):
+        """Machines whose piece is empty send empty messages; the cover is
+        still feasible."""
+        from repro.graph.generators import bipartite_star_forest
+
+        g = bipartite_star_forest(3, 2)  # 6 edges
+        part = random_k_partition(g, 20, rng)  # most machines empty
+        res = run_simultaneous(vertex_cover_coreset_protocol(k=20), part, rng)
+        assert is_vertex_cover(g, res.output)
+
+    def test_greedy_match_on_empty_partition(self, rng):
+        from repro.core.greedy_match import greedy_match
+
+        g = Graph(6)
+        part = random_k_partition(g, 3, rng)
+        m, trace = greedy_match(part)
+        assert m.shape == (0, 2)
+        assert trace.final_size == 0
+
+    def test_mapreduce_single_machine(self, rng):
+        from repro.core.mapreduce_algos import mapreduce_matching
+        from repro.graph.generators import bipartite_gnp
+
+        g = bipartite_gnp(30, 30, 0.1, rng)
+        res = mapreduce_matching(g, k=1, rng=rng)
+        from repro.matching.api import matching_number
+
+        assert res.matching.shape[0] == matching_number(g)
+
+    def test_filtering_memory_larger_than_graph(self, rng):
+        from repro.baselines.filtering import filtering_matching
+        from repro.graph.generators import bipartite_gnp
+
+        g = bipartite_gnp(30, 30, 0.1, rng)
+        res = filtering_matching(g, memory_edges=10 * g.n_edges, rng=rng)
+        assert res.n_rounds == 1
+
+
+class TestWeightedEdgeCases:
+    def test_single_weight_class(self, rng):
+        from repro.core.weighted import weighted_matching_coreset_protocol
+        from repro.graph.weights import WeightedGraph
+        from repro.graph.generators import bipartite_gnp
+
+        g = bipartite_gnp(30, 30, 0.1, rng)
+        wg = WeightedGraph(g.n_vertices, g.edges,
+                           np.full(g.n_edges, 5.0), validated=True)
+        res = weighted_matching_coreset_protocol(wg, k=3, rng=rng)
+        # Uniform weights: weight = 5 * matching size.
+        assert res.weight == pytest.approx(5.0 * res.matching.shape[0])
+
+    def test_extreme_weight_spread(self, rng):
+        from repro.graph.weights import WeightedGraph, weight_classes
+        from repro.graph.generators import bipartite_gnp
+
+        g = bipartite_gnp(20, 20, 0.2, rng)
+        w = np.logspace(0, 12, g.n_edges)
+        wg = WeightedGraph(g.n_vertices, g.edges, w, validated=True)
+        classes = weight_classes(wg, epsilon=1.0)
+        assert len(classes) <= 42  # log2(1e12) + slack
+        assert sum(c.graph.n_edges for c in classes) == g.n_edges
+
+
+class TestPeelingEdgeCases:
+    def test_peeling_complete_bipartite(self):
+        """Every vertex same (huge) degree: all peeled in one level."""
+        from repro.core.vc_coreset import vc_coreset
+        from repro.graph.generators import complete_bipartite
+
+        g = complete_bipartite(64, 64)
+        result = vc_coreset(g, k=1, log_slack=1.0)
+        combined = np.unique(np.concatenate([
+            result.fixed_vertices,
+            result.residual.edges.ravel()
+            if result.residual.n_edges else np.zeros(0, np.int64),
+        ]))
+        assert is_vertex_cover(g, combined)
+
+    def test_log_slack_zero_invalid(self):
+        from repro.core.vc_coreset import peeling_levels
+
+        with pytest.raises(ValueError):
+            peeling_levels(100, 1, log_slack=0.0)

@@ -1,0 +1,83 @@
+"""Tests for repro.graph.bipartite.BipartiteGraph."""
+
+import numpy as np
+import pytest
+
+from repro.graph.bipartite import BipartiteGraph
+from repro.graph.validation import check_bipartite
+
+
+class TestConstruction:
+    def test_sides(self):
+        g = BipartiteGraph(3, 4, [(0, 3), (2, 6)])
+        assert g.n_left == 3
+        assert g.n_right == 4
+        assert g.n_vertices == 7
+
+    def test_from_pairs(self):
+        g = BipartiteGraph.from_pairs(3, 4, [0, 2], [0, 3])
+        assert g.has_edge(0, 3)
+        assert g.has_edge(2, 6)
+
+    def test_from_pairs_validates_ranges(self):
+        with pytest.raises(ValueError):
+            BipartiteGraph.from_pairs(3, 4, [3], [0])
+        with pytest.raises(ValueError):
+            BipartiteGraph.from_pairs(3, 4, [0], [4])
+        with pytest.raises(ValueError, match="equal length"):
+            BipartiteGraph.from_pairs(3, 4, [0, 1], [0])
+
+    def test_cross_side_enforced(self):
+        with pytest.raises(ValueError, match="left side to the right"):
+            BipartiteGraph(3, 3, [(0, 1)])  # both endpoints on the left
+        with pytest.raises(ValueError, match="left side to the right"):
+            BipartiteGraph(3, 3, [(3, 4)])  # both on the right
+
+    def test_negative_sides_raise(self):
+        with pytest.raises(ValueError):
+            BipartiteGraph(-1, 3)
+
+
+class TestSideHelpers:
+    def test_vertex_arrays(self):
+        g = BipartiteGraph(2, 3)
+        np.testing.assert_array_equal(g.left_vertices, [0, 1])
+        np.testing.assert_array_equal(g.right_vertices, [2, 3, 4])
+
+    def test_is_left(self):
+        g = BipartiteGraph(2, 3)
+        assert g.is_left(1)
+        assert not g.is_left(2)
+        np.testing.assert_array_equal(
+            g.is_left(np.array([0, 2, 4])), [True, False, False]
+        )
+
+    def test_local_right(self):
+        g = BipartiteGraph(2, 3)
+        assert g.local_right(2) == 0
+        assert g.local_right(4) == 2
+
+
+class TestDerived:
+    def test_subgraph_preserves_split(self, tiny_bipartite):
+        mask = np.zeros(tiny_bipartite.n_edges, dtype=bool)
+        mask[:2] = True
+        sub = tiny_bipartite.subgraph_from_mask(mask)
+        assert isinstance(sub, BipartiteGraph)
+        assert sub.n_left == tiny_bipartite.n_left
+        ok, msg = check_bipartite(sub)
+        assert ok, msg
+
+    def test_union_preserves_split(self, tiny_bipartite):
+        u = tiny_bipartite.union(BipartiteGraph(3, 3, [(1, 5)]))
+        assert isinstance(u, BipartiteGraph)
+        assert u.n_edges == tiny_bipartite.n_edges + 1
+
+    def test_without_vertices_preserves_split(self, tiny_bipartite):
+        h = tiny_bipartite.without_vertices([0])
+        assert isinstance(h, BipartiteGraph)
+        assert h.degrees[0] == 0
+
+    def test_validation_helper(self, tiny_bipartite):
+        ok, msg = check_bipartite(tiny_bipartite)
+        assert ok, msg

@@ -1,0 +1,72 @@
+"""Tests for repro.graph.csr.CSRAdjacency."""
+
+import numpy as np
+import pytest
+
+from repro.graph.csr import CSRAdjacency
+from repro.graph.edgelist import Graph
+
+
+class TestConstruction:
+    def test_empty(self):
+        adj = CSRAdjacency.from_edges(4, np.zeros((0, 2), dtype=np.int64))
+        assert adj.n_vertices == 4
+        assert adj.indices.shape == (0,)
+        np.testing.assert_array_equal(adj.degrees, [0, 0, 0, 0])
+
+    def test_symmetric(self):
+        adj = CSRAdjacency.from_edges(3, np.array([[0, 1], [1, 2]]))
+        np.testing.assert_array_equal(adj.neighbors(0), [1])
+        np.testing.assert_array_equal(adj.neighbors(1), [0, 2])
+        np.testing.assert_array_equal(adj.neighbors(2), [1])
+
+    def test_rows_sorted(self, rng):
+        from repro.graph.generators import gnp
+
+        g = gnp(50, 0.2, rng)
+        adj = g.adjacency
+        for v in range(50):
+            row = adj.neighbors(v)
+            assert (np.diff(row) > 0).all()
+
+    def test_total_directed_edges(self, rng):
+        from repro.graph.generators import gnp
+
+        g = gnp(30, 0.3, rng)
+        assert g.adjacency.indices.shape[0] == 2 * g.n_edges
+
+
+class TestAccessors:
+    def test_degree_matches_graph_degrees(self, rng):
+        from repro.graph.generators import gnp
+
+        g = gnp(40, 0.15, rng)
+        adj = g.adjacency
+        np.testing.assert_array_equal(adj.degrees, g.degrees)
+        for v in range(g.n_vertices):
+            assert adj.degree(v) == g.degrees[v]
+
+    def test_out_of_range_raises(self):
+        adj = CSRAdjacency.from_edges(3, np.array([[0, 1]]))
+        with pytest.raises(IndexError):
+            adj.neighbors(3)
+        with pytest.raises(IndexError):
+            adj.degree(-1)
+
+    def test_neighbors_view_readonly(self):
+        g = Graph(3, [(0, 1)])
+        row = g.neighbors(0)
+        with pytest.raises(ValueError):
+            row[0] = 7
+
+    def test_consistency_with_dict_construction(self, rng):
+        """Compare against a straightforward dict-of-sets adjacency."""
+        from repro.graph.generators import gnp
+
+        g = gnp(60, 0.1, rng)
+        ref: dict[int, set] = {v: set() for v in range(60)}
+        for u, v in g.edges.tolist():
+            ref[u].add(v)
+            ref[v].add(u)
+        for v in range(60):
+            assert set(g.neighbors(v).tolist()) == ref[v]

@@ -1,0 +1,135 @@
+"""Tests for repro.graph.edgelist.Graph."""
+
+import numpy as np
+import pytest
+
+from repro.graph.edgelist import Graph
+from repro.graph.validation import check_graph
+
+
+class TestConstruction:
+    def test_empty(self):
+        g = Graph(5)
+        assert g.n_vertices == 5
+        assert g.n_edges == 0
+        assert g.degrees.tolist() == [0] * 5
+
+    def test_dedupes_and_canonicalizes(self):
+        g = Graph(4, [(1, 0), (0, 1), (3, 2), (2, 2)])
+        assert g.n_edges == 2
+        ok, msg = check_graph(g)
+        assert ok, msg
+
+    def test_edge_order_independent_equality(self):
+        a = Graph(4, [(0, 1), (2, 3)])
+        b = Graph(4, [(3, 2), (1, 0)])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError, match="endpoints"):
+            Graph(3, [(0, 3)])
+        with pytest.raises(ValueError, match="endpoints"):
+            Graph(3, [(-1, 2)])
+
+    def test_negative_vertex_count_raises(self):
+        with pytest.raises(ValueError):
+            Graph(-1)
+
+    def test_bad_edge_shape_raises(self):
+        with pytest.raises(ValueError, match="shape"):
+            Graph(3, np.array([[0, 1, 2]]))
+
+    def test_edges_readonly(self, tiny_graph):
+        with pytest.raises(ValueError):
+            tiny_graph.edges[0, 0] = 99
+
+
+class TestAccessors:
+    def test_degrees(self, tiny_graph):
+        assert tiny_graph.degrees.tolist() == [2, 2, 2, 2, 2, 2]
+        assert tiny_graph.max_degree == 2
+
+    def test_neighbors_sorted(self):
+        g = Graph(5, [(0, 4), (0, 2), (0, 1)])
+        np.testing.assert_array_equal(g.neighbors(0), [1, 2, 4])
+        np.testing.assert_array_equal(g.neighbors(3), [])
+
+    def test_has_edge(self, tiny_graph):
+        assert tiny_graph.has_edge(0, 1)
+        assert tiny_graph.has_edge(1, 0)
+        assert not tiny_graph.has_edge(0, 3)
+        assert not tiny_graph.has_edge(2, 2)
+
+    def test_non_isolated_vertices(self):
+        g = Graph(6, [(1, 4)])
+        np.testing.assert_array_equal(g.non_isolated_vertices, [1, 4])
+
+
+class TestDerivedGraphs:
+    def test_subgraph_from_mask(self, tiny_graph):
+        mask = np.zeros(tiny_graph.n_edges, dtype=bool)
+        mask[0] = True
+        sub = tiny_graph.subgraph_from_mask(mask)
+        assert sub.n_edges == 1
+        assert sub.n_vertices == tiny_graph.n_vertices
+
+    def test_subgraph_mask_shape_checked(self, tiny_graph):
+        with pytest.raises(ValueError):
+            tiny_graph.subgraph_from_mask(np.zeros(3, dtype=bool))
+
+    def test_subgraph_from_indices_unsorted_ok(self, tiny_graph):
+        sub = tiny_graph.subgraph_from_indices(np.array([3, 0]))
+        assert sub.n_edges == 2
+        ok, msg = check_graph(sub)
+        assert ok, msg
+
+    def test_without_vertices(self):
+        g = Graph(4, [(0, 1), (1, 2), (2, 3)])
+        h = g.without_vertices([1])
+        assert h.n_edges == 1
+        assert h.has_edge(2, 3)
+
+    def test_without_vertices_out_of_range(self):
+        with pytest.raises(ValueError):
+            Graph(3, [(0, 1)]).without_vertices([7])
+
+    def test_union(self):
+        a = Graph(4, [(0, 1)])
+        b = Graph(4, [(0, 1), (2, 3)])
+        u = a.union(b)
+        assert u.n_edges == 2
+
+    def test_union_mismatched_sizes_raises(self):
+        with pytest.raises(ValueError):
+            Graph(3).union(Graph(4))
+
+    def test_union_of_partition_recovers_graph(self, rng):
+        from repro.graph.generators import gnp
+        from repro.graph.partition import random_k_partition
+
+        g = gnp(40, 0.2, rng)
+        part = random_k_partition(g, 5, rng)
+        merged = Graph(g.n_vertices).union(*list(part.pieces()))
+        assert merged == g
+
+    def test_relabeled_contracts(self):
+        g = Graph(4, [(0, 1), (2, 3), (0, 3)])
+        mapping = np.array([0, 0, 1, 1])
+        h = g.relabeled(mapping)
+        # (0,1) -> self-loop dropped; (2,3) -> self-loop; (0,3) -> (0,1)
+        assert h.n_vertices == 2
+        assert h.n_edges == 1
+        assert h.has_edge(0, 1)
+
+    def test_relabeled_shape_checked(self):
+        with pytest.raises(ValueError):
+            Graph(3, [(0, 1)]).relabeled(np.array([0, 1]))
+
+
+class TestEquality:
+    def test_not_equal_different_n(self):
+        assert Graph(3, [(0, 1)]) != Graph(4, [(0, 1)])
+
+    def test_not_equal_to_other_type(self):
+        assert Graph(2) != "graph"

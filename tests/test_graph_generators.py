@@ -1,0 +1,165 @@
+"""Tests for repro.graph.generators."""
+
+import numpy as np
+import pytest
+
+from repro.graph.bipartite import BipartiteGraph
+from repro.graph.generators import (
+    bipartite_gnm,
+    bipartite_gnp,
+    bipartite_star_forest,
+    complete_bipartite,
+    complete_graph,
+    gnp,
+    hidden_matching_with_hubs,
+    layered_maximal_trap,
+    path_graph,
+    planted_matching_gnp,
+    random_left_regular,
+    random_perfect_matching,
+    skewed_bipartite,
+    star_forest,
+)
+from repro.graph.validation import check_bipartite, check_graph
+
+
+class TestGnp:
+    def test_edge_count_concentrates(self, rng):
+        n, p = 200, 0.1
+        g = gnp(n, p, rng)
+        expected = p * n * (n - 1) / 2
+        assert 0.8 * expected < g.n_edges < 1.2 * expected
+
+    def test_extremes(self, rng):
+        assert gnp(50, 0.0, rng).n_edges == 0
+        assert gnp(20, 1.0, rng).n_edges == 20 * 19 // 2
+
+    def test_valid_structure(self, rng):
+        g = gnp(100, 0.05, rng)
+        ok, msg = check_graph(g)
+        assert ok, msg
+
+    def test_pair_unranking_bijective(self, rng):
+        """p=1 must produce every pair exactly once (unranking is exact)."""
+        g = gnp(40, 1.0, rng)
+        assert g.n_edges == 40 * 39 // 2
+
+    def test_bad_probability_raises(self, rng):
+        with pytest.raises(ValueError):
+            gnp(10, 1.5, rng)
+
+    def test_reproducible(self):
+        assert gnp(50, 0.2, 7) == gnp(50, 0.2, 7)
+
+
+class TestBipartiteGnp:
+    def test_edge_count(self, rng):
+        g = bipartite_gnp(100, 150, 0.05, rng)
+        expected = 0.05 * 100 * 150
+        assert 0.7 * expected < g.n_edges < 1.3 * expected
+        ok, msg = check_bipartite(g)
+        assert ok, msg
+
+    def test_full(self, rng):
+        assert bipartite_gnp(10, 12, 1.0, rng).n_edges == 120
+
+    def test_gnm_exact_count(self, rng):
+        g = bipartite_gnm(20, 30, 100, rng)
+        assert g.n_edges == 100
+
+    def test_gnm_too_many_raises(self, rng):
+        with pytest.raises(ValueError):
+            bipartite_gnm(3, 3, 10, rng)
+
+
+class TestMatchingGenerators:
+    def test_perfect_matching_is_perfect(self, rng):
+        g = random_perfect_matching(30, 40, rng=rng)
+        assert g.n_edges == 30
+        assert g.degrees.max() == 1
+
+    def test_sized_matching(self, rng):
+        g = random_perfect_matching(30, 40, size=10, rng=rng)
+        assert g.n_edges == 10
+
+    def test_oversize_raises(self, rng):
+        with pytest.raises(ValueError):
+            random_perfect_matching(5, 5, size=6, rng=rng)
+
+    def test_planted_guarantee(self, rng):
+        from repro.matching.api import matching_number
+
+        g, planted = planted_matching_gnp(50, 50, 0.02, rng=rng)
+        assert planted.shape == (50, 2)
+        assert matching_number(g) == 50  # planted perfect matching survives
+
+    def test_left_regular_degrees(self, rng):
+        g = random_left_regular(20, 100, degree=5, rng=rng)
+        np.testing.assert_array_equal(g.degrees[:20], [5] * 20)
+
+    def test_left_regular_degree_too_big(self, rng):
+        with pytest.raises(ValueError):
+            random_left_regular(5, 4, degree=5, rng=rng)
+
+
+class TestStructured:
+    def test_star_forest(self):
+        g = star_forest(3, 4)
+        assert g.n_vertices == 15
+        assert g.n_edges == 12
+        assert g.degrees[:3].tolist() == [4, 4, 4]
+        assert (g.degrees[3:] == 1).all()
+
+    def test_bipartite_star_forest(self):
+        g = bipartite_star_forest(3, 5)
+        assert isinstance(g, BipartiteGraph)
+        assert g.n_left == 3
+        assert g.n_edges == 15
+        assert (g.degrees[3:] == 1).all()
+
+    def test_star_forest_validation(self):
+        with pytest.raises(ValueError):
+            star_forest(-1, 2)
+        with pytest.raises(ValueError):
+            bipartite_star_forest(2, 0)
+
+    def test_skewed_has_hubs(self, rng):
+        g = skewed_bipartite(100, 100, hub_count=5, hub_degree=50,
+                             leaf_p=0.01, rng=rng)
+        assert (g.degrees[:100] >= 50).sum() >= 5
+
+    def test_path_and_complete(self):
+        assert path_graph(5).n_edges == 4
+        assert path_graph(1).n_edges == 0
+        assert complete_graph(6).n_edges == 15
+        assert complete_bipartite(3, 4).n_edges == 12
+
+
+class TestTrapInstances:
+    def test_layered_trap_optimum(self, rng):
+        from repro.matching.api import matching_number
+
+        g, opt = layered_maximal_trap(4, 10, rng)
+        assert matching_number(g) == opt == 20
+
+    def test_hub_instance_shape(self, rng):
+        g, n_pairs, n_hubs = hidden_matching_with_hubs(4, 16, rng=rng)
+        assert n_pairs == 64
+        assert n_hubs == 32
+        assert g.n_left == 64
+        assert g.n_right == 64 + 32
+        # Hidden matching present: l_j -- r_j.
+        for j in (0, 17, 63):
+            assert g.has_edge(j, 64 + j)
+
+    def test_hub_instance_mm_at_least_hidden(self, rng):
+        from repro.matching.api import matching_number
+
+        g, n_pairs, _ = hidden_matching_with_hubs(2, 8, rng=rng)
+        assert matching_number(g) >= n_pairs
+
+    def test_hub_instance_validation(self, rng):
+        with pytest.raises(ValueError):
+            hidden_matching_with_hubs(0, 5, rng=rng)
+        with pytest.raises(ValueError):
+            hidden_matching_with_hubs(2, 5, hub_slack=0, rng=rng)

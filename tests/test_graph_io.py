@@ -1,0 +1,63 @@
+"""Tests for repro.graph.io: serialization round trips."""
+
+import numpy as np
+import pytest
+
+from repro.graph.bipartite import BipartiteGraph
+from repro.graph.edgelist import Graph
+from repro.graph.generators import bipartite_gnp, gnp
+from repro.graph.io import dumps_edgelist, load_npz, loads_edgelist, save_npz
+from repro.graph.weights import WeightedGraph
+
+
+class TestNpzRoundTrip:
+    def test_plain(self, tmp_path, rng):
+        g = gnp(40, 0.2, rng)
+        path = tmp_path / "g.npz"
+        save_npz(path, g)
+        g2 = load_npz(path)
+        assert type(g2) is Graph
+        assert g2 == g
+
+    def test_bipartite(self, tmp_path, rng):
+        g = bipartite_gnp(10, 20, 0.3, rng)
+        path = tmp_path / "b.npz"
+        save_npz(path, g)
+        g2 = load_npz(path)
+        assert isinstance(g2, BipartiteGraph)
+        assert g2.n_left == 10 and g2.n_right == 20
+        assert g2 == g
+
+    def test_weighted(self, tmp_path):
+        wg = WeightedGraph(4, np.array([[0, 1], [2, 3]]), np.array([2.0, 5.0]))
+        path = tmp_path / "w.npz"
+        save_npz(path, wg)
+        wg2 = load_npz(path)
+        assert isinstance(wg2, WeightedGraph)
+        np.testing.assert_allclose(wg2.weights, wg.weights)
+
+    def test_empty_graph(self, tmp_path):
+        g = Graph(7)
+        path = tmp_path / "e.npz"
+        save_npz(path, g)
+        assert load_npz(path) == g
+
+
+class TestTextRoundTrip:
+    def test_plain(self, rng):
+        g = gnp(20, 0.2, rng)
+        assert loads_edgelist(dumps_edgelist(g)) == g
+
+    def test_bipartite(self, rng):
+        g = bipartite_gnp(5, 7, 0.4, rng)
+        g2 = loads_edgelist(dumps_edgelist(g))
+        assert isinstance(g2, BipartiteGraph)
+        assert g2 == g
+
+    def test_header_required(self):
+        with pytest.raises(ValueError, match="header"):
+            loads_edgelist("0 1\n")
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown header"):
+            loads_edgelist("# hypergraph 4\n")

@@ -1,0 +1,108 @@
+"""Tests for repro.graph.partition."""
+
+import numpy as np
+import pytest
+
+from repro.graph.edgelist import Graph
+from repro.graph.generators import gnp
+from repro.graph.partition import (
+    PartitionedGraph,
+    adversarial_degree_partition,
+    partition_by_assignment,
+    random_k_partition,
+)
+from repro.graph.validation import check_partition
+
+
+class TestPartitionedGraph:
+    def test_validates_assignment_shape(self):
+        g = Graph(4, [(0, 1), (2, 3)])
+        with pytest.raises(ValueError, match="shape"):
+            PartitionedGraph(g, 2, np.array([0]))
+
+    def test_validates_machine_ids(self):
+        g = Graph(4, [(0, 1), (2, 3)])
+        with pytest.raises(ValueError, match="machine ids"):
+            PartitionedGraph(g, 2, np.array([0, 5]))
+
+    def test_validates_k(self):
+        g = Graph(2, [(0, 1)])
+        with pytest.raises(ValueError):
+            PartitionedGraph(g, 0, np.array([0]))
+
+    def test_piece_index_range(self):
+        g = Graph(2, [(0, 1)])
+        p = PartitionedGraph(g, 2, np.array([1]))
+        with pytest.raises(IndexError):
+            p.piece(2)
+
+    def test_pieces_partition_edges(self, rng):
+        g = gnp(50, 0.2, rng)
+        p = random_k_partition(g, 7, rng)
+        sizes = p.piece_sizes()
+        assert sizes.sum() == g.n_edges
+        ok, msg = check_partition(p)
+        assert ok, msg
+
+    def test_pieces_keep_full_vertex_set(self, rng):
+        g = gnp(30, 0.1, rng)
+        p = random_k_partition(g, 4, rng)
+        for piece in p.pieces():
+            assert piece.n_vertices == g.n_vertices
+
+
+class TestRandomKPartition:
+    def test_k1_gives_whole_graph(self, rng):
+        g = gnp(20, 0.3, rng)
+        p = random_k_partition(g, 1, rng)
+        assert p.piece(0) == g
+
+    def test_balanced_in_expectation(self, rng):
+        g = gnp(120, 0.5, rng)  # ~3570 edges
+        k = 6
+        p = random_k_partition(g, k, rng)
+        sizes = p.piece_sizes()
+        expected = g.n_edges / k
+        assert (np.abs(sizes - expected) < 0.3 * expected).all()
+
+    def test_reproducible(self, rng):
+        g = gnp(30, 0.2, 3)
+        a = random_k_partition(g, 4, 9).assignment
+        b = random_k_partition(g, 4, 9).assignment
+        np.testing.assert_array_equal(a, b)
+
+    def test_bad_k_raises(self, rng):
+        with pytest.raises(ValueError):
+            random_k_partition(gnp(5, 0.5, rng), 0, rng)
+
+    def test_each_edge_exactly_once(self, rng):
+        """The defining property of a random k-partitioning."""
+        g = gnp(40, 0.3, rng)
+        p = random_k_partition(g, 5, rng)
+        seen = np.zeros(g.n_edges, dtype=int)
+        for i in range(p.k):
+            seen[p.assignment == i] += 1
+        assert (seen == 1).all()
+
+
+class TestExplicitPartitions:
+    def test_partition_by_assignment_infers_k(self):
+        g = Graph(4, [(0, 1), (2, 3), (0, 2)])
+        p = partition_by_assignment(g, [0, 2, 1])
+        assert p.k == 3
+
+    def test_degree_partition_valid(self, rng):
+        g = gnp(40, 0.2, rng)
+        p = adversarial_degree_partition(g, 4)
+        ok, msg = check_partition(p)
+        assert ok, msg
+
+    def test_degree_partition_empty_graph(self):
+        p = adversarial_degree_partition(Graph(5), 3)
+        assert p.piece_sizes().sum() == 0
+
+    def test_degree_partition_is_deterministic(self, rng):
+        g = gnp(30, 0.2, 5)
+        a = adversarial_degree_partition(g, 4).assignment
+        b = adversarial_degree_partition(g, 4).assignment
+        np.testing.assert_array_equal(a, b)

@@ -1,0 +1,92 @@
+"""Tests for repro.graph.weights."""
+
+import numpy as np
+import pytest
+
+from repro.graph.weights import WeightedGraph, weight_classes
+
+
+def make_wg():
+    edges = np.array([[0, 1], [1, 2], [2, 3], [0, 3]])
+    weights = np.array([1.0, 10.0, 100.0, 3.0])
+    return WeightedGraph(4, edges, weights)
+
+
+class TestWeightedGraph:
+    def test_weights_aligned_to_canonical_order(self):
+        # Supply edges in reversed orientation and scrambled order.
+        edges = np.array([[3, 2], [1, 0]])
+        weights = np.array([5.0, 7.0])
+        wg = WeightedGraph(4, edges, weights)
+        assert wg.matching_weight(np.array([[2, 3]])) == 5.0
+        assert wg.matching_weight(np.array([[0, 1]])) == 7.0
+
+    def test_duplicate_edges_first_weight_wins(self):
+        wg = WeightedGraph(3, np.array([[0, 1], [1, 0]]), np.array([2.0, 9.0]))
+        assert wg.n_edges == 1
+        assert wg.total_weight() == 2.0
+
+    def test_nonpositive_weight_rejected(self):
+        with pytest.raises(ValueError):
+            WeightedGraph(3, np.array([[0, 1]]), np.array([0.0]))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            WeightedGraph(3, np.array([[0, 1]]), np.array([1.0, 2.0]))
+
+    def test_total_weight(self):
+        assert make_wg().total_weight() == pytest.approx(114.0)
+
+    def test_subgraph_carries_weights(self):
+        wg = make_wg()
+        sub = wg.subgraph_from_mask(wg.weights > 5)
+        assert sub.n_edges == 2
+        assert sub.total_weight() == pytest.approx(110.0)
+
+    def test_matching_weight_rejects_foreign_edges(self):
+        with pytest.raises(ValueError, match="not present"):
+            make_wg().matching_weight(np.array([[1, 3]]))
+
+    def test_matching_weight_empty(self):
+        assert make_wg().matching_weight(np.zeros((0, 2))) == 0.0
+
+
+class TestWeightClasses:
+    def test_classes_partition_edges(self):
+        wg = make_wg()
+        classes = weight_classes(wg, epsilon=1.0)
+        total = sum(c.graph.n_edges for c in classes)
+        assert total == wg.n_edges
+
+    def test_heaviest_first(self):
+        classes = weight_classes(make_wg(), epsilon=1.0)
+        assert all(
+            classes[i].index > classes[i + 1].index
+            for i in range(len(classes) - 1)
+        )
+
+    def test_weights_within_class_bounds(self):
+        wg = make_wg()
+        for c in weight_classes(wg, epsilon=1.0):
+            w = wg.weights[c.edge_indices]
+            assert (w >= c.lo - 1e-9).all()
+            assert (w < c.hi * (1 + 1e-9)).all()
+
+    def test_number_of_classes_logarithmic(self, rng):
+        n_edges = 200
+        edges = np.stack(
+            [np.arange(n_edges), np.arange(n_edges) + n_edges], axis=1
+        )
+        weights = np.exp(rng.uniform(0, np.log(1000), size=n_edges))
+        wg = WeightedGraph(2 * n_edges, edges, weights, validated=True)
+        classes = weight_classes(wg, epsilon=1.0)
+        assert len(classes) <= np.log2(1000) + 2
+
+    def test_epsilon_validation(self):
+        with pytest.raises(ValueError):
+            weight_classes(make_wg(), epsilon=0.0)
+
+    def test_empty_graph(self):
+        wg = WeightedGraph(3, np.zeros((0, 2), dtype=np.int64),
+                           np.zeros(0), validated=True)
+        assert weight_classes(wg) == []

@@ -1,0 +1,112 @@
+"""End-to-end integration tests crossing all subsystems."""
+
+import numpy as np
+import pytest
+
+from repro import quickstart_matching
+from repro.core.protocols import (
+    matching_coreset_protocol,
+    vertex_cover_coreset_protocol,
+)
+from repro.cover import is_vertex_cover, konig_cover
+from repro.dist.coordinator import run_simultaneous
+from repro.graph.generators import (
+    bipartite_gnp,
+    planted_matching_gnp,
+    skewed_bipartite,
+)
+from repro.graph.partition import random_k_partition
+from repro.matching.api import matching_number
+from repro.matching.verify import is_matching
+
+
+class TestQuickstart:
+    def test_quickstart_contract(self):
+        out = quickstart_matching(n=600, k=4, seed=0)
+        assert set(out) == {
+            "optimum", "output", "ratio", "total_bits", "bits_per_machine"
+        }
+        assert out["ratio"] <= 3.0
+        assert out["total_bits"] > 0
+
+    def test_quickstart_deterministic(self):
+        assert quickstart_matching(400, 4, 1) == quickstart_matching(400, 4, 1)
+
+
+class TestFullMatchingPipeline:
+    def test_generate_partition_solve_verify(self, rng):
+        graph, planted = planted_matching_gnp(400, 400, 0.005, rng=rng)
+        part = random_k_partition(graph, 8, rng)
+        res = run_simultaneous(matching_coreset_protocol(), part, rng)
+        assert is_matching(graph, res.output)
+        opt = matching_number(graph)
+        assert opt == 400  # planted perfect matching
+        assert res.output.shape[0] >= opt / 3  # typical quality, not worst
+
+    def test_serialize_reload_and_solve(self, tmp_path, rng):
+        from repro.graph.io import load_npz, save_npz
+
+        graph = bipartite_gnp(100, 100, 0.03, rng)
+        path = tmp_path / "workload.npz"
+        save_npz(path, graph)
+        reloaded = load_npz(path)
+        part = random_k_partition(reloaded, 4, 0)
+        res = run_simultaneous(matching_coreset_protocol(), part, 0)
+        assert is_matching(reloaded, res.output)
+
+    def test_protocol_vs_mapreduce_agree_in_quality(self, rng):
+        from repro.core.mapreduce_algos import mapreduce_matching
+
+        graph, _ = planted_matching_gnp(300, 300, 0.006, rng=rng)
+        part = random_k_partition(graph, 17, rng)
+        proto = run_simultaneous(matching_coreset_protocol(), part, rng)
+        mr = mapreduce_matching(graph, k=17, rng=rng)
+        opt = matching_number(graph)
+        assert proto.output.shape[0] >= opt / 3
+        assert mr.matching.shape[0] >= opt / 3
+
+
+class TestFullVertexCoverPipeline:
+    def test_generate_partition_solve_verify(self, rng):
+        graph = skewed_bipartite(400, 400, 20, 150, 0.005, rng)
+        part = random_k_partition(graph, 8, rng)
+        res = run_simultaneous(vertex_cover_coreset_protocol(k=8), part, rng)
+        assert is_vertex_cover(graph, res.output)
+        opt = konig_cover(graph).shape[0]
+        assert res.output.shape[0] <= 8 * max(1, opt)
+
+    def test_weighted_and_unweighted_consistency(self, rng):
+        """Uniform weights: the weighted protocol's cover weight equals its
+        size, and feasibility holds end to end."""
+        from repro.core.weighted import weighted_vertex_cover_protocol
+
+        graph = bipartite_gnp(150, 150, 0.03, rng)
+        res = weighted_vertex_cover_protocol(
+            graph, np.ones(graph.n_vertices), k=4, rng=rng
+        )
+        assert is_vertex_cover(graph, res.cover)
+        assert res.weight == res.cover.shape[0]
+
+
+class TestScalingSmoke:
+    """One larger run to catch accidental quadratic blowups."""
+
+    def test_moderate_scale_under_time_budget(self, rng):
+        import time
+
+        t0 = time.time()
+        graph, _ = planted_matching_gnp(5000, 5000, 0.0004, rng=rng)
+        part = random_k_partition(graph, 16, rng)
+        res = run_simultaneous(matching_coreset_protocol(), part, rng)
+        assert is_matching(graph, res.output)
+        assert time.time() - t0 < 30
+
+    def test_vc_moderate_scale(self, rng):
+        import time
+
+        t0 = time.time()
+        graph = skewed_bipartite(3000, 3000, 60, 500, 0.002, rng)
+        part = random_k_partition(graph, 16, rng)
+        res = run_simultaneous(vertex_cover_coreset_protocol(k=16), part, rng)
+        assert is_vertex_cover(graph, res.output)
+        assert time.time() - t0 < 30

@@ -1,0 +1,124 @@
+"""Tests for the footnote-3 exact kernel coresets."""
+
+import numpy as np
+import pytest
+
+from repro.core.kernel_coreset import (
+    KernelBudgetExceeded,
+    exact_matching_kernel_protocol,
+    matching_kernel,
+    vc_kernel,
+)
+from repro.dist.coordinator import run_simultaneous
+from repro.graph.edgelist import Graph
+from repro.graph.generators import (
+    bipartite_gnp,
+    complete_bipartite,
+    planted_matching_gnp,
+    star_forest,
+)
+from repro.graph.partition import (
+    adversarial_degree_partition,
+    random_k_partition,
+)
+from repro.matching.api import matching_number
+
+
+class TestMatchingKernel:
+    def test_preserves_small_matchings(self, rng):
+        for _ in range(8):
+            g = bipartite_gnp(150, 150, 0.001, rng)  # tiny MM
+            mm = matching_number(g)
+            kern = matching_kernel(g, opt_bound=mm)
+            assert matching_number(kern) == mm
+
+    def test_kernel_is_subgraph(self, rng):
+        from repro.utils.arrays import isin_mask
+
+        g = bipartite_gnp(60, 60, 0.1, rng)
+        kern = matching_kernel(g, 3)
+        if kern.n_edges:
+            assert isin_mask(kern.edges, g.edges, g.n_vertices).all()
+
+    def test_compresses_dense_graphs(self):
+        g = complete_bipartite(50, 50)  # 2500 edges, MM = 50
+        kern = matching_kernel(g, opt_bound=5)
+        assert kern.n_edges < g.n_edges
+        assert matching_number(kern) >= 5
+
+    def test_k_zero(self):
+        g = complete_bipartite(5, 5)
+        kern = matching_kernel(g, 0)
+        # cap = 2: still keeps some edges, trivially preserves size-0.
+        assert kern.n_edges >= 1
+
+    def test_empty_graph(self):
+        g = Graph(5)
+        assert matching_kernel(g, 3) == g
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            matching_kernel(Graph(3), -1)
+
+
+class TestVCKernel:
+    def test_buss_rule(self):
+        g = star_forest(3, 20)  # centers have degree 20
+        forced, residual = vc_kernel(g, opt_bound=10)
+        assert set(forced.tolist()) == {0, 1, 2}
+        assert residual.n_edges == 0
+
+    def test_forced_in_every_small_cover(self, rng):
+        """Every cover of size ≤ K must contain the forced vertices —
+        checked via the exact solver on small instances."""
+        from repro.cover.exact import exact_cover
+
+        g = star_forest(2, 8)
+        forced, _ = vc_kernel(g, opt_bound=4)
+        opt = exact_cover(g)
+        assert np.isin(forced, opt).all()
+
+    def test_strict_certifies_large_vc(self, rng):
+        g = bipartite_gnp(60, 60, 0.3, rng)  # VC far above 2
+        with pytest.raises(KernelBudgetExceeded):
+            vc_kernel(g, opt_bound=2, strict=True)
+
+    def test_non_strict_never_raises(self, rng):
+        g = bipartite_gnp(40, 40, 0.3, rng)
+        forced, residual = vc_kernel(g, opt_bound=2, strict=False)
+        assert residual.n_edges <= g.n_edges
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            vc_kernel(Graph(3), -2)
+
+
+class TestExactKernelProtocol:
+    def _instance(self, rng, opt=40, n=1500):
+        graph, _ = planted_matching_gnp(opt, n, p=2.0 / opt, rng=rng)
+        return graph, matching_number(graph)
+
+    def test_exact_under_random_partition(self, rng):
+        graph, mm = self._instance(rng)
+        part = random_k_partition(graph, 6, rng)
+        res = run_simultaneous(exact_matching_kernel_protocol(mm), part, rng)
+        assert res.output.shape[0] == mm
+
+    def test_exact_under_adversarial_partition(self, rng):
+        """Unlike Theorem 1's coreset, kernels are partition-oblivious."""
+        graph, mm = self._instance(rng)
+        part = adversarial_degree_partition(graph, 6)
+        res = run_simultaneous(exact_matching_kernel_protocol(mm), part, rng)
+        assert res.output.shape[0] == mm
+
+    def test_message_size_independent_of_n(self, rng):
+        """Kernel size tracks K, not the (much larger) vertex count."""
+        sizes = {}
+        for n in (1000, 4000):
+            graph, mm = self._instance(rng, opt=30, n=n)
+            part = random_k_partition(graph, 4, rng)
+            res = run_simultaneous(
+                exact_matching_kernel_protocol(30), part, rng
+            )
+            sizes[n] = res.ledger.total_edges()
+        assert sizes[4000] < 4 * sizes[1000]  # ~flat, certainly not ∝ n

@@ -1,0 +1,123 @@
+"""Tests for the D_Matching hard distribution."""
+
+import numpy as np
+import pytest
+
+from repro.dist.coordinator import run_simultaneous
+from repro.graph.partition import random_k_partition
+from repro.graph.validation import check_bipartite
+from repro.lowerbounds.dmatching import (
+    budget_limited_matching_protocol,
+    hidden_edges_recovered,
+    sample_dmatching,
+)
+from repro.lowerbounds.induced import induced_matching
+from repro.utils.arrays import isin_mask
+
+
+class TestSampler:
+    def test_structure(self, rng):
+        inst = sample_dmatching(1000, alpha=5, k=4, rng=rng)
+        ok, msg = check_bipartite(inst.graph)
+        assert ok, msg
+        assert inst.set_a.shape[0] == 200
+        assert inst.hidden_matching.shape[0] == 800
+
+    def test_hidden_is_perfect_matching_of_complements(self, rng):
+        inst = sample_dmatching(500, alpha=5, k=4, rng=rng)
+        hidden = inst.hidden_matching
+        # Left endpoints avoid A; right endpoints avoid B.
+        assert not np.isin(hidden[:, 0], inst.set_a).any()
+        assert not np.isin(hidden[:, 1], inst.set_b).any()
+        # It is a matching: each vertex once.
+        assert np.unique(hidden[:, 0]).shape[0] == hidden.shape[0]
+        assert np.unique(hidden[:, 1]).shape[0] == hidden.shape[0]
+
+    def test_hidden_edges_in_graph(self, rng):
+        inst = sample_dmatching(400, alpha=4, k=4, rng=rng)
+        assert isin_mask(inst.hidden_matching, inst.graph.edges,
+                         inst.graph.n_vertices).all()
+
+    def test_eab_density(self, rng):
+        """|E_AB| concentrates around (n/α)²·kα/n = nk/α."""
+        n, alpha, k = 4000, 8, 8
+        inst = sample_dmatching(n, alpha, k, rng=rng)
+        eab_count = inst.graph.n_edges - inst.hidden_matching.shape[0]
+        expected = n * k / alpha
+        assert 0.7 * expected < eab_count < 1.3 * expected
+
+    def test_mm_at_least_hidden(self, rng):
+        from repro.matching.api import matching_number
+
+        inst = sample_dmatching(300, alpha=3, k=3, rng=rng)
+        assert matching_number(inst.graph) >= inst.optimal_size_lower_bound
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            sample_dmatching(100, alpha=0.5, k=2, rng=rng)
+        with pytest.raises(ValueError):
+            sample_dmatching(100, alpha=1, k=2, rng=rng)  # n/alpha == n
+
+
+class TestInducedMatchingLemma41:
+    def test_per_machine_induced_matching_size(self, rng):
+        """Lemma 4.1: |M^(i)| = Θ(n/α) for every machine."""
+        n, alpha, k = 4000, 8, 8
+        inst = sample_dmatching(n, alpha, k, rng=rng)
+        part = random_k_partition(inst.graph, k, rng)
+        for i in range(k):
+            m = induced_matching(part.piece(i))
+            # Θ(n/α) with generous constants.
+            assert n / (8 * alpha) < m.shape[0] < 4 * n / alpha
+
+    def test_hidden_edges_land_in_induced_matching(self, rng):
+        """M*(i) ⊆ M^(i): a hidden edge assigned to machine i is an induced
+        (degree-1-both-sides) edge there w.h.p... deterministically always,
+        since its endpoints have degree 1 in G already."""
+        inst = sample_dmatching(1000, alpha=5, k=5, rng=rng)
+        part = random_k_partition(inst.graph, 5, rng)
+        n_v = inst.graph.n_vertices
+        for i in range(5):
+            piece = part.piece(i)
+            owned = inst.hidden_matching[
+                isin_mask(inst.hidden_matching, piece.edges, n_v)
+            ]
+            m = induced_matching(piece)
+            assert isin_mask(owned, m, n_v).all()
+
+
+class TestBudgetProtocol:
+    def test_recovery_scales_with_budget(self, rng):
+        n, alpha, k = 2000, 5, 5
+        inst = sample_dmatching(n, alpha, k, rng=rng)
+        part = random_k_partition(inst.graph, k, rng)
+        rec = {}
+        for budget in (10, 200):
+            proto = budget_limited_matching_protocol(budget)
+            res = run_simultaneous(proto, part, rng)
+            rec[budget] = hidden_edges_recovered(inst, res.output)
+        assert rec[200] > rec[10]
+
+    def test_unlimited_budget_recovers_everything(self, rng):
+        inst = sample_dmatching(1000, alpha=5, k=4, rng=rng)
+        part = random_k_partition(inst.graph, 4, rng)
+        proto = budget_limited_matching_protocol(10**9)
+        res = run_simultaneous(proto, part, rng)
+        # Theorem 1 regime: near-optimal matching.
+        assert res.output.shape[0] >= 0.9 * inst.optimal_size_lower_bound
+
+    def test_budget_respected(self, rng):
+        inst = sample_dmatching(1000, alpha=5, k=4, rng=rng)
+        part = random_k_partition(inst.graph, 4, rng)
+        proto = budget_limited_matching_protocol(7)
+        res = run_simultaneous(proto, part, rng)
+        for m in res.messages:
+            assert m.n_edges <= 7
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            budget_limited_matching_protocol(-1)
+
+    def test_hidden_edges_recovered_empty(self, rng):
+        inst = sample_dmatching(200, alpha=4, k=2, rng=rng)
+        assert hidden_edges_recovered(inst, np.zeros((0, 2))) == 0

@@ -1,0 +1,111 @@
+"""Tests for the D_VC hard distribution."""
+
+import numpy as np
+import pytest
+
+from repro.dist.coordinator import run_simultaneous
+from repro.cover.verify import is_vertex_cover
+from repro.graph.partition import random_k_partition
+from repro.graph.validation import check_bipartite
+from repro.lowerbounds.dvc import (
+    budget_limited_cover_protocol,
+    covers_estar,
+    sample_dvc,
+)
+
+
+class TestSampler:
+    def test_structure(self, rng):
+        inst = sample_dvc(1000, alpha=5, k=4, rng=rng)
+        ok, msg = check_bipartite(inst.graph)
+        assert ok, msg
+        assert inst.set_a.shape[0] == 200
+        assert inst.v_star in inst.set_a
+        assert inst.graph.has_edge(*inst.e_star)
+
+    def test_estar_endpoints(self, rng):
+        inst = sample_dvc(500, alpha=5, k=4, rng=rng)
+        v, r = inst.e_star
+        assert 0 <= v < 500  # left side
+        assert 500 <= r < 1000  # right side
+
+    def test_small_cover_exists(self, rng):
+        inst = sample_dvc(400, alpha=4, k=4, rng=rng)
+        cover = np.concatenate([inst.set_a, [inst.e_star[1]]])
+        assert is_vertex_cover(inst.graph, cover)
+        assert inst.optimal_size_upper_bound == inst.set_a.shape[0] + 1
+
+    def test_edges_only_from_a_plus_estar(self, rng):
+        inst = sample_dvc(600, alpha=6, k=4, rng=rng)
+        lefts = np.unique(inst.graph.edges[:, 0])
+        allowed = set(inst.set_a.tolist()) | {inst.e_star[0]}
+        assert set(lefts.tolist()) <= allowed
+
+    def test_ea_density(self, rng):
+        """|E_A| concentrates around (n/α)·n·k/2n = nk/2α."""
+        n, alpha, k = 4000, 8, 8
+        inst = sample_dvc(n, alpha, k, rng=rng)
+        expected = n * k / (2 * alpha)
+        assert 0.7 * expected < inst.graph.n_edges < 1.3 * expected
+
+    def test_degree_one_lemma42(self, rng):
+        """Lemma 4.2: Θ(n/α) vertices of L have degree exactly one in each
+        machine's piece."""
+        n, alpha, k = 4000, 8, 8
+        inst = sample_dvc(n, alpha, k, rng=rng)
+        part = random_k_partition(inst.graph, k, rng)
+        for i in range(0, k, 3):
+            piece = part.piece(i)
+            deg_left = piece.degrees[:n]
+            count = int((deg_left == 1).sum())
+            assert n / (8 * alpha) < count < 2 * n / alpha
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            sample_dvc(100, alpha=0.9, k=2, rng=rng)
+
+
+class TestCoversEstar:
+    def test_detection(self, rng):
+        inst = sample_dvc(200, alpha=4, k=2, rng=rng)
+        assert covers_estar(inst, np.array([inst.e_star[0]]))
+        assert covers_estar(inst, np.array([inst.e_star[1]]))
+        others = np.setdiff1d(np.arange(400), np.array(inst.e_star))
+        assert not covers_estar(inst, others[:5])
+
+
+class TestBudgetProtocol:
+    def test_full_budget_feasible(self, rng):
+        inst = sample_dvc(1000, alpha=5, k=4, rng=rng)
+        part = random_k_partition(inst.graph, 4, rng)
+        proto = budget_limited_cover_protocol(10**9, 10**9, k=4)
+        res = run_simultaneous(proto, part, rng)
+        assert is_vertex_cover(inst.graph, res.output)
+        assert covers_estar(inst, res.output)
+
+    def test_small_budget_fails_often(self, rng):
+        """The Theorem 4 shape: with budget ≪ n/α the output usually misses
+        e* (checked over several trials to be robust)."""
+        n, alpha, k = 2000, 8, 4
+        misses = 0
+        trials = 6
+        for t in range(trials):
+            inst = sample_dvc(n, alpha, k, rng=rng)
+            part = random_k_partition(inst.graph, k, rng)
+            proto = budget_limited_cover_protocol(5, 5, k=k)
+            res = run_simultaneous(proto, part, rng)
+            misses += not covers_estar(inst, res.output)
+        assert misses >= trials // 2
+
+    def test_budget_respected(self, rng):
+        inst = sample_dvc(1000, alpha=5, k=4, rng=rng)
+        part = random_k_partition(inst.graph, 4, rng)
+        proto = budget_limited_cover_protocol(3, 2, k=4)
+        res = run_simultaneous(proto, part, rng)
+        for m in res.messages:
+            assert m.n_edges <= 3
+            assert m.n_fixed_vertices <= 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            budget_limited_cover_protocol(-1, 0, k=2)

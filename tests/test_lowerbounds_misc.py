@@ -1,0 +1,134 @@
+"""Tests for induced matchings, HVP, and the adversarial gadget."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.graph.edgelist import Graph
+from repro.graph.generators import bipartite_gnp
+from repro.lowerbounds.adversary import (
+    contrast_partitionings,
+    decoy_gadget_instance,
+)
+from repro.lowerbounds.hvp import play_subsample_protocol, sample_hvp
+from repro.lowerbounds.induced import (
+    degree_one_left_fraction_theory,
+    induced_matching,
+    induced_matching_density_exact,
+    induced_matching_density_theory,
+)
+from repro.matching.verify import is_matching
+
+
+class TestInducedMatching:
+    def test_definition(self):
+        # Path 0-1-2 plus isolated edge 3-4: only (3,4) is induced.
+        g = Graph(5, [(0, 1), (1, 2), (3, 4)])
+        m = induced_matching(g)
+        assert m.tolist() == [[3, 4]]
+
+    def test_empty(self):
+        assert induced_matching(Graph(3)).shape == (0, 2)
+
+    def test_is_matching(self, rng):
+        g = bipartite_gnp(200, 200, 1 / 200, rng)
+        m = induced_matching(g)
+        assert is_matching(g, m)
+
+    def test_density_converges_to_exact(self, rng):
+        n = 20000
+        g = bipartite_gnp(n, n, 1.0 / n, rng)
+        density = induced_matching(g).shape[0] / n
+        assert abs(density - induced_matching_density_exact()) < 0.02
+        assert density > induced_matching_density_theory()
+
+    def test_constants(self):
+        assert induced_matching_density_exact() == pytest.approx(1 / math.e**2)
+        assert induced_matching_density_theory() == pytest.approx(1 / math.e**3)
+        assert degree_one_left_fraction_theory() == pytest.approx(1 / math.e)
+
+
+class TestHVP:
+    def test_instance_structure(self, rng):
+        inst = sample_hvp(1000, 300, rng)
+        assert inst.u_star not in set(inst.bob_t.tolist())
+        assert inst.u_star in set(inst.alice_set.tolist())
+        # S ⊆ T: everything in Alice's set except u* is in T.
+        s = np.setdiff1d(inst.alice_set, [inst.u_star])
+        assert np.isin(s, inst.bob_t).all()
+
+    def test_sigma_is_permutation(self, rng):
+        inst = sample_hvp(100, 30, rng)
+        assert np.sort(inst.sigma).tolist() == list(range(100))
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            sample_hvp(10, 10, rng)
+
+    def test_full_budget_always_succeeds(self, rng):
+        inst = sample_hvp(500, 200, rng)
+        ok, size = play_subsample_protocol(inst, 10**6, rng)
+        assert ok
+        assert size >= 1
+
+    def test_success_rate_scales_linearly(self, rng):
+        """P[success] ≈ b / |alice_set| — the Ω(n/α) message shape."""
+        trials = 150
+        hits = {10: 0, 100: 0}
+        for t in range(trials):
+            inst = sample_hvp(600, 300, rng)
+            for b in hits:
+                ok, _ = play_subsample_protocol(inst, b, rng)
+                hits[b] += ok
+        # |alice_set| ≈ 100; b=100 nearly always succeeds, b=10 ≈ 10%.
+        assert hits[100] / trials > 0.85
+        assert hits[10] / trials < 0.35
+
+    def test_zero_budget_fails(self, rng):
+        inst = sample_hvp(100, 40, rng)
+        ok, size = play_subsample_protocol(inst, 0, rng)
+        assert not ok and size == 0
+
+
+class TestDecoyGadget:
+    def test_instance_shapes(self, rng):
+        inst = decoy_gadget_instance(n_hidden=40, k=4, rng=rng)
+        assert inst.graph.n_vertices == 2 * 40 + 2 * 10
+        assert inst.graph.n_edges == 3 * 40
+        assert inst.hidden_matching.shape == (40, 2)
+        assert inst.optimum == 40 + 10  # N + s
+
+    def test_adversarial_partition_valid(self, rng):
+        from repro.graph.validation import check_partition
+
+        inst = decoy_gadget_instance(48, 4, rng)
+        ok, msg = check_partition(inst.adversarial)
+        assert ok, msg
+
+    def test_each_gadget_whole_on_one_machine(self, rng):
+        """Every hidden edge must share its machine with both its decoys —
+        that is what forces the bad maximum matching."""
+        inst = decoy_gadget_instance(24, 3, rng)
+        part = inst.adversarial
+        n = inst.graph.n_vertices
+        for i in range(3):
+            piece = part.piece(i)
+            hidden_here = piece.edges[
+                (piece.edges[:, 0] < 24) & (piece.edges[:, 1] < 48)
+            ]
+            for a, b in hidden_here.tolist():
+                # a's decoy and b's decoy are present in the same piece.
+                assert (piece.degrees[a] == 2) and (piece.degrees[b] == 2)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            decoy_gadget_instance(10, 1, rng)
+        with pytest.raises(ValueError):
+            decoy_gadget_instance(10, 3, rng)  # not a multiple
+
+    def test_contrast_shape(self, rng):
+        c = contrast_partitionings(n_hidden=48, k=6, rng=rng)
+        assert c.adversarial_ratio > 2.5
+        assert c.random_ratio < 1.5
+        assert c.adversarial_ratio == pytest.approx((6 + 1) / 2, rel=0.2)

@@ -1,0 +1,89 @@
+"""Tests for the blossom algorithm against networkx on general graphs."""
+
+import numpy as np
+import pytest
+
+from conftest import nx_matching_number
+from repro.graph.edgelist import Graph
+from repro.graph.generators import complete_graph, gnp, path_graph
+from repro.matching.blossom import blossom_maximum_matching
+from repro.matching.verify import is_matching, is_maximal_matching
+
+
+class TestStructuredCases:
+    def test_empty(self):
+        assert blossom_maximum_matching(Graph(4)).shape == (0, 2)
+
+    def test_single_edge(self):
+        m = blossom_maximum_matching(Graph(2, [(0, 1)]))
+        assert m.tolist() == [[0, 1]]
+
+    def test_triangle(self):
+        m = blossom_maximum_matching(complete_graph(3))
+        assert m.shape[0] == 1
+
+    def test_odd_cycle(self):
+        # C5 has MM = 2; requires handling an odd cycle.
+        g = Graph(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)])
+        assert blossom_maximum_matching(g).shape[0] == 2
+
+    def test_paths(self):
+        assert blossom_maximum_matching(path_graph(4)).shape[0] == 2
+        assert blossom_maximum_matching(path_graph(5)).shape[0] == 2
+        assert blossom_maximum_matching(path_graph(6)).shape[0] == 3
+
+    def test_petersen_graph(self):
+        """Petersen graph has a perfect matching (size 5) but needs blossom
+        reasoning to find it from bad greedy starts."""
+        edges = [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0),
+                 (5, 7), (7, 9), (9, 6), (6, 8), (8, 5),
+                 (0, 5), (1, 6), (2, 7), (3, 8), (4, 9)]
+        g = Graph(10, edges)
+        assert blossom_maximum_matching(g).shape[0] == 5
+
+    def test_flower_blossom(self):
+        """A triangle with a pendant path — the textbook blossom case."""
+        # Triangle 0-1-2, path 2-3-4.
+        g = Graph(5, [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4)])
+        assert blossom_maximum_matching(g).shape[0] == 2
+
+    def test_two_triangles_bridge(self):
+        # Triangles {0,1,2} and {3,4,5} joined by 2-3: perfect matching.
+        g = Graph(6, [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)])
+        assert blossom_maximum_matching(g).shape[0] == 3
+
+    def test_complete_graphs(self):
+        for n in (4, 5, 6, 7):
+            assert blossom_maximum_matching(complete_graph(n)).shape[0] == n // 2
+
+    def test_without_greedy_seed(self):
+        g = Graph(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)])
+        assert blossom_maximum_matching(g, seed_greedy=False).shape[0] == 2
+
+
+class TestAgainstNetworkx:
+    @pytest.mark.parametrize("p", [0.05, 0.1, 0.25])
+    def test_random_graphs(self, p, rng):
+        for _ in range(6):
+            g = gnp(30, p, rng)
+            m = blossom_maximum_matching(g)
+            assert is_matching(g, m)
+            assert m.shape[0] == nx_matching_number(g)
+
+    def test_sparse_odd_components(self, rng):
+        """Many small odd components stress blossom contraction."""
+        import networkx as nx
+
+        for _ in range(4):
+            g = gnp(40, 0.06, rng)
+            assert blossom_maximum_matching(g).shape[0] == nx_matching_number(g)
+
+    def test_maximality(self, rng):
+        g = gnp(50, 0.08, rng)
+        m = blossom_maximum_matching(g)
+        assert is_maximal_matching(g, m)
+
+    def test_isolated_vertices_untouched(self, rng):
+        g = Graph(100, [(0, 1), (50, 51)])
+        m = blossom_maximum_matching(g)
+        assert m.shape[0] == 2

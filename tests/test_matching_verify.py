@@ -1,0 +1,83 @@
+"""Tests for repro.matching.verify."""
+
+import numpy as np
+import pytest
+
+from repro.graph.edgelist import Graph
+from repro.matching.verify import (
+    is_matching,
+    is_maximal_matching,
+    is_perfect_matching,
+    matched_vertices,
+    mate_array,
+)
+
+
+class TestMateArray:
+    def test_basic(self):
+        mate = mate_array(np.array([[0, 2], [1, 3]]), 5)
+        assert mate.tolist() == [2, 3, 0, 1, -1]
+
+    def test_empty(self):
+        assert mate_array(np.zeros((0, 2)), 3).tolist() == [-1, -1, -1]
+
+    def test_rejects_double_matching(self):
+        with pytest.raises(ValueError, match="matched 2 times"):
+            mate_array(np.array([[0, 1], [1, 2]]), 3)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            mate_array(np.array([[0, 9]]), 3)
+
+
+class TestIsMatching:
+    def test_valid(self, tiny_graph):
+        assert is_matching(tiny_graph, np.array([[0, 1], [2, 3]]))
+
+    def test_shared_endpoint(self, tiny_graph):
+        assert not is_matching(tiny_graph, np.array([[0, 1], [1, 2]]))
+
+    def test_non_edge(self, tiny_graph):
+        assert not is_matching(tiny_graph, np.array([[0, 3]]))
+
+    def test_self_loop(self, tiny_graph):
+        assert not is_matching(tiny_graph, np.array([[1, 1]]))
+
+    def test_out_of_range(self, tiny_graph):
+        assert not is_matching(tiny_graph, np.array([[0, 99]]))
+
+    def test_empty_always_valid(self, tiny_graph):
+        assert is_matching(tiny_graph, np.zeros((0, 2)))
+
+
+class TestIsMaximal:
+    def test_maximal(self, tiny_graph):
+        # (0,1),(2,3),(4,5) covers all vertices of the 6-cycle.
+        assert is_maximal_matching(tiny_graph, np.array([[0, 1], [2, 3], [4, 5]]))
+
+    def test_not_maximal(self, tiny_graph):
+        assert not is_maximal_matching(tiny_graph, np.array([[0, 1]]))
+
+    def test_invalid_not_maximal(self, tiny_graph):
+        assert not is_maximal_matching(tiny_graph, np.array([[0, 1], [1, 2]]))
+
+    def test_empty_on_empty_graph(self):
+        assert is_maximal_matching(Graph(4), np.zeros((0, 2)))
+
+
+class TestIsPerfect:
+    def test_perfect_on_cycle(self, tiny_graph):
+        assert is_perfect_matching(tiny_graph, np.array([[0, 1], [2, 3], [4, 5]]))
+
+    def test_ignores_isolated_vertices(self):
+        g = Graph(4, [(0, 1)])  # 2 and 3 isolated
+        assert is_perfect_matching(g, np.array([[0, 1]]))
+
+    def test_not_perfect(self, tiny_graph):
+        assert not is_perfect_matching(tiny_graph, np.array([[0, 1], [2, 3]]))
+
+
+class TestMatchedVertices:
+    def test_sorted(self):
+        out = matched_vertices(np.array([[5, 2], [0, 3]]))
+        np.testing.assert_array_equal(out, [0, 2, 3, 5])

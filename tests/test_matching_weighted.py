@@ -1,0 +1,108 @@
+"""Tests for weighted matching (greedy 2-approx + exact oracle)."""
+
+import numpy as np
+import pytest
+
+from repro.graph.weights import WeightedGraph
+from repro.matching.verify import is_matching
+from repro.matching.weighted import (
+    exact_weighted_matching,
+    greedy_weighted_matching,
+)
+
+
+def wg_from(edges, weights, n=None):
+    edges = np.asarray(edges, dtype=np.int64)
+    n = int(edges.max()) + 1 if n is None else n
+    return WeightedGraph(n, edges, np.asarray(weights, dtype=np.float64))
+
+
+class TestGreedyWeighted:
+    def test_prefers_heavy_edge(self):
+        # Path 0-1-2: middle edge heavy.
+        wg = wg_from([(0, 1), (1, 2)], [1.0, 10.0])
+        m, w = greedy_weighted_matching(wg)
+        assert w == 10.0
+        assert m.tolist() == [[1, 2]]
+
+    def test_empty(self):
+        wg = WeightedGraph(3, np.zeros((0, 2), dtype=np.int64),
+                           np.zeros(0), validated=True)
+        m, w = greedy_weighted_matching(wg)
+        assert m.shape == (0, 2) and w == 0.0
+
+    def test_output_is_matching(self, rng):
+        from repro.graph.generators import gnp
+
+        g = gnp(40, 0.15, rng)
+        wg = WeightedGraph(40, g.edges, rng.uniform(1, 10, g.n_edges),
+                           validated=True)
+        m, w = greedy_weighted_matching(wg)
+        assert is_matching(wg, m)
+        assert w == pytest.approx(wg.matching_weight(m))
+
+    def test_half_approximation(self, rng):
+        """Greedy ≥ OPT/2, verified against the exact oracle."""
+        from repro.graph.generators import gnp
+
+        for _ in range(10):
+            g = gnp(10, 0.4, rng)
+            if g.n_edges == 0 or g.n_edges > 22:
+                continue
+            wg = WeightedGraph(10, g.edges, rng.uniform(1, 100, g.n_edges),
+                               validated=True)
+            _, greedy_w = greedy_weighted_matching(wg)
+            _, opt_w = exact_weighted_matching(wg)
+            assert greedy_w >= opt_w / 2 - 1e-9
+            assert greedy_w <= opt_w + 1e-9
+
+
+class TestExactWeighted:
+    def test_known_instance(self):
+        # Triangle with weights: best single edge wins over any pair? No —
+        # a triangle admits only single-edge matchings.
+        wg = wg_from([(0, 1), (1, 2), (0, 2)], [3.0, 5.0, 4.0])
+        m, w = exact_weighted_matching(wg)
+        assert w == 5.0
+
+    def test_chooses_pair_over_heavy_single(self):
+        # Path 0-1-2-3: (0,1)+(2,3) = 6 beats middle edge 5.
+        wg = wg_from([(0, 1), (1, 2), (2, 3)], [3.0, 5.0, 3.0])
+        m, w = exact_weighted_matching(wg)
+        assert w == 6.0
+        assert m.shape[0] == 2
+
+    def test_empty(self):
+        wg = WeightedGraph(2, np.zeros((0, 2), dtype=np.int64),
+                           np.zeros(0), validated=True)
+        _, w = exact_weighted_matching(wg)
+        assert w == 0.0
+
+    def test_size_guard(self, rng):
+        edges = np.stack([np.arange(30), np.arange(30) + 30], axis=1)
+        wg = WeightedGraph(60, edges, np.ones(30), validated=True)
+        with pytest.raises(ValueError, match="small graphs"):
+            exact_weighted_matching(wg)
+
+    def test_exact_vs_brute_force(self, rng):
+        """Cross-check the branch-and-bound against explicit enumeration."""
+        from itertools import combinations
+
+        from repro.graph.generators import gnp
+
+        for _ in range(5):
+            g = gnp(8, 0.4, rng)
+            if g.n_edges == 0 or g.n_edges > 12:
+                continue
+            weights = rng.uniform(1, 10, g.n_edges)
+            wg = WeightedGraph(8, g.edges, weights, validated=True)
+            _, w_bb = exact_weighted_matching(wg)
+            best = 0.0
+            rows = list(range(g.n_edges))
+            for r in range(len(rows) + 1):
+                for sub in combinations(rows, r):
+                    sel = g.edges[list(sub)]
+                    if sel.size and np.bincount(sel.ravel()).max() > 1:
+                        continue
+                    best = max(best, float(weights[list(sub)].sum()))
+            assert w_bb == pytest.approx(best)

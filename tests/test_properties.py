@@ -1,0 +1,244 @@
+"""Hypothesis property-based tests on the core data structures and the
+paper's structural invariants."""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.graph.bipartite import BipartiteGraph
+from repro.graph.edgelist import Graph
+from repro.graph.partition import random_k_partition
+from repro.graph.validation import check_graph, check_partition
+from repro.utils.arrays import dedupe_edges, edge_keys, isin_mask
+
+SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+# --------------------------------------------------------------------- #
+# strategies
+# --------------------------------------------------------------------- #
+@st.composite
+def graphs(draw, max_n=30, max_m=80):
+    n = draw(st.integers(min_value=2, max_value=max_n))
+    m = draw(st.integers(min_value=0, max_value=max_m))
+    edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, n - 1), st.integers(0, n - 1)
+            ),
+            min_size=m,
+            max_size=m,
+        )
+    )
+    return Graph(n, np.asarray(edges, dtype=np.int64).reshape(-1, 2))
+
+
+@st.composite
+def bipartite_graphs(draw, max_side=20, max_m=60):
+    nl = draw(st.integers(1, max_side))
+    nr = draw(st.integers(1, max_side))
+    m = draw(st.integers(0, max_m))
+    left = draw(st.lists(st.integers(0, nl - 1), min_size=m, max_size=m))
+    right = draw(st.lists(st.integers(0, nr - 1), min_size=m, max_size=m))
+    return BipartiteGraph.from_pairs(nl, nr, left, right)
+
+
+# --------------------------------------------------------------------- #
+# graph substrate invariants
+# --------------------------------------------------------------------- #
+@SETTINGS
+@given(graphs())
+def test_graph_construction_invariants(g):
+    ok, msg = check_graph(g)
+    assert ok, msg
+    assert int(g.degrees.sum()) == 2 * g.n_edges
+
+
+@SETTINGS
+@given(graphs())
+def test_dedupe_idempotent(g):
+    once = dedupe_edges(g.edges, g.n_vertices)
+    twice = dedupe_edges(once, g.n_vertices)
+    np.testing.assert_array_equal(once, twice)
+
+
+@SETTINGS
+@given(graphs())
+def test_adjacency_roundtrip(g):
+    """Edges reconstructed from CSR equal the original edge set."""
+    rebuilt = []
+    for v in range(g.n_vertices):
+        for u in g.neighbors(v).tolist():
+            if v < u:
+                rebuilt.append((v, u))
+    rebuilt_arr = np.asarray(sorted(rebuilt), dtype=np.int64).reshape(-1, 2)
+    keys_a = set(edge_keys(g.edges, g.n_vertices).tolist()) if g.n_edges else set()
+    keys_b = set(
+        edge_keys(rebuilt_arr, g.n_vertices).tolist()
+    ) if rebuilt_arr.size else set()
+    assert keys_a == keys_b
+
+
+@SETTINGS
+@given(graphs(), st.integers(1, 6), st.integers(0, 2**31 - 1))
+def test_partition_reassembly(g, k, seed):
+    part = random_k_partition(g, k, seed)
+    ok, msg = check_partition(part)
+    assert ok, msg
+
+
+@SETTINGS
+@given(graphs())
+def test_union_is_idempotent(g):
+    assert g.union(g) == g
+
+
+@SETTINGS
+@given(graphs())
+def test_without_all_vertices_empties(g):
+    h = g.without_vertices(np.arange(g.n_vertices))
+    assert h.n_edges == 0
+
+
+# --------------------------------------------------------------------- #
+# matching invariants
+# --------------------------------------------------------------------- #
+@SETTINGS
+@given(bipartite_graphs())
+def test_hk_equals_augmenting(g):
+    from repro.matching.augmenting import augmenting_path_matching
+    from repro.matching.hopcroft_karp import hopcroft_karp
+    from repro.matching.verify import is_matching
+
+    a = hopcroft_karp(g)
+    b = augmenting_path_matching(g)
+    assert is_matching(g, a)
+    assert a.shape[0] == b.shape[0]
+
+
+@SETTINGS
+@given(bipartite_graphs())
+def test_blossom_equals_hk_on_bipartite(g):
+    from repro.matching.blossom import blossom_maximum_matching
+    from repro.matching.hopcroft_karp import hopcroft_karp
+
+    assert blossom_maximum_matching(g).shape[0] == hopcroft_karp(g).shape[0]
+
+
+@SETTINGS
+@given(graphs(), st.integers(0, 2**31 - 1))
+def test_maximal_is_half_of_maximum(g, seed):
+    from repro.matching.blossom import blossom_maximum_matching
+    from repro.matching.maximal import greedy_maximal_matching
+
+    maximal = greedy_maximal_matching(g, order="random", rng=seed)
+    maximum = blossom_maximum_matching(g)
+    assert maximal.shape[0] <= maximum.shape[0]
+    assert 2 * maximal.shape[0] >= maximum.shape[0]
+
+
+@SETTINGS
+@given(bipartite_graphs())
+def test_konig_duality(g):
+    """König: min-VC size == max-matching size, and the cover is feasible."""
+    from repro.cover.konig import konig_cover
+    from repro.cover.verify import is_vertex_cover
+    from repro.matching.hopcroft_karp import hopcroft_karp
+
+    cover = konig_cover(g)
+    assert is_vertex_cover(g, cover)
+    assert cover.shape[0] == hopcroft_karp(g).shape[0]
+
+
+@SETTINGS
+@given(graphs())
+def test_cover_at_least_matching(g):
+    """Weak LP duality: any vertex cover ≥ any matching."""
+    from repro.cover.two_approx import matching_based_cover
+    from repro.cover.verify import is_vertex_cover
+    from repro.matching.blossom import blossom_maximum_matching
+
+    cover = matching_based_cover(g, rng=0)
+    assert is_vertex_cover(g, cover)
+    assert cover.shape[0] >= blossom_maximum_matching(g).shape[0]
+
+
+# --------------------------------------------------------------------- #
+# coreset pipeline invariants
+# --------------------------------------------------------------------- #
+@SETTINGS
+@given(bipartite_graphs(max_side=15, max_m=40), st.integers(1, 5),
+       st.integers(0, 2**31 - 1))
+def test_matching_protocol_always_valid(g, k, seed):
+    from repro.core.protocols import matching_coreset_protocol
+    from repro.dist.coordinator import run_simultaneous
+    from repro.matching.verify import is_matching
+
+    part = random_k_partition(g, k, seed)
+    res = run_simultaneous(matching_coreset_protocol(), part, seed)
+    assert is_matching(g, res.output)
+
+
+@SETTINGS
+@given(bipartite_graphs(max_side=15, max_m=40), st.integers(1, 5),
+       st.integers(0, 2**31 - 1))
+def test_vc_protocol_always_feasible(g, k, seed):
+    from repro.core.protocols import vertex_cover_coreset_protocol
+    from repro.cover.verify import is_vertex_cover
+    from repro.dist.coordinator import run_simultaneous
+
+    part = random_k_partition(g, k, seed)
+    res = run_simultaneous(vertex_cover_coreset_protocol(k=k), part, seed)
+    assert is_vertex_cover(g, res.output)
+
+
+@SETTINGS
+@given(bipartite_graphs(max_side=15, max_m=40), st.integers(2, 5),
+       st.integers(0, 2**31 - 1))
+def test_grouped_vc_always_feasible(g, k, seed):
+    from repro.core.protocols import grouped_vertex_cover_protocol
+    from repro.cover.verify import is_vertex_cover
+    from repro.dist.coordinator import run_simultaneous
+
+    part = random_k_partition(g, k, seed)
+    res = run_simultaneous(
+        grouped_vertex_cover_protocol(k=k, alpha=8.0), part, seed
+    )
+    assert is_vertex_cover(g, res.output)
+
+
+@SETTINGS
+@given(graphs(max_n=20, max_m=40), st.integers(1, 4), st.integers(0, 2**31 - 1))
+def test_vc_coreset_piece_cover_property(g, k, seed):
+    """Per-piece invariant: fixed ∪ cover(residual) covers the piece."""
+    from repro.core.vc_coreset import vc_coreset
+    from repro.cover.two_approx import matching_based_cover
+    from repro.cover.verify import is_vertex_cover
+
+    part = random_k_partition(g, k, seed)
+    for i in range(k):
+        piece = part.piece(i)
+        result = vc_coreset(piece, k=k)
+        cover = np.unique(np.concatenate([
+            result.fixed_vertices,
+            matching_based_cover(result.residual, rng=seed),
+        ])) if result.fixed_vertices.size or result.residual.n_edges else \
+            np.zeros(0, dtype=np.int64)
+        assert is_vertex_cover(piece, cover)
+
+
+@SETTINGS
+@given(st.integers(2, 40), st.integers(1, 39), st.integers(0, 2**31 - 1))
+def test_hvp_protocol_never_lies(universe, t_size, seed):
+    """If the subsample protocol reports success, u* really is in X."""
+    from repro.lowerbounds.hvp import play_subsample_protocol, sample_hvp
+
+    if t_size >= universe:
+        t_size = universe - 1
+    inst = sample_hvp(universe, t_size, seed)
+    ok, size = play_subsample_protocol(inst, 3, seed)
+    assert size <= 3 + 1

@@ -1,0 +1,117 @@
+"""Tests for the random-arrival streaming module."""
+
+import numpy as np
+import pytest
+
+from repro.graph.edgelist import Graph
+from repro.graph.generators import bipartite_gnp, path_graph, planted_matching_gnp
+from repro.matching.api import maximum_matching
+from repro.matching.verify import is_matching, is_maximal_matching
+from repro.streaming import (
+    StreamingGreedyMatcher,
+    TwoPhaseStreamingMatcher,
+    adversarial_order,
+    random_order,
+)
+
+
+class TestOrders:
+    def test_random_order_is_permutation(self, rng):
+        g = bipartite_gnp(30, 30, 0.1, rng)
+        order = random_order(g, rng)
+        assert np.sort(order).tolist() == list(range(g.n_edges))
+
+    def test_adversarial_order_optimal_edges_last(self, rng):
+        g = bipartite_gnp(40, 40, 0.08, rng)
+        opt = maximum_matching(g)
+        order = adversarial_order(g, opt, rng)
+        assert np.sort(order).tolist() == list(range(g.n_edges))
+        # The last |opt| stream positions are exactly the optimal edges.
+        from repro.utils.arrays import isin_mask
+
+        tail = g.edges[order[-opt.shape[0]:]]
+        assert isin_mask(tail, opt, g.n_vertices).all()
+
+
+class TestGreedyMatcher:
+    def test_output_maximal_any_order(self, rng):
+        g = bipartite_gnp(50, 50, 0.08, rng)
+        for order in (random_order(g, rng),
+                      np.arange(g.n_edges, dtype=np.int64)):
+            m = StreamingGreedyMatcher(g.n_vertices).run(g, order)
+            assert is_maximal_matching(g, m)
+
+    def test_half_approximation_even_adversarial(self, rng):
+        g, _ = planted_matching_gnp(200, 200, 0.01, rng=rng)
+        opt = maximum_matching(g)
+        order = adversarial_order(g, opt, rng)
+        m = StreamingGreedyMatcher(g.n_vertices).run(g, order)
+        assert m.shape[0] >= opt.shape[0] / 2
+
+    def test_offer_semantics(self):
+        sm = StreamingGreedyMatcher(4)
+        assert sm.offer(0, 1)
+        assert not sm.offer(1, 2)  # 1 taken
+        assert sm.offer(2, 3)
+        assert not sm.offer(0, 0)  # self loop
+        assert sm.size == 2
+
+    def test_memory_is_linear(self):
+        assert StreamingGreedyMatcher(1000).memory_words == 1000
+
+    def test_worst_case_half_tight(self):
+        """P3 path with the middle edge first: greedy gets 1, opt 2."""
+        g = path_graph(4)  # edges (0,1),(1,2),(2,3)
+        order = np.array([1, 0, 2])  # middle edge first
+        m = StreamingGreedyMatcher(4).run(g, order)
+        assert m.shape[0] == 1
+        assert maximum_matching(g, "blossom").shape[0] == 2
+
+
+class TestTwoPhaseMatcher:
+    def test_valid_matching(self, rng):
+        g, _ = planted_matching_gnp(300, 300, 0.005, rng=rng)
+        order = random_order(g, rng)
+        m = TwoPhaseStreamingMatcher(g.n_vertices).run(g, order)
+        assert is_matching(g, m)
+
+    def test_beats_or_ties_greedy_on_random_order(self, rng):
+        """Statistical: over several trials the two-phase matcher's mean
+        is strictly above greedy's mean on random arrival."""
+        gains = []
+        for t in range(5):
+            g, _ = planted_matching_gnp(400, 400, 0.004, rng=rng)
+            order = random_order(g, rng)
+            greedy = StreamingGreedyMatcher(g.n_vertices).run(g, order)
+            two = TwoPhaseStreamingMatcher(g.n_vertices).run(g, order)
+            gains.append(two.shape[0] - greedy.shape[0])
+        assert np.mean(gains) > 0
+
+    def test_never_below_half(self, rng):
+        g, _ = planted_matching_gnp(200, 200, 0.01, rng=rng)
+        opt = maximum_matching(g)
+        for order in (random_order(g, rng),
+                      adversarial_order(g, opt, rng)):
+            m = TwoPhaseStreamingMatcher(g.n_vertices).run(g, order)
+            # Phase-1 matching is maximal on the prefix + phase 2 only
+            # grows/augments, so ≥ greedy-on-prefix; empirically ≥ 0.5 opt.
+            assert m.shape[0] >= opt.shape[0] * 0.45
+
+    def test_augmentation_correctness_small(self):
+        """Hand-built 3-augmentation: path x-u-v-y with (u,v) early."""
+        g = Graph(4, [(1, 2), (0, 1), (2, 3)])
+        # canonical edges sorted: (0,1),(1,2),(2,3); order: (1,2) first.
+        order = np.array([1, 0, 2])
+        m = TwoPhaseStreamingMatcher(4, phase1_fraction=0.34).run(g, order)
+        assert is_matching(g, m)
+        assert m.shape[0] == 2  # augmented through the wings
+
+    def test_fraction_validation(self, rng):
+        g = path_graph(3)
+        with pytest.raises(ValueError):
+            TwoPhaseStreamingMatcher(3, phase1_fraction=1.5).run(
+                g, np.arange(g.n_edges)
+            )
+
+    def test_memory_is_linear(self):
+        assert TwoPhaseStreamingMatcher(500).memory_words == 1500

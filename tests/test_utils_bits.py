@@ -1,0 +1,85 @@
+"""Tests for repro.utils.bits: the communication cost model."""
+
+import pytest
+
+from repro.utils.bits import (
+    BitCost,
+    edge_bits,
+    edges_bits,
+    int_bits,
+    vertex_bits,
+    vertices_bits,
+)
+
+
+class TestVertexBits:
+    def test_powers_of_two(self):
+        assert vertex_bits(2) == 1
+        assert vertex_bits(4) == 2
+        assert vertex_bits(1024) == 10
+
+    def test_non_powers_round_up(self):
+        assert vertex_bits(3) == 2
+        assert vertex_bits(1000) == 10
+        assert vertex_bits(1025) == 11
+
+    def test_one_vertex_floor(self):
+        assert vertex_bits(1) == 1
+
+    def test_nonpositive_raises(self):
+        with pytest.raises(ValueError):
+            vertex_bits(0)
+        with pytest.raises(ValueError):
+            vertex_bits(-5)
+
+
+class TestEdgeBits:
+    def test_edge_is_two_vertices(self):
+        for n in (2, 100, 4096):
+            assert edge_bits(n) == 2 * vertex_bits(n)
+
+    def test_bulk_costs(self):
+        assert edges_bits(10, 1024) == 10 * 20
+        assert vertices_bits(7, 1024) == 70
+
+    def test_negative_counts_raise(self):
+        with pytest.raises(ValueError):
+            edges_bits(-1, 16)
+        with pytest.raises(ValueError):
+            vertices_bits(-1, 16)
+
+    def test_zero_count_is_free(self):
+        assert edges_bits(0, 16) == 0
+
+
+class TestIntBits:
+    def test_values(self):
+        assert int_bits(0) == 1
+        assert int_bits(1) == 1
+        assert int_bits(2) == 2
+        assert int_bits(255) == 8
+        assert int_bits(256) == 9
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            int_bits(-1)
+
+
+class TestBitCost:
+    def test_total(self):
+        c = BitCost(edge_count=3, vertex_count=2, aux_bits=5)
+        n = 1024
+        assert c.total_bits(n) == 3 * 20 + 2 * 10 + 5
+
+    def test_add(self):
+        a = BitCost(1, 2, 3)
+        b = BitCost(10, 20, 30)
+        s = a + b
+        assert (s.edge_count, s.vertex_count, s.aux_bits) == (11, 22, 33)
+
+    def test_default_is_free(self):
+        assert BitCost().total_bits(100) == 0
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            BitCost().edge_count = 5  # type: ignore[misc]

@@ -1,0 +1,82 @@
+"""Tests for repro.utils.rng: seed coercion and stream independence."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import (
+    as_generator,
+    sample_distinct_pairs,
+    spawn_generators,
+    spawn_seeds,
+)
+
+
+class TestAsGenerator:
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_int_seed_reproducible(self):
+        a = as_generator(7).integers(0, 1 << 30, size=10)
+        b = as_generator(7).integers(0, 1 << 30, size=10)
+        np.testing.assert_array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(0)
+        assert as_generator(g) is g
+
+    def test_seedsequence_accepted(self):
+        ss = np.random.SeedSequence(42)
+        a = as_generator(ss).integers(0, 1 << 30, size=5)
+        b = as_generator(np.random.SeedSequence(42)).integers(0, 1 << 30, size=5)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestSpawn:
+    def test_spawn_count(self):
+        assert len(spawn_seeds(0, 5)) == 5
+        assert len(spawn_generators(0, 3)) == 3
+
+    def test_spawn_zero(self):
+        assert spawn_seeds(0, 0) == []
+
+    def test_spawn_negative_raises(self):
+        with pytest.raises(ValueError, match="negative"):
+            spawn_seeds(0, -1)
+
+    def test_children_are_independent_streams(self):
+        gens = spawn_generators(123, 2)
+        a = gens[0].integers(0, 1 << 30, size=100)
+        b = gens[1].integers(0, 1 << 30, size=100)
+        assert not np.array_equal(a, b)
+
+    def test_same_seed_same_family(self):
+        a = [g.integers(0, 1 << 30) for g in spawn_generators(9, 4)]
+        b = [g.integers(0, 1 << 30) for g in spawn_generators(9, 4)]
+        assert a == b
+
+    def test_spawn_from_generator_advances(self):
+        g = np.random.default_rng(5)
+        fam1 = [x.integers(0, 1 << 30) for x in spawn_generators(g, 2)]
+        fam2 = [x.integers(0, 1 << 30) for x in spawn_generators(g, 2)]
+        assert fam1 != fam2  # repeated spawning yields fresh families
+
+
+class TestSampleDistinctPairs:
+    def test_shape_and_distinctness(self, rng):
+        pairs = sample_distinct_pairs(np.arange(10), 500, rng)
+        assert pairs.shape == (500, 2)
+        assert (pairs[:, 0] != pairs[:, 1]).all()
+
+    def test_values_from_universe(self, rng):
+        uni = np.array([3, 7, 11, 20])
+        pairs = sample_distinct_pairs(uni, 100, rng)
+        assert np.isin(pairs, uni).all()
+
+    def test_small_universe_raises(self, rng):
+        with pytest.raises(ValueError, match="two elements"):
+            sample_distinct_pairs([1], 3, rng)
+
+    def test_two_element_universe_is_uniformish(self, rng):
+        pairs = sample_distinct_pairs([0, 1], 400, rng)
+        frac = (pairs[:, 0] == 0).mean()
+        assert 0.35 < frac < 0.65

@@ -1,0 +1,114 @@
+"""Tests for repro.utils.stats."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.utils.stats import (
+    RunningStat,
+    confidence_interval,
+    geometric_mean,
+    summarize,
+)
+
+
+class TestRunningStat:
+    def test_matches_numpy(self, rng):
+        xs = rng.normal(5, 2, size=200)
+        rs = RunningStat()
+        rs.extend(xs)
+        assert rs.count == 200
+        assert rs.mean == pytest.approx(xs.mean())
+        assert rs.std == pytest.approx(xs.std(ddof=1))
+        assert rs.min == pytest.approx(xs.min())
+        assert rs.max == pytest.approx(xs.max())
+
+    def test_single_sample(self):
+        rs = RunningStat()
+        rs.add(3.0)
+        assert rs.mean == 3.0
+        assert rs.variance == 0.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            RunningStat().mean
+
+    def test_numerical_stability_large_offset(self):
+        rs = RunningStat()
+        base = 1e12
+        for x in (base + 1, base + 2, base + 3):
+            rs.add(x)
+        assert rs.variance == pytest.approx(1.0)
+
+
+class TestConfidenceInterval:
+    def test_contains_mean(self, rng):
+        xs = rng.normal(0, 1, size=50)
+        lo, hi = confidence_interval(xs)
+        assert lo <= xs.mean() <= hi
+
+    def test_single_sample_degenerate(self):
+        lo, hi = confidence_interval([4.0])
+        assert lo == hi == 4.0
+
+    def test_width_shrinks_with_n(self, rng):
+        xs_small = rng.normal(0, 1, size=10)
+        xs_big = np.tile(xs_small, 100)  # same variance structure, 100x n
+        w_small = np.diff(confidence_interval(xs_small))[0]
+        w_big = np.diff(confidence_interval(xs_big))[0]
+        assert w_big < w_small
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            confidence_interval([])
+
+    def test_bad_level_raises(self):
+        with pytest.raises(ValueError):
+            confidence_interval([1.0, 2.0], level=1.5)
+
+    def test_nondefault_level_wider_at_higher_confidence(self, rng):
+        xs = rng.normal(0, 1, size=40)
+        w90 = np.diff(confidence_interval(xs, 0.90))[0]
+        w99 = np.diff(confidence_interval(xs, 0.99))[0]
+        assert w99 > w90
+
+    def test_coverage_statistical(self, rng):
+        """~95% of intervals from N(0,1) samples should contain 0."""
+        hits = 0
+        trials = 300
+        for _ in range(trials):
+            xs = rng.normal(0, 1, size=30)
+            lo, hi = confidence_interval(xs)
+            hits += lo <= 0 <= hi
+        assert hits / trials > 0.88
+
+
+class TestSummarize:
+    def test_fields(self):
+        s = summarize([1.0, 2.0, 3.0])
+        assert s.n == 3
+        assert s.mean == pytest.approx(2.0)
+        assert s.min == 1.0 and s.max == 3.0
+        assert s.ci_low <= s.mean <= s.ci_high
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+
+class TestGeometricMean:
+    def test_known_value(self):
+        assert geometric_mean([1, 4]) == pytest.approx(2.0)
+        assert geometric_mean([2, 2, 2]) == pytest.approx(2.0)
+
+    def test_ratio_invariance(self):
+        """gm of ratios = ratio of gms — the property we use it for."""
+        a = np.array([1.5, 2.0, 3.0])
+        assert geometric_mean(a) * geometric_mean(1 / a) == pytest.approx(1.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+        with pytest.raises(ValueError):
+            geometric_mean([])
