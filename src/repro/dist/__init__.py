@@ -1,0 +1,57 @@
+"""The distributed substrate: simultaneous protocols and MapReduce.
+
+The paper's model of computation is the *simultaneous communication model*:
+the edges of a graph are partitioned across ``k`` machines, every machine
+sends a single message (its coreset) to a coordinator, and the coordinator
+must output a solution from the union of the messages alone.  Communication
+is measured in bits (:mod:`repro.utils.bits`).  This package provides that
+substrate, independent of any particular coreset:
+
+* :mod:`repro.dist.message` — the :class:`~repro.dist.message.Message` a
+  machine sends: an edge set, a fixed partial solution, and an auxiliary
+  bit payload, with an exact bit-size accounting.
+* :mod:`repro.dist.ledger` — the
+  :class:`~repro.dist.ledger.CommunicationLedger` charging every message to
+  its sender, so protocols are compared against the paper's lower bounds in
+  the same currency.
+* :mod:`repro.dist.machine` — one simulated
+  :class:`~repro.dist.machine.Machine` holding a piece of the input and a
+  private randomness stream.
+* :mod:`repro.dist.coordinator` — the
+  :class:`~repro.dist.coordinator.SimultaneousProtocol` description and the
+  :func:`~repro.dist.coordinator.run_simultaneous` engine that executes it
+  over a partitioned graph.
+* :mod:`repro.dist.mapreduce` — the
+  :class:`~repro.dist.mapreduce.MapReduceSimulator` with per-machine memory
+  caps, for the paper's 2-round MPC corollaries.
+"""
+
+from repro.dist.coordinator import (
+    Coordinator,
+    ProtocolResult,
+    SimultaneousProtocol,
+    run_simultaneous,
+)
+from repro.dist.ledger import CommunicationLedger
+from repro.dist.machine import Machine
+from repro.dist.mapreduce import (
+    MapReduceJob,
+    MapReduceSimulator,
+    MemoryCapExceeded,
+    RoundRecord,
+)
+from repro.dist.message import Message
+
+__all__ = [
+    "CommunicationLedger",
+    "Coordinator",
+    "Machine",
+    "MapReduceJob",
+    "MapReduceSimulator",
+    "MemoryCapExceeded",
+    "Message",
+    "ProtocolResult",
+    "RoundRecord",
+    "SimultaneousProtocol",
+    "run_simultaneous",
+]

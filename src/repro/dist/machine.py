@@ -1,0 +1,71 @@
+"""One simulated machine of the simultaneous model.
+
+A machine owns a *piece* — the subgraph of its edges on the full vertex set
+``V`` (every machine knows ``V``; only the edge set is partitioned) — plus a
+private randomness stream.  Its only action is to run a summarizer over the
+piece and emit one :class:`~repro.dist.message.Message`.
+
+The machine enforces the model's honesty constraint at the seam: a message
+must be attributed to the machine that produced it.  Summarizers are
+arbitrary user code (tests include deliberately dishonest ones), so this is
+validated here rather than trusted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+import numpy as np
+
+from repro.dist.message import Message
+from repro.graph.edgelist import Graph
+
+__all__ = ["Machine", "Summarizer"]
+
+# summarizer(piece, machine_index, rng, public=...) -> Message
+Summarizer = Callable[..., Message]
+
+
+@dataclass
+class Machine:
+    """A player of the simultaneous protocol.
+
+    Parameters
+    ----------
+    index:
+        The machine's id in ``0..k-1``.
+    piece:
+        The machine's subgraph ``G^(i)`` (on the full vertex set).
+    rng:
+        The machine's private generator, derived by the engine from the
+        protocol seed so runs are reproducible machine by machine.
+    """
+
+    index: int
+    piece: Graph
+    rng: np.random.Generator
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ValueError(f"machine index must be non-negative, got {self.index}")
+
+    def summarize(
+        self, summarizer: Summarizer, public: Optional[Any] = None
+    ) -> Message:
+        """Run ``summarizer`` on this machine's piece and validate the result.
+
+        ``public`` is the shared public-randomness object (or ``None``); it
+        is passed through to the summarizer unchanged.
+        """
+        message = summarizer(self.piece, self.index, self.rng, public=public)
+        if not isinstance(message, Message):
+            raise TypeError(
+                f"summarizer must return a Message, got {type(message).__name__}"
+            )
+        if message.sender != self.index:
+            raise ValueError(
+                f"message sender {message.sender} does not match machine "
+                f"index {self.index}"
+            )
+        return message
