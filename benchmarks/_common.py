@@ -5,6 +5,13 @@ and archives it under ``benchmarks/results/`` so EXPERIMENTS.md can be
 refreshed mechanically.  The pytest-benchmark fixture times the full table
 generation (one round — these are experiment harnesses, not microbenchmarks,
 and their interesting output is the table itself).
+
+Benchmarks honor ``REPRO_EXECUTOR`` / ``REPRO_WORKERS``: the distributed
+engines resolve their default backend from the environment, so
+``REPRO_EXECUTOR=processes pytest benchmarks/`` re-times every table with
+process-parallel machines (outputs stay bit-identical per seed — see
+``docs/PARALLELISM.md``).  A non-serial backend is echoed next to each
+table so timings are never misread as serial numbers.
 """
 
 from __future__ import annotations
@@ -16,9 +23,22 @@ from repro.experiments.harness import ExperimentTable
 RESULTS_DIR = Path(__file__).parent / "results"
 
 
+def executor_backend() -> str:
+    """The backend name benchmarks are running under (default ``serial``)."""
+    from repro.dist.executor import resolve_executor
+
+    return resolve_executor(None).name
+
+
 def emit(table: ExperimentTable, stem: str) -> ExperimentTable:
     """Print the table and archive it under benchmarks/results/<stem>.txt."""
     text = table.format()
+    backend = executor_backend()
+    if backend != "serial":
+        # The annotation must reach the archive, not just the console —
+        # results files are what reports are regenerated from, and a
+        # process-pool timing must never be misread as a serial one.
+        text += f"\n[executor backend: {backend}]"
     print()
     print(text)
     RESULTS_DIR.mkdir(exist_ok=True)

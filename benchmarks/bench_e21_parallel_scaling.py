@@ -1,0 +1,25 @@
+"""E21 — parallel scaling: serial vs process-pool execution of the E8
+MapReduce matching workload, with outputs asserted bit-identical per seed.
+
+The wall-clock columns measure this machine; the assertable claim is the
+determinism contract (docs/PARALLELISM.md): changing the executor backend
+never changes a single output bit."""
+
+from _common import emit, run_once
+from repro.experiments import tables
+
+
+def test_e21_parallel_scaling(benchmark):
+    table = run_once(
+        benchmark,
+        lambda: tables.e21_parallel_scaling(n=4000, avg_degree=24.0,
+                                            n_trials=3),
+    )
+    emit(table, "e21_parallel_scaling")
+    rows = {r["executor"]: r for r in table.rows}
+    assert set(rows) == {"serial", "processes"}
+    # The contract: per seed, every backend reproduces serial bit for bit.
+    assert all(r["identical_to_serial"] for r in table.rows)
+    assert all(r["wall_s_mean"] > 0 for r in table.rows)
+    # No speedup floor is asserted — CI machines may have a single core;
+    # the speedup column is the measurement the table exists to report.

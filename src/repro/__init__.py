@@ -24,10 +24,15 @@ __version__ = "1.0.0"
 from repro.graph import BipartiteGraph, Graph, PartitionedGraph, WeightedGraph
 
 
-def quickstart_matching(n: int = 2000, k: int = 8, seed: int | None = 0) -> dict:
+def quickstart_matching(
+    n: int = 2000, k: int = 8, seed: int | None = 0, executor=None
+) -> dict:
     """One-call demo: random bipartite workload, Theorem 1 coreset protocol,
     measured approximation ratio and communication.
 
+    ``executor`` picks where the k machines run (``"serial"``,
+    ``"threads"``, ``"processes"``, or ``None`` for ``$REPRO_EXECUTOR``);
+    the numbers are bit-identical across backends for the same seed.
     Returns a dict with keys ``optimum``, ``output``, ``ratio``,
     ``total_bits``, ``bits_per_machine``.
     """
@@ -41,7 +46,8 @@ def quickstart_matching(n: int = 2000, k: int = 8, seed: int | None = 0) -> dict
     gens = spawn_generators(seed, 3)
     graph, _ = planted_matching_gnp(n, n, p=2.0 / n, rng=gens[0])
     partitioned = random_k_partition(graph, k, gens[1])
-    result = run_simultaneous(matching_coreset_protocol(), partitioned, gens[2])
+    result = run_simultaneous(matching_coreset_protocol(), partitioned,
+                              gens[2], executor=executor)
     optimum = matching_number(graph)
     output = int(result.output.shape[0])
     return {

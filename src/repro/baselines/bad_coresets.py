@@ -16,6 +16,8 @@
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from repro.core.compose import compose_matching
@@ -25,6 +27,10 @@ from repro.dist.message import Message
 from repro.graph.bipartite import BipartiteGraph
 from repro.matching.maximal import OrderPolicy, greedy_maximal_matching
 
+# Summarizers are module-level dataclasses (not closures) so the bad
+# coresets run on the process executor too — E2/E4 compare them against
+# the good coresets under identical engines and backends.
+
 __all__ = [
     "maximal_matching_coreset_protocol",
     "min_vc_coreset_protocol",
@@ -32,16 +38,23 @@ __all__ = [
 ]
 
 
+@dataclass(frozen=True)
+class MaximalMatchingSummarizer:
+    """An (adversarially ordered) maximal matching of the piece."""
+
+    order: OrderPolicy = "adversarial_key"
+
+    def __call__(self, piece, machine_index, rng, public=None) -> Message:
+        del public
+        m = greedy_maximal_matching(piece, order=self.order, rng=rng)
+        return Message(sender=machine_index, edges=m)
+
+
 def maximal_matching_coreset_protocol(
     order: OrderPolicy = "adversarial_key",
     combiner: str = "exact",
 ) -> SimultaneousProtocol[np.ndarray]:
     """Each machine sends an (adversarially chosen) *maximal* matching."""
-
-    def summarize(piece, machine_index, rng, public=None):
-        del public
-        m = greedy_maximal_matching(piece, order=order, rng=rng)
-        return Message(sender=machine_index, edges=m)
 
     def combine(coordinator, messages):
         return compose_matching(
@@ -53,9 +66,41 @@ def maximal_matching_coreset_protocol(
 
     return SimultaneousProtocol(
         name=f"maximal-matching-coreset[{order}]",
-        summarizer=summarize,
+        summarizer=MaximalMatchingSummarizer(order=order),
         combine=combine,
     )
+
+
+@dataclass(frozen=True)
+class BlockingMaximalSummarizer:
+    """The worst legal maximal matching on the hub instance (see
+    :func:`blocking_maximal_protocol` for why this is still valid)."""
+
+    hub_boundary: int
+
+    def __call__(self, piece, machine_index, rng, public=None) -> Message:
+        del public
+        if not isinstance(piece, BipartiteGraph):
+            raise TypeError("blocking_maximal_protocol expects bipartite pieces")
+        e = piece.edges
+        is_hub_edge = e[:, 1] >= self.hub_boundary
+        hidden = e[~is_hub_edge]
+        owners = np.unique(hidden[:, 0])
+        owner_mask = np.zeros(piece.n_vertices, dtype=bool)
+        if owners.size:
+            owner_mask[owners] = True
+        # Blocking subgraph: owner lefts x hubs.
+        blockable = is_hub_edge & owner_mask[e[:, 0]]
+        block_graph = piece.subgraph_from_mask(blockable)
+        # A *maximum* matching of the blocking subgraph blocks the most
+        # owners (saturating w.h.p. given the instance's hub slack).
+        from repro.matching.hopcroft_karp import hopcroft_karp
+
+        blocking = hopcroft_karp(block_graph)
+        from repro.matching.maximal import complete_to_maximal
+
+        maximal = complete_to_maximal(piece, blocking, order="input")
+        return Message(sender=machine_index, edges=maximal)
 
 
 def blocking_maximal_protocol(
@@ -77,30 +122,6 @@ def blocking_maximal_protocol(
     that invariant.
     """
 
-    def summarize(piece, machine_index, rng, public=None):
-        del public
-        if not isinstance(piece, BipartiteGraph):
-            raise TypeError("blocking_maximal_protocol expects bipartite pieces")
-        e = piece.edges
-        is_hub_edge = e[:, 1] >= hub_boundary
-        hidden = e[~is_hub_edge]
-        owners = np.unique(hidden[:, 0])
-        owner_mask = np.zeros(piece.n_vertices, dtype=bool)
-        if owners.size:
-            owner_mask[owners] = True
-        # Blocking subgraph: owner lefts x hubs.
-        blockable = is_hub_edge & owner_mask[e[:, 0]]
-        block_graph = piece.subgraph_from_mask(blockable)
-        # A *maximum* matching of the blocking subgraph blocks the most
-        # owners (saturating w.h.p. given the instance's hub slack).
-        from repro.matching.hopcroft_karp import hopcroft_karp
-
-        blocking = hopcroft_karp(block_graph)
-        from repro.matching.maximal import complete_to_maximal
-
-        maximal = complete_to_maximal(piece, blocking, order="input")
-        return Message(sender=machine_index, edges=maximal)
-
     def combine(coordinator, messages):
         return compose_matching(
             coordinator.n_vertices,
@@ -111,7 +132,7 @@ def blocking_maximal_protocol(
 
     return SimultaneousProtocol(
         name=f"blocking-maximal[hub>={hub_boundary}]",
-        summarizer=summarize,
+        summarizer=BlockingMaximalSummarizer(hub_boundary=hub_boundary),
         combine=combine,
     )
 
@@ -129,13 +150,29 @@ def min_vc_coreset_protocol(
     choice that realizes the star lower bound.
     """
 
-    def summarize(piece, machine_index, rng, public=None):
+    def combine(coordinator, messages):
+        return coordinator.fixed_vertices(messages)
+
+    return SimultaneousProtocol(
+        name=f"min-vc-coreset[prefer_leaves={prefer_leaves}]",
+        summarizer=MinVCSummarizer(prefer_leaves=prefer_leaves),
+        combine=combine,
+    )
+
+
+@dataclass(frozen=True)
+class MinVCSummarizer:
+    """A minimum vertex cover of the piece, ties broken toward leaves."""
+
+    prefer_leaves: bool = True
+
+    def __call__(self, piece, machine_index, rng, public=None) -> Message:
         del rng, public
         if not isinstance(piece, BipartiteGraph):
             raise TypeError(
                 "min_vc_coreset_protocol needs bipartite pieces (exact VC)"
             )
-        if prefer_leaves:
+        if self.prefer_leaves:
             # König from the leaves' side: flip the bipartition so the cover
             # lands on the leaf side whenever both sides are minimum.
             flipped = _flip_bipartite(piece)
@@ -144,15 +181,6 @@ def min_vc_coreset_protocol(
         else:
             cover = konig_cover(piece)
         return Message(sender=machine_index, fixed_vertices=cover)
-
-    def combine(coordinator, messages):
-        return coordinator.fixed_vertices(messages)
-
-    return SimultaneousProtocol(
-        name=f"min-vc-coreset[prefer_leaves={prefer_leaves}]",
-        summarizer=summarize,
-        combine=combine,
-    )
 
 
 def _flip_bipartite(g: BipartiteGraph) -> BipartiteGraph:

@@ -9,6 +9,8 @@
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from repro.core.compose import compose_matching
@@ -27,6 +29,15 @@ __all__ = [
 ]
 
 
+@dataclass(frozen=True)
+class SendEverythingSummarizer:
+    """Picklable whole-piece summarizer (process-executor safe)."""
+
+    def __call__(self, piece, machine_index, rng, public=None) -> Message:
+        del rng, public
+        return Message(sender=machine_index, edges=piece.edges)
+
+
 def send_everything_protocol(
     problem: str = "matching",
 ) -> SimultaneousProtocol[np.ndarray]:
@@ -34,10 +45,6 @@ def send_everything_protocol(
     (König for bipartite covers, 2-approx otherwise)."""
     if problem not in ("matching", "vertex_cover"):
         raise ValueError(f"unknown problem {problem!r}")
-
-    def summarize(piece, machine_index, rng, public=None):
-        del rng, public
-        return Message(sender=machine_index, edges=piece.edges)
 
     def combine(coordinator, messages):
         if problem == "matching":
@@ -54,7 +61,7 @@ def send_everything_protocol(
 
     return SimultaneousProtocol(
         name=f"send-everything[{problem}]",
-        summarizer=summarize,
+        summarizer=SendEverythingSummarizer(),
         combine=combine,
     )
 

@@ -2,17 +2,26 @@
 
     python -m repro quickstart [--n 4000 --k 8 --seed 0]
     python -m repro experiment e1 [--trials 3]
+    python -m repro experiment e21 --executor processes --workers 8
     python -m repro list-experiments
     python -m repro report [--results benchmarks/results -o report.md]
 
 The CLI is a thin shell over :mod:`repro.experiments` so that every table a
 benchmark can produce is also reachable without pytest — useful for quick
 parameter exploration on the command line.
+
+``--executor`` / ``--workers`` select the execution backend for the
+distributed engines (`serial`, `threads`, `processes`); they work by
+setting ``REPRO_EXECUTOR`` / ``REPRO_WORKERS`` for the run, which is where
+``run_simultaneous`` and ``MapReduceSimulator`` resolve their defaults, so
+every experiment picks them up without per-table plumbing.  Outputs are
+bit-identical across backends for the same seed (docs/PARALLELISM.md).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Callable, Sequence
 
@@ -41,13 +50,15 @@ def build_parser() -> argparse.ArgumentParser:
     q.add_argument("--n", type=int, default=4000, help="vertices per side ×2")
     q.add_argument("--k", type=int, default=8, help="number of machines")
     q.add_argument("--seed", type=int, default=0)
+    _add_executor_flags(q)
 
     e = sub.add_parser("experiment", help="run one experiment table")
-    e.add_argument("id", help="experiment id, e.g. e1, e7, e16")
+    e.add_argument("id", help="experiment id, e.g. e1, e7, e21")
     e.add_argument("--trials", type=int, default=None,
                    help="override the number of trials")
     e.add_argument("--seed", type=int, default=None,
                    help="override the experiment seed")
+    _add_executor_flags(e)
 
     sub.add_parser("list-experiments", help="list available experiment ids")
 
@@ -61,16 +72,46 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _add_executor_flags(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--executor", choices=["serial", "threads", "processes"],
+        default=None,
+        help="execution backend for the distributed engines "
+             "(default: $REPRO_EXECUTOR or serial); outputs are "
+             "bit-identical across backends for the same seed",
+    )
+    sub.add_argument(
+        "--workers", type=int, default=None,
+        help="worker count for threads/processes "
+             "(default: $REPRO_WORKERS or the cpu count)",
+    )
+
+
+def _apply_executor_flags(args: argparse.Namespace) -> None:
+    """Export the flags as the env defaults the engines resolve."""
+    from repro.dist.executor import EXECUTOR_ENV, WORKERS_ENV
+
+    if args.executor is not None:
+        os.environ[EXECUTOR_ENV] = args.executor
+    if args.workers is not None:
+        if args.workers < 1:
+            raise SystemExit(f"--workers must be >= 1, got {args.workers}")
+        os.environ[WORKERS_ENV] = str(args.workers)
+
+
 def _cmd_quickstart(args: argparse.Namespace) -> int:
     from repro import quickstart_matching
 
-    out = quickstart_matching(n=args.n, k=args.k, seed=args.seed)
+    _apply_executor_flags(args)
+    out = quickstart_matching(n=args.n, k=args.k, seed=args.seed,
+                              executor=args.executor)
     for key, value in out.items():
         print(f"{key:>17}: {value}")
     return 0
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
+    _apply_executor_flags(args)
     registry = _experiment_registry()
     key = args.id.lower()
     if key not in registry:

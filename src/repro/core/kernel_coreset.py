@@ -29,6 +29,8 @@ that is the footnote's Õ(k²).
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from repro.core.compose import compose_matching
@@ -137,11 +139,6 @@ def exact_matching_kernel_protocol(
     in the small-optimum regime of footnote 3.
     """
 
-    def summarize(piece, machine_index, rng, public=None):
-        del rng, public
-        kernel = matching_kernel(piece, opt_bound)
-        return Message(sender=machine_index, edges=kernel.edges)
-
     def combine(coordinator, messages):
         return compose_matching(
             coordinator.n_vertices,
@@ -152,6 +149,18 @@ def exact_matching_kernel_protocol(
 
     return SimultaneousProtocol(
         name=f"exact-kernel-matching[K={opt_bound}]",
-        summarizer=summarize,
+        summarizer=MatchingKernelSummarizer(opt_bound=opt_bound),
         combine=combine,
     )
+
+
+@dataclass(frozen=True)
+class MatchingKernelSummarizer:
+    """Picklable footnote-3 summarizer: the matching kernel of the piece."""
+
+    opt_bound: int
+
+    def __call__(self, piece, machine_index, rng, public=None) -> Message:
+        del rng, public
+        kernel = matching_kernel(piece, self.opt_bound)
+        return Message(sender=machine_index, edges=kernel.edges)

@@ -24,7 +24,9 @@ import numpy as np
 
 from repro.core.compose import compose_matching, compose_vertex_cover
 from repro.core.vc_coreset import VCCoresetResult, vc_coreset
+from repro.dist.executor import ExecutorSpec
 from repro.dist.mapreduce import MapReduceJob, MapReduceSimulator
+from repro.graph.bipartite import BipartiteGraph
 from repro.graph.edgelist import Graph
 from repro.matching.api import Algorithm, maximum_matching
 from repro.utils.rng import RandomState, as_generator, spawn_generators
@@ -56,6 +58,59 @@ def _initial_pieces(
     raise ValueError(f"unknown initial placement {how!r}")
 
 
+# The round functions below are module-level dataclass callables rather
+# than closures so that `executor="processes"` can pickle them into worker
+# processes; they carry only small scalars or an edge-free template graph.
+@dataclass(frozen=True)
+class _UniformRoute:
+    """Round-1 route: every edge to a uniformly random machine."""
+
+    k: int
+
+    def __call__(self, i: int, edges: np.ndarray,
+                 rng: np.random.Generator) -> np.ndarray:
+        return rng.integers(0, self.k, size=edges.shape[0])
+
+
+@dataclass(frozen=True)
+class _MatchingCoresetCompute:
+    """Round-2 compute: a maximum matching of the machine's piece."""
+
+    template: Graph  # edge-free; carries n and the bipartition only
+
+    def __call__(self, i: int, edges: np.ndarray,
+                 rng: np.random.Generator) -> np.ndarray:
+        return maximum_matching(_piece_like(self.template, edges))
+
+
+@dataclass(frozen=True)
+class _VCCoresetCompute:
+    """Round-2 compute: VC peeling; returns (residual edges, fixed vertices).
+
+    The fixed vertices come back through :meth:`compute_round`'s aux
+    channel (collected in machine-index order) instead of mutating caller
+    state, which would not survive a process boundary.
+    """
+
+    n_vertices: int
+    k: int
+    log_slack: float
+
+    def __call__(self, i: int, edges: np.ndarray,
+                 rng: np.random.Generator) -> tuple[np.ndarray, np.ndarray]:
+        piece = Graph(self.n_vertices, edges)
+        result = vc_coreset(piece, n=self.n_vertices, k=self.k,
+                            log_slack=self.log_slack)
+        return result.residual.edges, result.fixed_vertices
+
+
+def _edge_free_template(graph: Graph) -> Graph:
+    """``graph`` minus its edges: the cheap-to-pickle structural template."""
+    if isinstance(graph, BipartiteGraph):
+        return BipartiteGraph(graph.n_left, graph.n_right)
+    return Graph(graph.n_vertices)
+
+
 @dataclass
 class MapReduceMatchingResult:
     matching: np.ndarray
@@ -78,35 +133,37 @@ def mapreduce_matching(
     assume_random_input: bool = False,
     combiner_algorithm: Algorithm = "auto",
     initial_placement: str = "contiguous",
+    executor: ExecutorSpec = None,
 ) -> MapReduceMatchingResult:
-    """O(1)-approximate maximum matching in ≤ 2 MapReduce rounds."""
+    """O(1)-approximate maximum matching in ≤ 2 MapReduce rounds.
+
+    ``executor`` selects the backend the simulated machines run on
+    (serial / threads / processes; see :mod:`repro.dist.executor`) —
+    results are bit-identical per seed across all backends.
+    """
     gen = as_generator(rng)
     k = default_machine_count(graph.n_vertices) if k is None else int(k)
     sim = MapReduceSimulator(
-        graph.n_vertices, k, memory_cap_edges=memory_cap_edges, rng=gen
+        graph.n_vertices, k, memory_cap_edges=memory_cap_edges, rng=gen,
+        executor=executor,
     )
     placement = "random" if assume_random_input else initial_placement
     sim.load(_initial_pieces(graph, k, placement, gen))
 
     if not assume_random_input:
         # Round 1: random re-partitioning.
-        sim.shuffle_round(
-            lambda i, edges, r: r.integers(0, k, size=edges.shape[0])
-        )
+        sim.shuffle_round(_UniformRoute(k))
 
-    template = graph  # carries the bipartition, if any
-
-    def compute_coreset(i: int, edges: np.ndarray, r: np.random.Generator) -> np.ndarray:
-        piece = _piece_like(template, edges)
-        return maximum_matching(piece)
-
-    # Round 2: coreset per machine, shipped to machine 0.
-    sim.compute_round(compute_coreset, send_to=0)
+    # Round 2: coreset per machine, shipped to machine 0.  The compute
+    # callable carries only the edge-free template (n + bipartition), so
+    # shipping it to process workers stays cheap.
+    sim.compute_round(_MatchingCoresetCompute(_edge_free_template(graph)),
+                      send_to=0)
 
     final_edges = sim.machine_edges(0)
     matching = compose_matching(
         graph.n_vertices, [final_edges], combiner="exact",
-        algorithm=combiner_algorithm, template=template,
+        algorithm=combiner_algorithm, template=graph,
     )
     return MapReduceMatchingResult(matching=matching, job=sim.job, k=k)
 
@@ -119,32 +176,35 @@ def mapreduce_vertex_cover(
     assume_random_input: bool = False,
     log_slack: float = 4.0,
     initial_placement: str = "contiguous",
+    executor: ExecutorSpec = None,
 ) -> MapReduceCoverResult:
-    """O(log n)-approximate vertex cover in ≤ 2 MapReduce rounds."""
+    """O(log n)-approximate vertex cover in ≤ 2 MapReduce rounds.
+
+    ``executor`` selects the backend the simulated machines run on
+    (serial / threads / processes; see :mod:`repro.dist.executor`) —
+    results are bit-identical per seed across all backends.
+    """
     gen, cover_gen = spawn_generators(rng, 2)
     k = default_machine_count(graph.n_vertices) if k is None else int(k)
     sim = MapReduceSimulator(
-        graph.n_vertices, k, memory_cap_edges=memory_cap_edges, rng=gen
+        graph.n_vertices, k, memory_cap_edges=memory_cap_edges, rng=gen,
+        executor=executor,
     )
     placement = "random" if assume_random_input else initial_placement
     sim.load(_initial_pieces(graph, k, placement, gen))
 
     if not assume_random_input:
-        sim.shuffle_round(
-            lambda i, edges, r: r.integers(0, k, size=edges.shape[0])
-        )
+        sim.shuffle_round(_UniformRoute(k))
 
-    fixed_sets: list[np.ndarray] = [np.zeros(0, dtype=np.int64)] * k
-
-    def compute_coreset(i: int, edges: np.ndarray, r: np.random.Generator) -> np.ndarray:
-        piece = Graph(graph.n_vertices, edges)
-        result = vc_coreset(piece, n=graph.n_vertices, k=k, log_slack=log_slack)
-        # Fixed vertices ride along with the residual edges; they are ≤ n
-        # vertex ids, well inside the same Õ(n) message budget.
-        fixed_sets[i] = result.fixed_vertices
-        return result.residual.edges
-
-    sim.compute_round(compute_coreset, send_to=0)
+    # Fixed vertices ride along with the residual edges; they are ≤ n
+    # vertex ids, well inside the same Õ(n) message budget.  They come back
+    # through the round's aux channel, keyed by machine index.
+    aux = sim.compute_round(
+        _VCCoresetCompute(graph.n_vertices, k, log_slack), send_to=0
+    )
+    fixed_sets: list[np.ndarray] = [
+        a if a is not None else np.zeros(0, dtype=np.int64) for a in aux
+    ]
 
     residual_union = Graph(graph.n_vertices, sim.machine_edges(0))
     results = [
@@ -163,8 +223,6 @@ def mapreduce_vertex_cover(
 
 def _piece_like(template: Graph, edges: np.ndarray) -> Graph:
     """Rebuild a machine piece with the template's (possible) bipartition."""
-    from repro.graph.bipartite import BipartiteGraph
-
     if isinstance(template, BipartiteGraph):
         return BipartiteGraph(template.n_left, template.n_right, edges)
     return Graph(template.n_vertices, edges)

@@ -16,11 +16,19 @@ ready to run via :func:`~repro.dist.coordinator.run_simultaneous`:
   (the grouping is public-randomness setup), the VC coreset runs on the
   contracted multigraph, and the coordinator expands covered groups.
   Õ(nk/α) communication for an O(α)-approximation (optimal by Theorem 6).
+
+All summarizers here are module-level dataclass callables rather than
+closures: a summarizer is the one protocol component the engine may ship to
+worker *processes* (``run_simultaneous(..., executor="processes")``), and
+pickle cannot serialize a closure.  Combine steps and public setups always
+run in the coordinator's process, so they may stay closures.
 """
 
 from __future__ import annotations
 
 import math
+from dataclasses import dataclass
+
 import numpy as np
 
 from repro.core.compose import (
@@ -42,22 +50,39 @@ __all__ = [
     "vertex_cover_coreset_protocol",
     "grouped_vertex_cover_protocol",
     "GroupingSetup",
+    "MatchingCoresetSummarizer",
+    "VCCoresetSummarizer",
+    "GroupedVCSummarizer",
 ]
 
 
 # --------------------------------------------------------------------- #
 # matching protocols
 # --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class MatchingCoresetSummarizer:
+    """Picklable Theorem 1 / Remark 5.2 summarizer (``alpha=1`` is Thm 1).
+
+    Sends an (optionally subsampled) maximum matching of the piece.  A
+    dataclass instead of a closure so the ``processes`` executor can ship
+    it to workers.
+    """
+
+    alpha: float = 1.0
+    algorithm: Algorithm = "auto"
+
+    def __call__(self, piece, machine_index, rng, public=None) -> Message:
+        return matching_coreset_message(
+            piece, machine_index, rng, public,
+            alpha=self.alpha, algorithm=self.algorithm,
+        )
+
+
 def matching_coreset_protocol(
     combiner: MatchCombiner = "exact",
     algorithm: Algorithm = "auto",
 ) -> SimultaneousProtocol[np.ndarray]:
     """Theorem 1 as a simultaneous protocol."""
-
-    def summarize(piece, machine_index, rng, public=None):
-        return matching_coreset_message(
-            piece, machine_index, rng, public, alpha=1.0, algorithm=algorithm
-        )
 
     def combine(coordinator: Coordinator, messages: list[Message]) -> np.ndarray:
         return compose_matching(
@@ -69,7 +94,7 @@ def matching_coreset_protocol(
 
     return SimultaneousProtocol(
         name=f"matching-coreset[{combiner}]",
-        summarizer=summarize,
+        summarizer=MatchingCoresetSummarizer(alpha=1.0, algorithm=algorithm),
         combine=combine,
     )
 
@@ -84,11 +109,6 @@ def subsampled_matching_protocol(
     if alpha < 1:
         raise ValueError(f"alpha must be >= 1, got {alpha}")
 
-    def summarize(piece, machine_index, rng, public=None):
-        return matching_coreset_message(
-            piece, machine_index, rng, public, alpha=alpha, algorithm=algorithm
-        )
-
     def combine(coordinator: Coordinator, messages: list[Message]) -> np.ndarray:
         return compose_matching(
             coordinator.n_vertices,
@@ -99,7 +119,7 @@ def subsampled_matching_protocol(
 
     return SimultaneousProtocol(
         name=f"subsampled-matching[alpha={alpha:g}]",
-        summarizer=summarize,
+        summarizer=MatchingCoresetSummarizer(alpha=alpha, algorithm=algorithm),
         combine=combine,
     )
 
@@ -107,6 +127,23 @@ def subsampled_matching_protocol(
 # --------------------------------------------------------------------- #
 # vertex-cover protocols
 # --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class VCCoresetSummarizer:
+    """Picklable Theorem 2 summarizer: peeled vertices + sparse residual."""
+
+    k: int
+    log_slack: float = 4.0
+
+    def __call__(self, piece, machine_index, rng, public=None) -> Message:
+        del rng, public  # peeling is deterministic
+        result = vc_coreset(piece, k=self.k, log_slack=self.log_slack)
+        return Message(
+            sender=machine_index,
+            edges=result.residual.edges,
+            fixed_vertices=result.fixed_vertices,
+        )
+
+
 def vertex_cover_coreset_protocol(
     k: int,
     combiner: CoverCombiner = "auto",
@@ -117,15 +154,6 @@ def vertex_cover_coreset_protocol(
     ``k`` must match the partitioning's machine count — the peeling
     thresholds depend on it (each machine knows k in the model).
     """
-
-    def summarize(piece, machine_index, rng, public=None):
-        del rng, public  # peeling is deterministic
-        result = vc_coreset(piece, k=k, log_slack=log_slack)
-        return Message(
-            sender=machine_index,
-            edges=result.residual.edges,
-            fixed_vertices=result.fixed_vertices,
-        )
 
     def combine(coordinator: Coordinator, messages: list[Message]) -> np.ndarray:
         results = [
@@ -145,7 +173,7 @@ def vertex_cover_coreset_protocol(
 
     return SimultaneousProtocol(
         name=f"vc-coreset[k={k},{combiner}]",
-        summarizer=summarize,
+        summarizer=VCCoresetSummarizer(k=k, log_slack=log_slack),
         combine=combine,
     )
 
@@ -182,6 +210,46 @@ class GroupingSetup:
         return np.flatnonzero(member).astype(np.int64)
 
 
+@dataclass(frozen=True)
+class GroupedVCSummarizer:
+    """Picklable Remark 5.8 summarizer: VC coreset of the contracted graph.
+
+    Requires the shared :class:`GroupingSetup` as its ``public`` object
+    (itself picklable — a plain mapping array — so it ships to process
+    workers along with the summarizer).
+    """
+
+    k: int
+    log_slack: float = 4.0
+
+    def __call__(self, piece, machine_index, rng,
+                 public: GroupingSetup | None = None) -> Message:
+        del rng
+        if public is None:
+            raise ValueError("grouped protocol requires its public setup")
+        # Edges internal to a group contract to self-loops, which carry no
+        # information in the contracted graph — but they still must be
+        # covered.  A self-loop on group A forces A into the cover, so such
+        # groups are shipped as part of the fixed solution (they are few:
+        # an edge is internal w.p. ~group_size/n).
+        mapped = public.mapping[piece.edges] if piece.n_edges else \
+            np.zeros((0, 2), dtype=np.int64)
+        internal = mapped[:, 0] == mapped[:, 1] if mapped.size else \
+            np.zeros(0, dtype=bool)
+        forced_groups = np.unique(mapped[internal, 0]) if internal.any() else \
+            np.zeros(0, dtype=np.int64)
+        contracted = Graph(public.n_groups, mapped[~internal] if mapped.size
+                           else mapped)
+        result = vc_coreset(contracted, n=public.n_groups, k=self.k,
+                            log_slack=self.log_slack)
+        fixed = np.unique(np.concatenate([result.fixed_vertices, forced_groups]))
+        return Message(
+            sender=machine_index,
+            edges=result.residual.edges,
+            fixed_vertices=fixed,
+        )
+
+
 def grouped_vertex_cover_protocol(
     k: int,
     alpha: float,
@@ -201,31 +269,6 @@ def grouped_vertex_cover_protocol(
         n = graph.n_vertices
         group_size = max(1, int(alpha / max(1.0, math.log2(max(n, 2)))))
         return GroupingSetup(n, group_size, rng)
-
-    def summarize(piece, machine_index, rng, public: GroupingSetup | None = None):
-        del rng
-        if public is None:
-            raise ValueError("grouped protocol requires its public setup")
-        # Edges internal to a group contract to self-loops, which carry no
-        # information in the contracted graph — but they still must be
-        # covered.  A self-loop on group A forces A into the cover, so such
-        # groups are shipped as part of the fixed solution (they are few:
-        # an edge is internal w.p. ~group_size/n).
-        mapped = public.mapping[piece.edges] if piece.n_edges else \
-            np.zeros((0, 2), dtype=np.int64)
-        internal = mapped[:, 0] == mapped[:, 1] if mapped.size else \
-            np.zeros(0, dtype=bool)
-        forced_groups = np.unique(mapped[internal, 0]) if internal.any() else \
-            np.zeros(0, dtype=np.int64)
-        contracted = Graph(public.n_groups, mapped[~internal] if mapped.size
-                           else mapped)
-        result = vc_coreset(contracted, n=public.n_groups, k=k, log_slack=log_slack)
-        fixed = np.unique(np.concatenate([result.fixed_vertices, forced_groups]))
-        return Message(
-            sender=machine_index,
-            edges=result.residual.edges,
-            fixed_vertices=fixed,
-        )
 
     def combine(coordinator: Coordinator, messages: list[Message]) -> np.ndarray:
         # Messages live in super-vertex id space; we cannot use the template.
@@ -250,7 +293,7 @@ def grouped_vertex_cover_protocol(
 
     return SimultaneousProtocol(
         name=f"grouped-vc[alpha={alpha:g}]",
-        summarizer=summarize,
+        summarizer=GroupedVCSummarizer(k=k, log_slack=log_slack),
         combine=combine,
         public_setup=setup_and_remember,
     )

@@ -24,6 +24,31 @@ substrate, independent of any particular coreset:
 * :mod:`repro.dist.mapreduce` — the
   :class:`~repro.dist.mapreduce.MapReduceSimulator` with per-machine memory
   caps, for the paper's 2-round MPC corollaries.
+* :mod:`repro.dist.executor` — pluggable execution backends (``serial``,
+  ``threads``, ``processes``) for the per-machine work of both engines.
+
+Machines are independent in the model, and the engines preserve that
+independence in the code, so the k per-machine computations can genuinely
+run in parallel — with outputs bit-identical to a serial run for the same
+seed, because results are always composed in machine-index order (the
+contract documented in ``docs/PARALLELISM.md``)::
+
+    from repro.core.protocols import matching_coreset_protocol
+    from repro.dist import run_simultaneous
+    from repro.graph.generators import planted_matching_gnp
+    from repro.graph.partition import random_k_partition
+
+    graph, _ = planted_matching_gnp(2000, 2000, p=3.0 / 4000, rng=0)
+    part = random_k_partition(graph, k=8, rng=1)
+
+    serial = run_simultaneous(matching_coreset_protocol(), part, rng=2)
+    procs = run_simultaneous(matching_coreset_protocol(), part, rng=2,
+                             executor="processes")  # one process per machine
+    assert (serial.output == procs.output).all()
+
+The ``processes`` backend requires picklable summarizers (the factories in
+:mod:`repro.core.protocols` all qualify); setting ``REPRO_EXECUTOR``
+selects the default backend for a whole run without touching call sites.
 """
 
 from repro.dist.coordinator import (
@@ -31,6 +56,16 @@ from repro.dist.coordinator import (
     ProtocolResult,
     SimultaneousProtocol,
     run_simultaneous,
+)
+from repro.dist.executor import (
+    Executor,
+    ExecutorError,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    UnpicklableTaskError,
+    available_backends,
+    resolve_executor,
 )
 from repro.dist.ledger import CommunicationLedger
 from repro.dist.machine import Machine
@@ -45,13 +80,21 @@ from repro.dist.message import Message
 __all__ = [
     "CommunicationLedger",
     "Coordinator",
+    "Executor",
+    "ExecutorError",
     "Machine",
     "MapReduceJob",
     "MapReduceSimulator",
     "MemoryCapExceeded",
     "Message",
+    "ProcessExecutor",
     "ProtocolResult",
     "RoundRecord",
+    "SerialExecutor",
     "SimultaneousProtocol",
+    "ThreadExecutor",
+    "UnpicklableTaskError",
+    "available_backends",
+    "resolve_executor",
     "run_simultaneous",
 ]

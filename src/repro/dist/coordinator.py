@@ -15,7 +15,9 @@ setup) from a single seed, collects one message per machine, charges every
 message to the :class:`~repro.dist.ledger.CommunicationLedger`, and hands
 the messages to the coordinator.  Given the same seed and partition the
 whole run is bit-identical — the reproducibility contract every experiment
-relies on.
+relies on.  The per-machine work can run serially, on a thread pool, or on
+a process pool (:mod:`repro.dist.executor`) without changing a single
+output bit: machines are composed in index order, never completion order.
 """
 
 from __future__ import annotations
@@ -25,6 +27,7 @@ from typing import Any, Callable, Generic, List, Optional, Protocol as TypingPro
 
 import numpy as np
 
+from repro.dist.executor import ExecutorSpec, resolve_executor
 from repro.dist.ledger import CommunicationLedger
 from repro.dist.machine import Machine, Summarizer
 from repro.dist.message import Message
@@ -160,10 +163,22 @@ class ProtocolResult(Generic[T]):
         )
 
 
+def _summarize_machine(task: tuple) -> Message:
+    """Run one machine's summarizer; the unit of work an executor ships.
+
+    Module-level on purpose: the ``processes`` backend pickles this function
+    (and its task tuple) into a worker, which a closure could not survive.
+    """
+    index, piece, gen, summarizer, public = task
+    machine = Machine(index=index, piece=piece, rng=gen)
+    return machine.summarize(summarizer, public)
+
+
 def run_simultaneous(
     protocol: SimultaneousProtocol[T],
     partition: _Partitioned,
     rng: RandomState = None,
+    executor: ExecutorSpec = None,
 ) -> ProtocolResult[T]:
     """Execute ``protocol`` over a partitioned graph.
 
@@ -172,10 +187,21 @@ def run_simultaneous(
     public setup (public coins) — via SeedSequence spawning, so the same
     seed reproduces the run bit for bit regardless of machine count or
     execution order.
+
+    ``executor`` selects how the k machines run (``"serial"``,
+    ``"threads"``, ``"processes"``, an :class:`~repro.dist.executor.Executor`
+    instance, or ``None`` for ``$REPRO_EXECUTOR``/serial).  Machine work is
+    submitted and collected in machine-index order, the ledger is charged
+    after the barrier in that same order, and the public setup and the
+    combine step always run in the calling process — so every backend
+    yields bit-identical results for the same seed (the contract documented
+    in ``docs/PARALLELISM.md``).  The ``processes`` backend additionally
+    requires the summarizer to be picklable.
     """
     graph = partition.graph
     k = partition.k
     gens = spawn_generators(rng, k + 1)
+    backend = resolve_executor(executor)
 
     public = (
         protocol.public_setup(graph, k, gens[k])
@@ -183,13 +209,15 @@ def run_simultaneous(
         else None
     )
 
+    tasks = [
+        (i, partition.piece(i), gens[i], protocol.summarizer, public)
+        for i in range(k)
+    ]
+    messages: List[Message] = backend.map(_summarize_machine, tasks)
+
     ledger = CommunicationLedger(n_vertices=max(graph.n_vertices, 1), k=k)
-    messages: List[Message] = []
-    for i in range(k):
-        machine = Machine(index=i, piece=partition.piece(i), rng=gens[i])
-        message = machine.summarize(protocol.summarizer, public)
+    for message in messages:
         ledger.record(message)
-        messages.append(message)
 
     coordinator = Coordinator(
         n_vertices=graph.n_vertices, template=_metadata_template(graph)

@@ -1,0 +1,285 @@
+"""Pluggable execution backends for the distributed substrate.
+
+The paper's model is *simultaneous*: machines act independently and only a
+barrier (the coordinator, or the end of a MapReduce round) joins their
+results.  That independence is already real in the code — per-machine
+generators are spawned from one ``SeedSequence`` and graph pieces are
+immutable views — so the engine can fan the per-machine work out to an
+:class:`Executor` without changing a single output bit.  This module
+provides the three backends and the resolution logic shared by
+:func:`~repro.dist.coordinator.run_simultaneous`,
+:class:`~repro.dist.mapreduce.MapReduceSimulator`, and
+:func:`~repro.experiments.harness.run_trials`.
+
+The determinism contract (see ``docs/PARALLELISM.md``) is owned by the
+*callers*, not the backends: an executor only promises that
+:meth:`Executor.map` returns results **in input order**, regardless of
+completion order.  Engines submit machines in index order and compose the
+returned list positionally, so every backend produces bit-identical results
+for the same seed.
+
+Backends
+--------
+``serial``
+    A plain loop in the calling process.  The default; zero overhead and
+    no constraints on the task functions.
+``threads``
+    ``concurrent.futures.ThreadPoolExecutor``.  Shares memory with the
+    caller, so closures are fine; pays the GIL, so it only helps when the
+    per-machine work releases it (large numpy kernels) or when tasks block.
+``processes``
+    ``concurrent.futures.ProcessPoolExecutor``.  True parallelism, but
+    every task — including the protocol's summarizer or the round's
+    route/compute function — must be **picklable**: defined at module
+    level, never a closure or a lambda.  Unpicklable tasks raise
+    :class:`UnpicklableTaskError` *before* any worker starts.
+
+Usage
+-----
+Run the Theorem 1 protocol with one process per machine::
+
+    from repro.core.protocols import matching_coreset_protocol
+    from repro.dist.coordinator import run_simultaneous
+    from repro.graph.generators import planted_matching_gnp
+    from repro.graph.partition import random_k_partition
+
+    graph, _ = planted_matching_gnp(2000, 2000, p=3.0 / 4000, rng=0)
+    part = random_k_partition(graph, k=8, rng=1)
+    res = run_simultaneous(matching_coreset_protocol(), part, rng=2,
+                           executor="processes")
+    # Bit-identical to executor="serial" with the same seed.
+
+Or pick the backend per environment (the CLI's ``--executor`` flag and the
+CI's parallel leg both use this)::
+
+    REPRO_EXECUTOR=processes REPRO_WORKERS=8 python -m pytest tests/ -q
+
+An explicit instance gives control over the worker count::
+
+    from repro.dist.executor import ProcessExecutor
+    res = run_simultaneous(proto, part, rng=2,
+                           executor=ProcessExecutor(max_workers=4))
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Any, Callable, Iterable, List, Optional, Union
+
+__all__ = [
+    "EXECUTOR_ENV",
+    "WORKERS_ENV",
+    "Executor",
+    "ExecutorError",
+    "ExecutorSpec",
+    "ProcessExecutor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "UnpicklableTaskError",
+    "available_backends",
+    "resolve_executor",
+]
+
+#: Environment variable selecting the default backend (``serial`` if unset).
+EXECUTOR_ENV = "REPRO_EXECUTOR"
+#: Environment variable selecting the default worker count (cpu count if unset).
+WORKERS_ENV = "REPRO_WORKERS"
+
+
+class ExecutorError(RuntimeError):
+    """A task could not be executed on the selected backend."""
+
+
+class UnpicklableTaskError(ExecutorError):
+    """A task cannot cross a process boundary.
+
+    Raised by the ``processes`` backend before any worker starts, so the
+    failure names the offending object instead of surfacing as an opaque
+    ``PicklingError`` from inside the pool machinery.
+    """
+
+
+class Executor:
+    """Maps a function over tasks; results come back in **input order**.
+
+    Subclasses implement :meth:`map`.  The order guarantee is the whole
+    API: callers rely on it to compose per-machine results positionally,
+    which is what keeps parallel runs bit-identical to serial ones.
+    """
+
+    name: str = "abstract"
+
+    def map(self, fn: Callable[[Any], Any], tasks: Iterable[Any]) -> List[Any]:
+        """Apply ``fn`` to every task; return results in input order."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class SerialExecutor(Executor):
+    """The plain loop: run every task in the calling process, in order."""
+
+    name = "serial"
+
+    def map(self, fn: Callable[[Any], Any], tasks: Iterable[Any]) -> List[Any]:
+        return [fn(t) for t in tasks]
+
+
+class ThreadExecutor(Executor):
+    """A ``ThreadPoolExecutor`` backend (shared memory, GIL-bound).
+
+    Parameters
+    ----------
+    max_workers:
+        Thread count; defaults to ``$REPRO_WORKERS`` or the cpu count.
+    """
+
+    name = "threads"
+
+    def __init__(self, max_workers: Optional[int] = None) -> None:
+        self.max_workers = _default_workers(max_workers)
+
+    def map(self, fn: Callable[[Any], Any], tasks: Iterable[Any]) -> List[Any]:
+        tasks = list(tasks)
+        if len(tasks) <= 1:
+            return [fn(t) for t in tasks]
+        with ThreadPoolExecutor(
+            max_workers=min(self.max_workers, len(tasks))
+        ) as pool:
+            return list(pool.map(fn, tasks))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ThreadExecutor(max_workers={self.max_workers})"
+
+
+class ProcessExecutor(Executor):
+    """A ``ProcessPoolExecutor`` backend (true parallelism, pickled tasks).
+
+    Every ``fn`` and every task is pickled into a worker process, so both
+    must be defined at module level.  Unpicklable work surfaces as
+    :class:`UnpicklableTaskError` naming the object, never as an opaque
+    pool crash — and without serializing the (potentially large) task
+    payloads twice: only ``fn`` is pre-checked; task pickling failures are
+    caught when the pool reports them.
+
+    Parameters
+    ----------
+    max_workers:
+        Process count; defaults to ``$REPRO_WORKERS`` or the cpu count.
+    """
+
+    name = "processes"
+
+    def __init__(self, max_workers: Optional[int] = None) -> None:
+        self.max_workers = _default_workers(max_workers)
+
+    def map(self, fn: Callable[[Any], Any], tasks: Iterable[Any]) -> List[Any]:
+        tasks = list(tasks)
+        self._check_picklable("task function", fn)
+        if len(tasks) <= 1:
+            # One task gains nothing from a pool, but the pickle contract
+            # still holds so behavior is task-count-independent; with no
+            # pool serialization this check is the only pass.
+            for i, t in enumerate(tasks):
+                self._check_picklable(f"task {i}", t)
+            return [fn(t) for t in tasks]
+        try:
+            with ProcessPoolExecutor(
+                max_workers=min(self.max_workers, len(tasks))
+            ) as pool:
+                return list(pool.map(fn, tasks))
+        except (pickle.PicklingError, AttributeError, TypeError) as exc:
+            # Pickle signals failures with any of these types; a task that
+            # failed to serialize on submission propagates here.
+            if "pickle" not in str(exc).lower():
+                raise
+            raise UnpicklableTaskError(self._advice("a task", exc)) from exc
+
+    @classmethod
+    def _check_picklable(cls, label: str, obj: Any) -> None:
+        try:
+            pickle.dumps(obj)
+        except Exception as exc:
+            raise UnpicklableTaskError(
+                cls._advice(f"{label} ({obj!r})", exc)
+            ) from exc
+
+    @staticmethod
+    def _advice(what: str, exc: Exception) -> str:
+        return (
+            f"the 'processes' executor cannot ship {what} to a worker: "
+            f"it is not picklable. Summarizers, route functions, and "
+            f"compute functions must be defined at module level (closures "
+            f"and lambdas cannot be pickled); alternatively use the "
+            f"'threads' or 'serial' backend. Underlying error: {exc}"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ProcessExecutor(max_workers={self.max_workers})"
+
+
+#: What callers may pass wherever an executor is accepted: ``None`` (resolve
+#: from ``$REPRO_EXECUTOR``, default serial), a backend name, or an instance.
+ExecutorSpec = Union[None, str, Executor]
+
+_BACKENDS = {
+    "serial": SerialExecutor,
+    "threads": ThreadExecutor,
+    "processes": ProcessExecutor,
+}
+
+_ALIASES = {
+    "none": "serial",
+    "sync": "serial",
+    "thread": "threads",
+    "process": "processes",
+    "mp": "processes",
+}
+
+
+def available_backends() -> tuple:
+    """The canonical backend names, in preference order."""
+    return tuple(_BACKENDS)
+
+
+def resolve_executor(
+    spec: ExecutorSpec = None, workers: Optional[int] = None
+) -> Executor:
+    """Turn an :data:`ExecutorSpec` into a ready :class:`Executor`.
+
+    ``None`` consults ``$REPRO_EXECUTOR`` (default ``serial``); a string
+    names a backend (a few aliases are accepted); an :class:`Executor`
+    instance passes through unchanged (``workers`` is then ignored —
+    the instance already fixed its worker count).
+    """
+    if isinstance(spec, Executor):
+        return spec
+    if spec is None:
+        spec = os.environ.get(EXECUTOR_ENV, "serial")
+    if not isinstance(spec, str):
+        raise ValueError(
+            f"executor spec must be None, a backend name, or an Executor "
+            f"instance, got {spec!r}; available backends: "
+            f"{', '.join(available_backends())}"
+        )
+    name = _ALIASES.get(spec.strip().lower(), spec.strip().lower())
+    if name not in _BACKENDS:
+        raise ValueError(
+            f"unknown executor {spec!r}; available backends: "
+            f"{', '.join(available_backends())}"
+        )
+    if name == "serial":
+        return SerialExecutor()
+    return _BACKENDS[name](max_workers=workers)
+
+
+def _default_workers(max_workers: Optional[int]) -> int:
+    if max_workers is None:
+        env = os.environ.get(WORKERS_ENV)
+        max_workers = int(env) if env else (os.cpu_count() or 1)
+    if max_workers < 1:
+        raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+    return int(max_workers)

@@ -20,15 +20,21 @@ The simulator executes exactly those primitives over in-memory edge arrays:
 Every round appends a :class:`RoundRecord` to the :class:`MapReduceJob`
 log, so experiments can report round counts, shuffle volume, and peak
 memory without instrumenting the algorithms themselves.
+
+Rounds are barriers, so per-machine route/compute work can run on any
+:mod:`repro.dist.executor` backend (serial, threads, processes) with
+bit-identical results per seed: outputs and advanced generator states are
+adopted in machine-index order after every round.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence
+from typing import Any, Callable, List, Optional, Sequence
 
 import numpy as np
 
+from repro.dist.executor import ExecutorSpec, resolve_executor
 from repro.graph.edgelist import Graph
 from repro.utils.rng import RandomState, spawn_generators
 
@@ -41,8 +47,29 @@ __all__ = [
 
 # route_fn(machine_index, edges, rng) -> destination machine per edge
 RouteFn = Callable[[int, np.ndarray, np.random.Generator], np.ndarray]
-# compute_fn(machine_index, edges, rng) -> new (m', 2) edge array
+# compute_fn(machine_index, edges, rng) -> new (m', 2) edge array, or a
+# tuple (edge array, aux payload); aux payloads are collected by
+# compute_round in machine-index order.
 ComputeFn = Callable[[int, np.ndarray, np.random.Generator], np.ndarray]
+
+
+def _route_machine(task: tuple) -> tuple:
+    """One machine's routing step, as an executor-shippable unit of work.
+
+    Returns the destination array *and* the generator: on the process
+    backend the generator advanced in a worker's copy, so the simulator
+    must adopt the returned state to stay bit-identical with serial runs.
+    """
+    i, edges, gen, route_fn = task
+    dest = route_fn(i, edges, gen)
+    return dest, gen
+
+
+def _compute_machine(task: tuple) -> tuple:
+    """One machine's compute step, as an executor-shippable unit of work."""
+    i, edges, gen, compute_fn = task
+    out = compute_fn(i, edges, gen)
+    return out, gen
 
 
 class MemoryCapExceeded(RuntimeError):
@@ -97,6 +124,15 @@ class MapReduceSimulator:
         Per-machine memory budget in edges (the MPC constraint), or
         ``None`` for unbounded.  Checked after :meth:`load` and after every
         round.
+    executor:
+        How per-machine round work runs: ``"serial"`` (default),
+        ``"threads"``, ``"processes"``, an
+        :class:`~repro.dist.executor.Executor` instance, or ``None`` to
+        consult ``$REPRO_EXECUTOR``.  Rounds are barriers: results are
+        adopted in machine-index order, and each machine's generator state
+        is threaded back from the workers, so all backends are
+        bit-identical per seed.  The ``processes`` backend requires
+        picklable route/compute functions (no lambdas or closures).
     """
 
     def __init__(
@@ -105,6 +141,7 @@ class MapReduceSimulator:
         k: int,
         rng: RandomState = None,
         memory_cap_edges: Optional[int] = None,
+        executor: ExecutorSpec = None,
     ) -> None:
         if n_vertices < 0:
             raise ValueError(
@@ -119,6 +156,7 @@ class MapReduceSimulator:
         self.n_vertices = int(n_vertices)
         self.k = int(k)
         self.memory_cap_edges = memory_cap_edges
+        self.executor = resolve_executor(executor)
         self._machine_gens = spawn_generators(rng, self.k)
         self._edges: List[np.ndarray] = [
             np.zeros((0, 2), dtype=np.int64) for _ in range(self.k)
@@ -164,14 +202,19 @@ class MapReduceSimulator:
         per edge of machine ``i``.  Edges are conserved by construction:
         every edge lands on exactly the machine its owner routed it to.
         """
+        tasks = [
+            (i, self._edges[i], self._machine_gens[i], route_fn)
+            for i in range(self.k)
+        ]
+        results = self.executor.map(_route_machine, tasks)
+
         all_edges: List[np.ndarray] = []
         all_dest: List[np.ndarray] = []
         moved = 0
-        for i in range(self.k):
+        for i, (raw_dest, gen) in enumerate(results):
+            self._machine_gens[i] = gen
             edges = self._edges[i]
-            dest = np.asarray(
-                route_fn(i, edges, self._machine_gens[i]), dtype=np.int64
-            )
+            dest = np.asarray(raw_dest, dtype=np.int64)
             if dest.shape != (edges.shape[0],):
                 raise ValueError(
                     f"route function must return one destination per edge: "
@@ -204,7 +247,7 @@ class MapReduceSimulator:
 
     def compute_round(
         self, compute_fn: ComputeFn, send_to: Optional[int] = None
-    ) -> None:
+    ) -> List[Any]:
         """One local-computation round, optionally concentrating output.
 
         ``compute_fn(i, edges, rng)`` maps machine ``i``'s edge array to a
@@ -212,12 +255,36 @@ class MapReduceSimulator:
         output stays on its machine; with ``send_to=j`` all outputs are
         shipped to machine ``j`` (the paper's round-2 pattern), which
         counts as shuffle volume for every non-``j`` machine.
+
+        A compute function may also return a ``(edges, aux)`` pair; the
+        ``aux`` payloads (e.g. the fixed vertices of a VC coreset) are
+        returned as a length-``k`` list in machine-index order.  Machines
+        whose compute returned a bare edge array contribute ``None``.  This
+        is the executor-safe replacement for side-channel mutation of
+        caller state, which cannot cross a process boundary.
         """
         if send_to is not None:
             self._check_machine(send_to, "send_to machine")
+        tasks = [
+            (i, self._edges[i], self._machine_gens[i], compute_fn)
+            for i in range(self.k)
+        ]
+        results = self.executor.map(_compute_machine, tasks)
+
         outputs: List[np.ndarray] = []
-        for i in range(self.k):
-            out = compute_fn(i, self._edges[i], self._machine_gens[i])
+        aux: List[Any] = []
+        for i, (out, gen) in enumerate(results):
+            self._machine_gens[i] = gen
+            if isinstance(out, tuple):
+                if len(out) != 2:
+                    raise ValueError(
+                        f"machine {i}: compute function returning a tuple "
+                        f"must return (edges, aux), got length {len(out)}"
+                    )
+                out, extra = out
+            else:
+                extra = None
+            aux.append(extra)
             outputs.append(self._validate_edges(out, owner=i))
 
         if send_to is None:
@@ -234,10 +301,11 @@ class MapReduceSimulator:
             ]
             self._edges[send_to] = concentrated
         self._finish_round("compute", moved)
+        return aux
 
-    def local_round(self, compute_fn: ComputeFn) -> None:
+    def local_round(self, compute_fn: ComputeFn) -> List[Any]:
         """A purely local round: :meth:`compute_round` with no shipping."""
-        self.compute_round(compute_fn, send_to=None)
+        return self.compute_round(compute_fn, send_to=None)
 
     # ------------------------------------------------------------------ #
     # internals

@@ -13,6 +13,7 @@ from typing import Any, Callable, Sequence
 
 import numpy as np
 
+from repro.dist.executor import ExecutorSpec, resolve_executor
 from repro.utils.rng import RandomState, spawn_seeds
 
 __all__ = ["ExperimentTable", "run_trials"]
@@ -66,13 +67,23 @@ def run_trials(
     fn: Callable[[np.random.SeedSequence], dict[str, float]],
     n_trials: int,
     seed: RandomState = None,
+    executor: ExecutorSpec = "serial",
 ) -> dict[str, np.ndarray]:
     """Run ``fn`` on ``n_trials`` independent child seeds; stack the per-trial
-    scalar dicts into arrays keyed by metric name."""
+    scalar dicts into arrays keyed by metric name.
+
+    ``executor`` optionally fans the trials out (results are collected in
+    seed order, so tables stay deterministic).  The default is *explicitly*
+    serial rather than ``$REPRO_EXECUTOR``: trial callables are almost
+    always closures, which the ``processes`` backend cannot pickle, and the
+    intended grain for process parallelism is the machine level inside a
+    trial (``run_simultaneous`` / ``MapReduceSimulator`` do consult the
+    environment).  Pass ``executor="threads"`` to overlap trials.
+    """
     if n_trials < 1:
         raise ValueError(f"need at least one trial, got {n_trials}")
     seeds = spawn_seeds(seed, n_trials)
-    outputs = [fn(s) for s in seeds]
+    outputs = resolve_executor(executor).map(fn, seeds)
     keys = outputs[0].keys()
     for out in outputs[1:]:
         if out.keys() != keys:

@@ -19,6 +19,7 @@ __all__ = ["ArchivedTable", "collect_results", "render_report"]
 _ORDER = [
     "e1_", "e2_", "e3_", "e4_", "e5_", "e6_", "e7_", "e8_",
     "e9_", "e10_", "e11_", "e12_", "e13_", "e14_", "e15_", "e16_", "e17_",
+    "e18_", "e19_", "e20_", "e21_",
 ]
 
 

@@ -1,4 +1,4 @@
-"""E1–E20: one function per reproduced claim.
+"""E1–E21: one function per reproduced claim.
 
 The paper is theoretical; each "table" here is the empirical rendering of
 one theorem/remark/example, as indexed in DESIGN.md §4.  Every function is
@@ -37,6 +37,7 @@ __all__ = [
     "e18_family_robustness",
     "e19_vertex_partition_model",
     "e20_concentration",
+    "e21_parallel_scaling",
 ]
 
 
@@ -1307,5 +1308,93 @@ def e20_concentration(
             ratio_max=float(ratios.max()),
             tail_probability=float((ratios > ratio_threshold).mean()),
             prefix_dev_max=float(m["dev"].max()),
+        )
+    return table
+
+
+# --------------------------------------------------------------------- #
+# E21 — parallel scaling of the execution backends (E8 workload)
+# --------------------------------------------------------------------- #
+def e21_parallel_scaling(
+    n: int = 4000,
+    avg_degree: float = 24.0,
+    n_trials: int = 3,
+    seed: RandomState = 2121,
+    executors: tuple[str, ...] = ("serial", "processes"),
+    workers: int | None = None,
+) -> ExperimentTable:
+    """Wall-clock of the E8 MapReduce matching workload per executor backend.
+
+    Expected shape: every backend bit-identical to the first (serial);
+    process speedup grows toward min(k, cores) as pieces get heavier.
+    Wall-clock columns are measurements of *this* machine, not of the
+    model — only the identical_to_serial column is a correctness claim.
+    """
+    import time
+
+    from repro.core.mapreduce_algos import mapreduce_matching
+    from repro.dist.executor import resolve_executor
+    from repro.graph.generators import planted_matching_gnp
+    from repro.utils.rng import spawn_seeds
+
+    table = ExperimentTable(
+        name="E21: parallel scaling (executor backends, E8 workload)",
+        description=f"n={n}, m≈{int(n * avg_degree / 2)}, {n_trials} trials; "
+                    f"speedup and identity are vs a serial run of the same "
+                    f"seeds",
+        columns=["executor", "workers", "wall_s_mean", "wall_s_min",
+                 "speedup", "matching_size_mean", "identical_to_serial"],
+    )
+    memory = int(n ** 1.5)
+
+    # One workload per trial, shared by every backend: the graph is built
+    # outside the timed region and the MapReduce seed is replayed per
+    # backend, so rows differ only in where the machines ran.
+    workloads = []
+    for s in spawn_seeds(seed, n_trials):
+        g_seed, mr_seed = s.spawn(2)
+        graph, _ = planted_matching_gnp(
+            n // 2, n // 2, p=avg_degree / n,
+            rng=np.random.default_rng(g_seed),
+        )
+        workloads.append((graph, mr_seed))
+
+    def measure(backend) -> tuple[list[float], list[np.ndarray]]:
+        walls, matchings = [], []
+        for graph, mr_seed in workloads:
+            start = time.perf_counter()
+            res = mapreduce_matching(
+                graph, rng=mr_seed, memory_cap_edges=memory,
+                executor=backend,
+            )
+            walls.append(time.perf_counter() - start)
+            matchings.append(res.matching)
+        return walls, matchings
+
+    # The reference is always a genuine serial run — identical_to_serial
+    # must mean what it says even if "serial" is not among `executors`.
+    serial_walls, serial_matchings = measure(resolve_executor("serial"))
+    serial_mean = float(np.mean(serial_walls))
+
+    for spec in executors:
+        backend = resolve_executor(spec, workers=workers)
+        if backend.name == "serial":
+            walls, matchings = serial_walls, serial_matchings
+        else:
+            walls, matchings = measure(backend)
+        mean_wall = float(np.mean(walls))
+        table.add_row(
+            executor=backend.name,
+            workers=getattr(backend, "max_workers", 1),
+            wall_s_mean=mean_wall,
+            wall_s_min=float(np.min(walls)),
+            speedup=serial_mean / max(mean_wall, 1e-12),
+            matching_size_mean=float(
+                np.mean([m.shape[0] for m in matchings])
+            ),
+            identical_to_serial=all(
+                np.array_equal(a, b)
+                for a, b in zip(matchings, serial_matchings)
+            ),
         )
     return table

@@ -121,6 +121,22 @@ def hidden_edges_recovered(
     return int(mask.sum())
 
 
+@dataclass(frozen=True)
+class BudgetMatchingSummarizer:
+    """Picklable budget-truncated maximum-matching summarizer."""
+
+    budget: int
+
+    def __call__(self, piece, machine_index, rng, public=None) -> Message:
+        del public
+        matching = maximum_matching(piece)
+        if matching.shape[0] > self.budget:
+            keep = rng.choice(matching.shape[0], size=self.budget,
+                              replace=False)
+            matching = matching[np.sort(keep)]
+        return Message(sender=machine_index, edges=matching)
+
+
 def budget_limited_matching_protocol(
     budget: int,
     combiner: str = "exact",
@@ -138,14 +154,6 @@ def budget_limited_matching_protocol(
     if budget < 0:
         raise ValueError(f"budget must be non-negative, got {budget}")
 
-    def summarize(piece, machine_index, rng, public=None):
-        del public
-        matching = maximum_matching(piece)
-        if matching.shape[0] > budget:
-            keep = rng.choice(matching.shape[0], size=budget, replace=False)
-            matching = matching[np.sort(keep)]
-        return Message(sender=machine_index, edges=matching)
-
     def combine(coordinator, messages):
         return compose_matching(
             coordinator.n_vertices,
@@ -156,6 +164,6 @@ def budget_limited_matching_protocol(
 
     return SimultaneousProtocol(
         name=f"budget-matching[s={budget}]",
-        summarizer=summarize,
+        summarizer=BudgetMatchingSummarizer(budget=budget),
         combine=combine,
     )

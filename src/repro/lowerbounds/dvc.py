@@ -101,6 +101,32 @@ def covers_estar(instance: DVCInstance, cover: np.ndarray) -> bool:
     return bool(np.isin(instance.e_star[0], c) or np.isin(instance.e_star[1], c))
 
 
+@dataclass(frozen=True)
+class BudgetCoverSummarizer:
+    """Picklable budget-truncated VC-peeling summarizer."""
+
+    edge_budget: int
+    vertex_budget: int
+    k: int
+    log_slack: float = 4.0
+
+    def __call__(self, piece, machine_index, rng, public=None) -> Message:
+        del public
+        result = vc_coreset(piece, k=self.k, log_slack=self.log_slack)
+        edges = result.residual.edges
+        fixed = result.fixed_vertices
+        if edges.shape[0] > self.edge_budget:
+            keep = rng.choice(edges.shape[0], size=self.edge_budget,
+                              replace=False)
+            edges = edges[np.sort(keep)]
+        if fixed.shape[0] > self.vertex_budget:
+            keep = rng.choice(fixed.shape[0], size=self.vertex_budget,
+                              replace=False)
+            fixed = fixed[np.sort(keep)]
+        return Message(sender=machine_index, edges=edges,
+                       fixed_vertices=fixed)
+
+
 def budget_limited_cover_protocol(
     edge_budget: int,
     vertex_budget: int,
@@ -118,19 +144,6 @@ def budget_limited_cover_protocol(
     """
     if edge_budget < 0 or vertex_budget < 0:
         raise ValueError("budgets must be non-negative")
-
-    def summarize(piece, machine_index, rng, public=None):
-        del public
-        result = vc_coreset(piece, k=k, log_slack=log_slack)
-        edges = result.residual.edges
-        fixed = result.fixed_vertices
-        if edges.shape[0] > edge_budget:
-            keep = rng.choice(edges.shape[0], size=edge_budget, replace=False)
-            edges = edges[np.sort(keep)]
-        if fixed.shape[0] > vertex_budget:
-            keep = rng.choice(fixed.shape[0], size=vertex_budget, replace=False)
-            fixed = fixed[np.sort(keep)]
-        return Message(sender=machine_index, edges=edges, fixed_vertices=fixed)
 
     def combine(coordinator, messages):
         results = [
@@ -150,6 +163,9 @@ def budget_limited_cover_protocol(
 
     return SimultaneousProtocol(
         name=f"budget-vc[e={edge_budget},v={vertex_budget}]",
-        summarizer=summarize,
+        summarizer=BudgetCoverSummarizer(
+            edge_budget=edge_budget, vertex_budget=vertex_budget,
+            k=k, log_slack=log_slack,
+        ),
         combine=combine,
     )

@@ -15,17 +15,29 @@ from repro.graph.generators import bipartite_gnp, gnp
 from repro.graph.partition import random_k_partition
 
 
+# Module-level summarizers (not closures) so this file also runs under
+# REPRO_EXECUTOR=processes, which pickles them to worker processes.
+def _echo_summarize(piece, machine_index, rng, public=None):
+    return Message(sender=machine_index, edges=piece.edges)
+
+
+def _union_combine(coordinator, messages):
+    return coordinator.union_graph(messages)
+
+
 def echo_protocol():
     """A protocol whose coreset is the whole piece (send-everything)."""
+    return SimultaneousProtocol(name="echo", summarizer=_echo_summarize,
+                                combine=_union_combine)
 
-    def summarize(piece, machine_index, rng, public=None):
-        return Message(sender=machine_index, edges=piece.edges)
 
-    def combine(coordinator, messages):
-        return coordinator.union_graph(messages)
+def _token_checking_summarize(piece, machine_index, rng, public=None):
+    assert public == {"token": 42}
+    return Message(sender=machine_index)
 
-    return SimultaneousProtocol(name="echo", summarizer=summarize,
-                                combine=combine)
+
+def _count_combine(coordinator, messages):
+    return len(messages)
 
 
 class TestRunSimultaneous:
@@ -62,19 +74,14 @@ class TestRunSimultaneous:
     def test_public_setup_invoked(self, rng):
         calls = []
 
+        # The setup closure is fine under any backend: public_setup always
+        # runs in the calling process, only the summarizer is shipped.
         def setup(graph, k, gen):
             calls.append(k)
             return {"token": 42}
 
-        def summarize(piece, machine_index, rng, public=None):
-            assert public == {"token": 42}
-            return Message(sender=machine_index)
-
-        def combine(coordinator, messages):
-            return len(messages)
-
-        proto = SimultaneousProtocol("t", summarize, combine,
-                                     public_setup=setup)
+        proto = SimultaneousProtocol("t", _token_checking_summarize,
+                                     _count_combine, public_setup=setup)
         g = gnp(10, 0.3, rng)
         part = random_k_partition(g, 3, rng)
         res = run_simultaneous(proto, part, rng)

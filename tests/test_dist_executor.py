@@ -1,0 +1,293 @@
+"""Tests for the execution backends and their determinism contract.
+
+The load-bearing property (docs/PARALLELISM.md): for the same seed, every
+backend — serial, threads, processes — produces bit-identical protocol
+outputs, messages, and ledger totals, because engines compose per-machine
+results in machine-index order, never completion order.
+
+Helpers here are module-level on purpose: the ``processes`` backend pickles
+every task into a worker, which closures and lambdas cannot survive (that
+failure mode gets its own tests below).
+"""
+
+import numpy as np
+import pytest
+
+from repro.dist.coordinator import SimultaneousProtocol, run_simultaneous
+from repro.dist.executor import (
+    EXECUTOR_ENV,
+    WORKERS_ENV,
+    Executor,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    UnpicklableTaskError,
+    available_backends,
+    resolve_executor,
+)
+from repro.dist.mapreduce import MapReduceSimulator
+from repro.dist.message import Message
+from repro.graph.generators import bipartite_gnp, gnp
+from repro.graph.partition import random_k_partition
+
+BACKENDS = ["serial", "threads", "processes"]
+
+
+def _echo_summarizer(piece, machine_index, rng, public=None):
+    return Message(sender=machine_index, edges=piece.edges)
+
+
+def _union_combine(coordinator, messages):
+    return coordinator.union_graph(messages)
+
+
+def _square(x):
+    return x * x
+
+
+def _route_even(i, edges, rng):
+    return np.zeros(edges.shape[0], dtype=np.int64)
+
+
+def _compute_with_aux(i, edges, rng):
+    return edges, int(edges.shape[0])
+
+
+# --------------------------------------------------------------------- #
+# resolution
+# --------------------------------------------------------------------- #
+class TestResolveExecutor:
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv(EXECUTOR_ENV, raising=False)
+        assert isinstance(resolve_executor(None), SerialExecutor)
+
+    def test_env_var_selects_backend(self, monkeypatch):
+        monkeypatch.setenv(EXECUTOR_ENV, "threads")
+        assert isinstance(resolve_executor(None), ThreadExecutor)
+
+    def test_workers_env_var(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "3")
+        assert resolve_executor("processes").max_workers == 3
+
+    @pytest.mark.parametrize("name,cls", [
+        ("serial", SerialExecutor),
+        ("threads", ThreadExecutor),
+        ("processes", ProcessExecutor),
+        ("THREADS", ThreadExecutor),   # case-insensitive
+        ("mp", ProcessExecutor),       # alias
+    ])
+    def test_names_and_aliases(self, name, cls):
+        assert isinstance(resolve_executor(name), cls)
+
+    def test_instance_passes_through(self):
+        ex = ThreadExecutor(max_workers=2)
+        assert resolve_executor(ex) is ex
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown executor"):
+            resolve_executor("gpu")
+
+    def test_bad_worker_count_rejected(self):
+        with pytest.raises(ValueError, match="max_workers"):
+            ThreadExecutor(max_workers=0)
+
+    def test_available_backends(self):
+        assert available_backends() == ("serial", "threads", "processes")
+
+
+# --------------------------------------------------------------------- #
+# the map contract
+# --------------------------------------------------------------------- #
+class TestMapOrder:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_results_in_input_order(self, backend):
+        ex = resolve_executor(backend, workers=4)
+        assert ex.map(_square, range(20)) == [i * i for i in range(20)]
+
+    def test_empty_and_singleton(self):
+        for backend in BACKENDS:
+            ex = resolve_executor(backend)
+            assert ex.map(_square, []) == []
+            assert ex.map(_square, [7]) == [49]
+
+    def test_abstract_map_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            Executor().map(_square, [1])
+
+
+# --------------------------------------------------------------------- #
+# determinism across backends
+# --------------------------------------------------------------------- #
+class TestProtocolDeterminismAcrossBackends:
+    def _run(self, protocol, executor, seed=9):
+        g = bipartite_gnp(60, 60, 0.08, 7)
+        part = random_k_partition(g, 4, 8)
+        return run_simultaneous(protocol, part, seed, executor=executor)
+
+    @pytest.mark.parametrize("backend", ["threads", "processes"])
+    def test_matching_protocol_bit_identical(self, backend):
+        from repro.core.protocols import matching_coreset_protocol
+
+        proto = matching_coreset_protocol()
+        a = self._run(proto, "serial")
+        b = self._run(proto, backend)
+        np.testing.assert_array_equal(a.output, b.output)
+        assert a.ledger.summary() == b.ledger.summary()
+        for ma, mb in zip(a.messages, b.messages):
+            assert ma.sender == mb.sender
+            np.testing.assert_array_equal(ma.edges, mb.edges)
+
+    @pytest.mark.parametrize("backend", ["threads", "processes"])
+    def test_vc_protocol_bit_identical(self, backend):
+        from repro.core.protocols import vertex_cover_coreset_protocol
+
+        proto = vertex_cover_coreset_protocol(k=4)
+        a = self._run(proto, "serial")
+        b = self._run(proto, backend)
+        np.testing.assert_array_equal(a.output, b.output)
+        assert a.total_bits == b.total_bits
+
+    def test_grouped_protocol_with_public_setup_on_processes(self):
+        from repro.core.protocols import grouped_vertex_cover_protocol
+
+        a = self._run(grouped_vertex_cover_protocol(4, 16.0), "serial")
+        b = self._run(grouped_vertex_cover_protocol(4, 16.0), "processes")
+        np.testing.assert_array_equal(a.output, b.output)
+
+    @pytest.mark.parametrize("backend", ["threads", "processes"])
+    def test_mapreduce_matching_bit_identical(self, backend):
+        from repro.core.mapreduce_algos import mapreduce_matching
+
+        g = bipartite_gnp(80, 80, 0.05, 2)
+        a = mapreduce_matching(g, k=5, rng=10, executor="serial")
+        b = mapreduce_matching(g, k=5, rng=10, executor=backend)
+        np.testing.assert_array_equal(a.matching, b.matching)
+        assert a.job.n_rounds == b.job.n_rounds
+        assert a.job.total_shuffled_edges == b.job.total_shuffled_edges
+        assert a.job.peak_machine_edges == b.job.peak_machine_edges
+
+    @pytest.mark.parametrize("backend", ["threads", "processes"])
+    def test_mapreduce_vertex_cover_bit_identical(self, backend):
+        from repro.core.mapreduce_algos import mapreduce_vertex_cover
+
+        g = gnp(90, 0.06, 3)
+        a = mapreduce_vertex_cover(g, k=4, rng=11, executor="serial")
+        b = mapreduce_vertex_cover(g, k=4, rng=11, executor=backend)
+        np.testing.assert_array_equal(a.cover, b.cover)
+
+    def test_generator_state_threads_back_across_rounds(self):
+        """Round r+1 must see the generator state round r left behind, even
+        when round r ran in a worker process."""
+        g = gnp(70, 0.1, 5)
+        sims = {}
+        for backend in BACKENDS:
+            sim = MapReduceSimulator(70, 3, rng=6, executor=backend)
+            pieces = [g.edges[i::3] for i in range(3)]
+            sim.load(pieces)
+            sim.shuffle_round(_random_route)  # consumes machine randomness
+            sim.shuffle_round(_random_route)  # must continue those streams
+            sims[backend] = sim
+        for backend in ["threads", "processes"]:
+            for i in range(3):
+                np.testing.assert_array_equal(
+                    sims["serial"].machine_edges(i),
+                    sims[backend].machine_edges(i),
+                )
+
+
+def _random_route(i, edges, rng):
+    return rng.integers(0, 3, size=edges.shape[0])
+
+
+# --------------------------------------------------------------------- #
+# the aux channel of compute_round
+# --------------------------------------------------------------------- #
+class TestComputeRoundAux:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_aux_collected_in_machine_order(self, backend):
+        g = gnp(40, 0.2, 4)
+        sim = MapReduceSimulator(40, 3, rng=1, executor=backend)
+        pieces = [g.edges[:5], g.edges[5:7], g.edges[7:]]
+        sim.load(pieces)
+        aux = sim.compute_round(_compute_with_aux)
+        assert aux == [p.shape[0] for p in pieces]
+
+    def test_bare_edge_return_yields_none_aux(self):
+        g = gnp(30, 0.2, 4)
+        sim = MapReduceSimulator(30, 2, rng=1)
+        sim.load([g.edges[:3], g.edges[3:]])
+        aux = sim.local_round(_route_to_edges)
+        assert aux == [None, None]
+
+
+def _route_to_edges(i, edges, rng):
+    return edges
+
+
+# --------------------------------------------------------------------- #
+# pickling constraints of the process backend
+# --------------------------------------------------------------------- #
+class TestProcessPicklingErrors:
+    def test_closure_summarizer_raises_clear_error(self):
+        marker = []  # dooms the closure below to unpicklability
+
+        def closure_summarizer(piece, machine_index, rng, public=None):
+            assert marker == []
+            return Message(sender=machine_index)
+
+        proto = SimultaneousProtocol("closure", closure_summarizer,
+                                     _union_combine)
+        g = gnp(20, 0.3, 1)
+        part = random_k_partition(g, 3, 2)
+        with pytest.raises(UnpicklableTaskError, match="not picklable"):
+            run_simultaneous(proto, part, 3, executor="processes")
+        # The same protocol is fine on the in-process backends.
+        for backend in ["serial", "threads"]:
+            run_simultaneous(proto, part, 3, executor=backend)
+
+    def test_lambda_route_fn_raises_clear_error(self):
+        g = gnp(20, 0.3, 1)
+        sim = MapReduceSimulator(20, 3, rng=2, executor="processes")
+        sim.load([g.edges[:2], g.edges[2:4], g.edges[4:]])
+        with pytest.raises(UnpicklableTaskError, match="module level"):
+            sim.shuffle_round(lambda i, edges, r: np.zeros(
+                edges.shape[0], dtype=np.int64))
+
+    def test_error_raised_even_for_single_machine(self):
+        # The k<=1 fast path must not skip the pickle contract.
+        g = gnp(20, 0.3, 1)
+        sim = MapReduceSimulator(20, 1, rng=2, executor="processes")
+        sim.load([g.edges])
+        with pytest.raises(UnpicklableTaskError):
+            sim.shuffle_round(lambda i, edges, r: np.zeros(
+                edges.shape[0], dtype=np.int64))
+
+    def test_picklable_protocol_factories_survive_pickling(self):
+        import pickle
+
+        from repro.core.protocols import (
+            GroupedVCSummarizer,
+            MatchingCoresetSummarizer,
+            VCCoresetSummarizer,
+        )
+
+        for summarizer in [MatchingCoresetSummarizer(),
+                           VCCoresetSummarizer(k=4),
+                           GroupedVCSummarizer(k=4)]:
+            assert pickle.loads(pickle.dumps(summarizer)) == summarizer
+
+
+# --------------------------------------------------------------------- #
+# run_trials fan-out
+# --------------------------------------------------------------------- #
+class TestRunTrialsExecutor:
+    def test_threads_match_serial(self):
+        from repro.experiments.harness import run_trials
+
+        def trial(s):
+            gen = np.random.default_rng(s)
+            return {"x": float(gen.uniform())}
+
+        a = run_trials(trial, 6, seed=5)
+        b = run_trials(trial, 6, seed=5, executor="threads")
+        np.testing.assert_array_equal(a["x"], b["x"])

@@ -11,6 +11,32 @@ def split_pieces(graph, k):
     return list(np.array_split(graph.edges, k))
 
 
+# Route/compute helpers are module-level (not lambdas) so this file also
+# passes under REPRO_EXECUTOR=processes, where they are pickled to workers.
+def route_uniform4(i, e, r):
+    return r.integers(0, 4, size=e.shape[0])
+
+
+def route_wrong_shape(i, e, r):
+    return np.zeros(1, dtype=np.int64)
+
+
+def route_out_of_range(i, e, r):
+    return np.full(e.shape[0], 7, dtype=np.int64)
+
+
+def route_stay(i, e, r):
+    return np.full(e.shape[0], i, np.int64)
+
+
+def compute_half(i, e, r):
+    return e[: e.shape[0] // 2]
+
+
+def compute_identity(i, e, r):
+    return e
+
+
 class TestLoadAndState:
     def test_load_and_sizes(self, rng):
         g = gnp(30, 0.3, rng)
@@ -37,7 +63,7 @@ class TestShuffleRound:
         sim = MapReduceSimulator(40, 4, rng=rng)
         sim.load(split_pieces(g, 4))
         total_before = sim.machine_sizes().sum()
-        sim.shuffle_round(lambda i, e, r: r.integers(0, 4, size=e.shape[0]))
+        sim.shuffle_round(route_uniform4)
         assert sim.machine_sizes().sum() == total_before
         assert sim.job.n_rounds == 1
         assert sim.job.rounds[0].kind == "shuffle"
@@ -47,22 +73,20 @@ class TestShuffleRound:
         sim = MapReduceSimulator(20, 2, rng=rng)
         sim.load(split_pieces(g, 2))
         with pytest.raises(ValueError, match="one destination per edge"):
-            sim.shuffle_round(lambda i, e, r: np.zeros(1, dtype=np.int64))
+            sim.shuffle_round(route_wrong_shape)
 
     def test_route_range_validated(self, rng):
         g = gnp(20, 0.3, rng)
         sim = MapReduceSimulator(20, 2, rng=rng)
         sim.load(split_pieces(g, 2))
         with pytest.raises(ValueError, match="out of range"):
-            sim.shuffle_round(
-                lambda i, e, r: np.full(e.shape[0], 7, dtype=np.int64)
-            )
+            sim.shuffle_round(route_out_of_range)
 
     def test_moved_count_excludes_local(self, rng):
         g = gnp(30, 0.3, rng)
         sim = MapReduceSimulator(30, 3, rng=rng)
         sim.load(split_pieces(g, 3))
-        sim.shuffle_round(lambda i, e, r: np.full(e.shape[0], i, np.int64))
+        sim.shuffle_round(route_stay)
         assert sim.job.rounds[0].total_edges_moved == 0
 
 
@@ -71,14 +95,14 @@ class TestComputeRound:
         g = gnp(30, 0.3, rng)
         sim = MapReduceSimulator(30, 3, rng=rng)
         sim.load(split_pieces(g, 3))
-        sim.compute_round(lambda i, e, r: e[: e.shape[0] // 2])
+        sim.compute_round(compute_half)
         assert sim.job.rounds[-1].kind == "compute"
 
     def test_send_to_concentrates(self, rng):
         g = gnp(30, 0.3, rng)
         sim = MapReduceSimulator(30, 3, rng=rng)
         sim.load(split_pieces(g, 3))
-        sim.compute_round(lambda i, e, r: e, send_to=1)
+        sim.compute_round(compute_identity, send_to=1)
         sizes = sim.machine_sizes()
         assert sizes[1] == g.n_edges
         assert sizes[0] == sizes[2] == 0
@@ -87,7 +111,7 @@ class TestComputeRound:
         sim = MapReduceSimulator(10, 2, rng=rng)
         sim.load([np.zeros((0, 2), dtype=np.int64)] * 2)
         with pytest.raises(ValueError):
-            sim.compute_round(lambda i, e, r: e, send_to=9)
+            sim.compute_round(compute_identity, send_to=9)
 
 
 class TestMemoryCap:
@@ -102,12 +126,12 @@ class TestMemoryCap:
         cap = g.n_edges  # loose cap
         sim = MapReduceSimulator(20, 2, memory_cap_edges=cap, rng=rng)
         sim.load(split_pieces(g, 2))
-        sim.compute_round(lambda i, e, r: e, send_to=0)  # still under cap
+        sim.compute_round(compute_identity, send_to=0)  # still under cap
 
     def test_job_peak_tracking(self, rng):
         g = gnp(30, 0.3, rng)
         sim = MapReduceSimulator(30, 3, rng=rng)
         sim.load(split_pieces(g, 3))
-        sim.compute_round(lambda i, e, r: e, send_to=0)
+        sim.compute_round(compute_identity, send_to=0)
         assert sim.job.peak_machine_edges == g.n_edges
         assert sim.job.total_shuffled_edges > 0

@@ -21,6 +21,32 @@ from repro.graph.edgelist import Graph
 from repro.graph.partition import random_k_partition
 
 
+# Misbehaving summarizers are module-level (not closures) so these tests
+# also run under REPRO_EXECUTOR=processes, which pickles them to workers.
+def _lying_summarizer(piece, machine_index, rng, public=None):
+    return Message(sender=0)  # always claims to be machine 0
+
+
+def _count_combine(coordinator, messages):
+    return len(messages)
+
+
+def _evil_summarizer(piece, machine_index, rng, public=None):
+    return Message(sender=machine_index, edges=np.array([[0, 10**6]]))
+
+
+def _union_combine(coordinator, messages):
+    return coordinator.union_graph(messages)
+
+
+def _flaky_matching_summarizer(piece, machine_index, rng, public=None):
+    if machine_index == 0:
+        return Message(sender=0)  # lost content
+    return matching_coreset_protocol().summarizer(
+        piece, machine_index, rng, public
+    )
+
+
 class TestDegenerateGraphs:
     def test_empty_graph_matching_protocol(self, rng):
         g = Graph(10)
@@ -67,11 +93,8 @@ class TestDegenerateGraphs:
 
 class TestMalformedMessages:
     def test_wrong_sender_rejected(self, rng):
-        def lying(piece, machine_index, rng_, public=None):
-            return Message(sender=0)  # always claims to be machine 0
-
         proto = SimultaneousProtocol(
-            "liar", lying, lambda c, ms: len(ms)
+            "liar", _lying_summarizer, _count_combine
         )
         g = Graph(4, [(0, 1), (2, 3)])
         part = random_k_partition(g, 3, rng)
@@ -91,14 +114,7 @@ class TestMalformedMessages:
 
     def test_coordinator_union_rejects_out_of_range_edges(self, rng):
         """A message naming vertices outside V must not silently pass."""
-        def evil(piece, machine_index, rng_, public=None):
-            return Message(sender=machine_index,
-                           edges=np.array([[0, 10**6]]))
-
-        def combine(coordinator, messages):
-            return coordinator.union_graph(messages)
-
-        proto = SimultaneousProtocol("evil", evil, combine)
+        proto = SimultaneousProtocol("evil", _evil_summarizer, _union_combine)
         g = Graph(4, [(0, 1)])
         part = random_k_partition(g, 1, rng)
         with pytest.raises(ValueError):
@@ -110,13 +126,9 @@ class TestProtocolRobustness:
         """A machine sending nothing degrades quality but never breaks
         feasibility of the matching output."""
         base = matching_coreset_protocol()
-
-        def flaky(piece, machine_index, rng_, public=None):
-            if machine_index == 0:
-                return Message(sender=0)  # lost content
-            return base.summarizer(piece, machine_index, rng_, public)
-
-        proto = SimultaneousProtocol("flaky", flaky, base.combine)
+        proto = SimultaneousProtocol(
+            "flaky", _flaky_matching_summarizer, base.combine
+        )
         from repro.graph.generators import bipartite_gnp
         from repro.matching.verify import is_matching
 

@@ -191,7 +191,7 @@ class TestSuiteConsistency:
 
     def test_design_doc_mentions_all_experiments(self):
         design = (Path(__file__).parent.parent / "DESIGN.md").read_text()
-        for i in range(1, 20):
+        for i in range(1, 22):
             assert f"E{i}" in design, f"E{i} missing from DESIGN.md"
 
     def test_examples_are_runnable_modules(self):
