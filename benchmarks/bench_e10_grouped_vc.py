@@ -2,13 +2,13 @@
 with Õ(nk/α) communication (tight by Theorem 6)."""
 
 from _common import emit, run_once
-from repro.experiments import tables
+from repro.experiments.registry import get_experiment
 
 
 def test_e10_alpha_sweep(benchmark):
     table = run_once(
         benchmark,
-        lambda: tables.e10_grouped_vc(
+        lambda: get_experiment("e10").run(
             n=8000, k=8, alpha_values=(16.0, 32.0, 64.0, 128.0), n_trials=3
         ),
     )

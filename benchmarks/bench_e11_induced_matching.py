@@ -6,13 +6,13 @@ Lemma A.3's lower bound 1/e³ ≈ 0.0498; the degree-1 fraction converges to
 """
 
 from _common import emit, run_once
-from repro.experiments import tables
+from repro.experiments.registry import get_experiment
 
 
 def test_e11_constants(benchmark):
     table = run_once(
         benchmark,
-        lambda: tables.e11_induced_matching(
+        lambda: get_experiment("e11").run(
             n_values=(1000, 4000, 16000, 64000), n_trials=5
         ),
     )

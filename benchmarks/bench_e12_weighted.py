@@ -5,13 +5,13 @@ constant of the centralized greedy 2-approximation (hence within ~2x that
 constant of the true optimum)."""
 
 from _common import emit, run_once
-from repro.experiments import tables
+from repro.experiments.registry import get_experiment
 
 
 def test_e12_weighted_matching(benchmark):
     table = run_once(
         benchmark,
-        lambda: tables.e12_weighted_matching(
+        lambda: get_experiment("e12").run(
             n=4000, k=8, weight_spread=1000.0, n_trials=3
         ),
     )

@@ -2,14 +2,14 @@
 Õ(nk), far below send-everything on dense graphs, with Õ(n) per player."""
 
 from _common import emit, run_once
-from repro.experiments import tables
+from repro.experiments.registry import get_experiment
 
 
 def test_e13_scaling(benchmark):
     n = 4000
     table = run_once(
         benchmark,
-        lambda: tables.e13_communication_scaling(
+        lambda: get_experiment("e13").run(
             n=n, k_values=(2, 4, 8, 16, 32), n_trials=3
         ),
     )

@@ -4,13 +4,13 @@ The optimal matching spreads uniformly over the machines
 (|M*_{<i}| ≈ (i−1)/k·MM) and the early steps each gain Ω(MM/k)."""
 
 from _common import emit, run_once
-from repro.experiments import tables
+from repro.experiments.registry import get_experiment
 
 
 def test_e14_dynamics(benchmark):
     table = run_once(
         benchmark,
-        lambda: tables.e14_greedymatch_dynamics(n=8000, k=16, n_trials=3),
+        lambda: get_experiment("e14").run(n=8000, k=16, n_trials=3),
     )
     emit(table, "e14_greedymatch")
     row = table.rows[0]

@@ -4,13 +4,13 @@ Shows where each design choice matters: exact vs greedy combining, maximum
 vs maximal vs subsampled summaries, and the cost of the naive baseline."""
 
 from _common import emit, run_once
-from repro.experiments import tables
+from repro.experiments.registry import get_experiment
 
 
 def test_e15_ablation(benchmark):
     table = run_once(
         benchmark,
-        lambda: tables.e15_ablation(n=8000, k=8, n_trials=3),
+        lambda: get_experiment("e15").run(n=8000, k=8, n_trials=3),
     )
     emit(table, "e15_ablation")
     rows = {r["variant"]: r for r in table.rows}

@@ -5,13 +5,13 @@ two-phase (KMM-style) matcher exploits random arrival to beat greedy —
 the single-machine shadow of random k-partitioning."""
 
 from _common import emit, run_once
-from repro.experiments import tables
+from repro.experiments.registry import get_experiment
 
 
 def test_e16_streaming(benchmark):
     table = run_once(
         benchmark,
-        lambda: tables.e16_streaming_orders(n=8000, n_trials=3),
+        lambda: get_experiment("e16").run(n=8000, n_trials=3),
     )
     emit(table, "e16_streaming")
     rows = {r["order"]: r for r in table.rows}

@@ -5,13 +5,13 @@ partitioning with Õ(K²)-scale messages — the regime the paper's main
 assumption (MM = ω(k log n)) excludes."""
 
 from _common import emit, run_once
-from repro.experiments import tables
+from repro.experiments.registry import get_experiment
 
 
 def test_e17_exact_kernel(benchmark):
     table = run_once(
         benchmark,
-        lambda: tables.e17_exact_kernel(
+        lambda: get_experiment("e17").run(
             opt_values=(32, 128, 512), n=8000, k=8, n_trials=3
         ),
     )

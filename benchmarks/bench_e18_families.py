@@ -6,14 +6,14 @@ partitioning), so the guarantees must hold on every family."""
 import math
 
 from _common import emit, run_once
-from repro.experiments import tables
+from repro.experiments.registry import get_experiment
 
 
 def test_e18_families(benchmark):
     n = 4000
     table = run_once(
         benchmark,
-        lambda: tables.e18_family_robustness(n=n, k=8, n_trials=3),
+        lambda: get_experiment("e18").run(n=n, k=8, n_trials=3),
     )
     emit(table, "e18_families")
     assert len(table.rows) == 5

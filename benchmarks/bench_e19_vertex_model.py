@@ -6,13 +6,13 @@ machine a Θ(1) fraction of the graph — the regime where [10] proves Õ(n)
 summaries cannot work in the worst case."""
 
 from _common import emit, run_once
-from repro.experiments import tables
+from repro.experiments.registry import get_experiment
 
 
 def test_e19_models(benchmark):
     table = run_once(
         benchmark,
-        lambda: tables.e19_vertex_partition_model(
+        lambda: get_experiment("e19").run(
             n=4000, k_values=(4, 16), n_trials=3
         ),
     )

@@ -6,13 +6,13 @@ planted-matching workloads and general Gnp graphs.  Paper claim: ratio ≤ 9
 """
 
 from _common import emit, run_once
-from repro.experiments import tables
+from repro.experiments.registry import get_experiment
 
 
 def test_e1_bipartite(benchmark):
     table = run_once(
         benchmark,
-        lambda: tables.e1_matching_coreset(
+        lambda: get_experiment("e1").run(
             n_values=(2000, 8000), k_values=(4, 16, 64), n_trials=3
         ),
     )
@@ -24,7 +24,7 @@ def test_e1_bipartite(benchmark):
 def test_e1_general_graphs(benchmark):
     table = run_once(
         benchmark,
-        lambda: tables.e1_matching_coreset(
+        lambda: get_experiment("e1").run(
             n_values=(2000,), k_values=(4, 16), n_trials=3,
             general_graphs=True,
         ),

@@ -2,13 +2,13 @@
 Theorem 1 guarantee and the Claim 3.3 prefix deviation vanish as n grows."""
 
 from _common import emit, run_once
-from repro.experiments import tables
+from repro.experiments.registry import get_experiment
 
 
 def test_e20_concentration(benchmark):
     table = run_once(
         benchmark,
-        lambda: tables.e20_concentration(
+        lambda: get_experiment("e20").run(
             n_values=(500, 2000, 8000), k=8, n_trials=20
         ),
     )

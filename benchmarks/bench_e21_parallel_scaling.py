@@ -6,13 +6,13 @@ determinism contract (docs/PARALLELISM.md): changing the executor backend
 never changes a single output bit."""
 
 from _common import emit, run_once
-from repro.experiments import tables
+from repro.experiments.registry import get_experiment
 
 
 def test_e21_parallel_scaling(benchmark):
     table = run_once(
         benchmark,
-        lambda: tables.e21_parallel_scaling(n=4000, avg_degree=24.0,
+        lambda: get_experiment("e21").run(n=4000, avg_degree=24.0,
                                             n_trials=3),
     )
     emit(table, "e21_parallel_scaling")

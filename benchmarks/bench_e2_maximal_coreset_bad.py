@@ -6,13 +6,13 @@ coreset stays at ratio ~1 on the same partitions.
 """
 
 from _common import emit, run_once
-from repro.experiments import tables
+from repro.experiments.registry import get_experiment
 
 
 def test_e2_separation(benchmark):
     table = run_once(
         benchmark,
-        lambda: tables.e2_maximal_coreset_bad(
+        lambda: get_experiment("e2").run(
             k_values=(4, 8, 16, 32), width=64, n_trials=3
         ),
     )

@@ -4,13 +4,13 @@ cover with O(n log n)-size messages."""
 import math
 
 from _common import emit, run_once
-from repro.experiments import tables
+from repro.experiments.registry import get_experiment
 
 
 def test_e3_vc_coreset(benchmark):
     table = run_once(
         benchmark,
-        lambda: tables.e3_vc_coreset(
+        lambda: get_experiment("e3").run(
             n_values=(2000, 8000), k_values=(4, 16), n_trials=3
         ),
     )

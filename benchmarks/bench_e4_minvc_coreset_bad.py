@@ -2,13 +2,13 @@
 star example), while the Theorem 2 peeling coreset stays O(log n)."""
 
 from _common import emit, run_once
-from repro.experiments import tables
+from repro.experiments.registry import get_experiment
 
 
 def test_e4_separation(benchmark):
     table = run_once(
         benchmark,
-        lambda: tables.e4_minvc_coreset_bad(
+        lambda: get_experiment("e4").run(
             k_values=(4, 8, 16, 32), n_stars=64, n_trials=3
         ),
     )

@@ -5,14 +5,14 @@ the per-machine budget crosses ~n/α².
 """
 
 from _common import emit, run_once
-from repro.experiments import tables
+from repro.experiments.registry import get_experiment
 
 
 def test_e5_size_threshold(benchmark):
     n, alpha, k = 8000, 8.0, 8
     table = run_once(
         benchmark,
-        lambda: tables.e5_matching_size_lb(
+        lambda: get_experiment("e5").run(
             n=n, alpha=alpha, k=k,
             budget_factors=(0.125, 0.5, 1.0, 4.0, 16.0), n_trials=3,
         ),

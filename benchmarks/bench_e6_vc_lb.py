@@ -5,14 +5,14 @@ collapses when the budget drops below ~n/α.
 """
 
 from _common import emit, run_once
-from repro.experiments import tables
+from repro.experiments.registry import get_experiment
 
 
 def test_e6_size_threshold(benchmark):
     n, alpha, k = 8000, 8.0, 8
     table = run_once(
         benchmark,
-        lambda: tables.e6_vc_size_lb(
+        lambda: get_experiment("e6").run(
             n=n, alpha=alpha, k=k,
             budget_factors=(0.05, 0.25, 1.0, 4.0), n_trials=5,
         ),

@@ -2,13 +2,13 @@
 partitioning and fails (ratio ≈ (k+1)/2) under adversarial partitioning."""
 
 from _common import emit, run_once
-from repro.experiments import tables
+from repro.experiments.registry import get_experiment
 
 
 def test_e7_contrast(benchmark):
     table = run_once(
         benchmark,
-        lambda: tables.e7_random_vs_adversarial(
+        lambda: get_experiment("e7").run(
             k_values=(4, 8, 16), n_hidden_per_k=48, n_trials=3
         ),
     )

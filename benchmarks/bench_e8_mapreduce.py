@@ -3,13 +3,13 @@ algorithm vs ≥ 3 rounds for the Lattanzi et al. filtering baseline, at the
 paper's memory regime."""
 
 from _common import emit, run_once
-from repro.experiments import tables
+from repro.experiments.registry import get_experiment
 
 
 def test_e8_rounds_and_memory(benchmark):
     table = run_once(
         benchmark,
-        lambda: tables.e8_mapreduce_rounds(n=4000, avg_degree=24.0,
+        lambda: get_experiment("e8").run(n=4000, avg_degree=24.0,
                                            n_trials=3),
     )
     emit(table, "e8_mapreduce")

@@ -2,13 +2,13 @@
 with Õ(nk/α²) total communication (tight by Theorem 5)."""
 
 from _common import emit, run_once
-from repro.experiments import tables
+from repro.experiments.registry import get_experiment
 
 
 def test_e9_alpha_sweep(benchmark):
     table = run_once(
         benchmark,
-        lambda: tables.e9_subsampled_matching(
+        lambda: get_experiment("e9").run(
             n=8000, k=8, alpha_values=(2.0, 4.0, 8.0, 16.0), n_trials=3
         ),
     )

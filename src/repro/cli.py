@@ -2,20 +2,27 @@
 
     python -m repro quickstart [--n 4000 --k 8 --seed 0]
     python -m repro experiment e1 [--trials 3]
+    python -m repro experiment e1 --set n_values=2000,4000 --json out.json
     python -m repro experiment e21 --executor processes --workers 8
     python -m repro list-experiments
     python -m repro report [--results benchmarks/results -o report.md]
 
-The CLI is a thin shell over :mod:`repro.experiments` so that every table a
-benchmark can produce is also reachable without pytest — useful for quick
-parameter exploration on the command line.
+The CLI is a thin shell over the declarative experiment registry
+(:mod:`repro.experiments.registry`) so that every table a benchmark can
+produce is also reachable without pytest — with any grid parameter
+overridable from the command line (``--set KEY=VALUE``, repeatable; values
+are coerced to the type of the parameter's default, comma-separating
+tuples) and machine-readable output (``--json PATH`` writes a JSON
+document, ``--json -`` prints it to stdout instead of the text table).
 
-``--executor`` / ``--workers`` select the execution backend for the
-distributed engines (`serial`, `threads`, `processes`); they work by
-setting ``REPRO_EXECUTOR`` / ``REPRO_WORKERS`` for the run, which is where
-``run_simultaneous`` and ``MapReduceSimulator`` resolve their defaults, so
-every experiment picks them up without per-table plumbing.  Outputs are
-bit-identical across backends for the same seed (docs/PARALLELISM.md).
+``--executor`` / ``--workers`` select the execution backend (`serial`,
+`threads`, `processes`); they work by setting ``REPRO_EXECUTOR`` /
+``REPRO_WORKERS`` for the run, which is where the trial harness
+(``run_trials``) and the distributed engines (``run_simultaneous``,
+``MapReduceSimulator``) resolve their defaults, so every experiment picks
+them up without per-table plumbing.  Outputs are bit-identical across
+backends for the same seed (docs/PARALLELISM.md); the registry's picklable
+trials are what let ``processes`` fan out whole trials, not just machines.
 """
 
 from __future__ import annotations
@@ -23,19 +30,10 @@ from __future__ import annotations
 import argparse
 import os
 import sys
-from typing import Callable, Sequence
+from pathlib import Path
+from typing import Sequence
 
 __all__ = ["main", "build_parser"]
-
-
-def _experiment_registry() -> dict[str, Callable]:
-    from repro.experiments import tables
-
-    registry = {}
-    for name in tables.__all__:
-        key = name.split("_")[0]  # "e1_matching_coreset" -> "e1"
-        registry[key] = getattr(tables, name)
-    return registry
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -58,6 +56,14 @@ def build_parser() -> argparse.ArgumentParser:
                    help="override the number of trials")
     e.add_argument("--seed", type=int, default=None,
                    help="override the experiment seed")
+    e.add_argument("--set", action="append", default=[], dest="overrides",
+                   metavar="KEY=VALUE",
+                   help="override a grid parameter (repeatable); values are "
+                        "coerced to the default's type, tuples are "
+                        "comma-separated, e.g. --set n_values=2000,4000")
+    e.add_argument("--json", default=None, dest="json_path", metavar="PATH",
+                   help="write the table as JSON to PATH ('-' prints JSON "
+                        "to stdout instead of the text table)")
     _add_executor_flags(e)
 
     sub.add_parser("list-experiments", help="list available experiment ids")
@@ -76,8 +82,8 @@ def _add_executor_flags(sub: argparse.ArgumentParser) -> None:
     sub.add_argument(
         "--executor", choices=["serial", "threads", "processes"],
         default=None,
-        help="execution backend for the distributed engines "
-             "(default: $REPRO_EXECUTOR or serial); outputs are "
+        help="execution backend for trial fan-out and the distributed "
+             "engines (default: $REPRO_EXECUTOR or serial); outputs are "
              "bit-identical across backends for the same seed",
     )
     sub.add_argument(
@@ -89,13 +95,15 @@ def _add_executor_flags(sub: argparse.ArgumentParser) -> None:
 
 def _apply_executor_flags(args: argparse.Namespace) -> None:
     """Export the flags as the env defaults the engines resolve."""
-    from repro.dist.executor import EXECUTOR_ENV, WORKERS_ENV
+    from repro.dist.executor import EXECUTOR_ENV, WORKERS_ENV, validate_workers
 
     if args.executor is not None:
         os.environ[EXECUTOR_ENV] = args.executor
     if args.workers is not None:
-        if args.workers < 1:
-            raise SystemExit(f"--workers must be >= 1, got {args.workers}")
+        try:
+            validate_workers(args.workers)
+        except ValueError as exc:
+            raise SystemExit(f"--workers: {exc}")
         os.environ[WORKERS_ENV] = str(args.workers)
 
 
@@ -111,40 +119,61 @@ def _cmd_quickstart(args: argparse.Namespace) -> int:
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.experiments.registry import (
+        UnknownExperimentError,
+        UnknownParameterError,
+        get_experiment,
+    )
+
     _apply_executor_flags(args)
-    registry = _experiment_registry()
-    key = args.id.lower()
-    if key not in registry:
-        print(f"unknown experiment {args.id!r}; available: "
-              f"{', '.join(sorted(registry, key=_exp_order))}",
-              file=sys.stderr)
+    try:
+        spec = get_experiment(args.id)
+    except UnknownExperimentError as exc:
+        print(exc, file=sys.stderr)
         return 2
-    kwargs = {}
+
+    overrides = {}
+    for item in args.overrides:
+        key, sep, text = item.partition("=")
+        key = key.strip()
+        if not sep or not key:
+            print(f"--set expects KEY=VALUE, got {item!r}", file=sys.stderr)
+            return 2
+        try:
+            overrides[key] = spec.coerce(key, text)
+        except (UnknownParameterError, ValueError) as exc:
+            print(f"--set {item!r}: {exc}", file=sys.stderr)
+            return 2
     if args.trials is not None:
-        kwargs["n_trials"] = args.trials
-    if args.seed is not None:
-        kwargs["seed"] = args.seed
-    table = registry[key](**kwargs)
+        overrides["n_trials"] = args.trials
+
+    try:
+        table = spec.run(seed=args.seed, **overrides)
+    except ValueError as exc:
+        # Covers UnknownParameterError plus values that pass coercion but
+        # fail at run time (e.g. an unknown E15 variant, n_trials=0) —
+        # bad input exits 2 with one line, never a traceback.
+        print(f"experiment {spec.id}: {exc}", file=sys.stderr)
+        return 2
+
+    if args.json_path == "-":
+        print(table.to_json())
+        return 0
+    if args.json_path is not None:
+        Path(args.json_path).write_text(table.to_json() + "\n")
+        print(table.format())
+        print(f"[wrote JSON: {args.json_path}]")
+        return 0
     print(table.format())
     return 0
 
 
-def _exp_order(key: str) -> int:
-    try:
-        return int(key.lstrip("e"))
-    except ValueError:  # pragma: no cover - defensive
-        return 10**6
-
-
 def _cmd_list(args: argparse.Namespace) -> int:
     del args
-    from repro.experiments import tables
+    from repro.experiments.registry import all_experiments
 
-    registry = _experiment_registry()
-    for key in sorted(registry, key=_exp_order):
-        fn = registry[key]
-        doc = (fn.__doc__ or "").strip().splitlines()[0]
-        print(f"{key:>4}  {doc}")
+    for spec in all_experiments():
+        print(f"{spec.id:>4}  {spec.title} — {spec.description}")
     return 0
 
 
@@ -154,8 +183,6 @@ def _cmd_report(args: argparse.Namespace) -> int:
     results = collect_results(args.results)
     text = render_report(results)
     if args.output:
-        from pathlib import Path
-
         Path(args.output).write_text(text)
         print(f"wrote {args.output} ({len(results)} tables)")
     else:

@@ -80,6 +80,7 @@ __all__ = [
     "UnpicklableTaskError",
     "available_backends",
     "resolve_executor",
+    "validate_workers",
 ]
 
 #: Environment variable selecting the default backend (``serial`` if unset).
@@ -276,10 +277,21 @@ def resolve_executor(
     return _BACKENDS[name](max_workers=workers)
 
 
+def validate_workers(workers: int) -> int:
+    """The one place that owns the worker-count rule: an int >= 1.
+
+    Every consumer — backend constructors, ``$REPRO_WORKERS`` resolution,
+    and the CLI's ``--workers`` flag — funnels through here, so the error
+    message (and the rule) can never drift between layers.
+    """
+    workers = int(workers)
+    if workers < 1:
+        raise ValueError(f"worker count must be >= 1, got {workers}")
+    return workers
+
+
 def _default_workers(max_workers: Optional[int]) -> int:
     if max_workers is None:
         env = os.environ.get(WORKERS_ENV)
         max_workers = int(env) if env else (os.cpu_count() or 1)
-    if max_workers < 1:
-        raise ValueError(f"max_workers must be >= 1, got {max_workers}")
-    return int(max_workers)
+    return validate_workers(max_workers)

@@ -1,8 +1,30 @@
-"""Experiment harness: trial running, aggregation, and the E1–E15 table
-definitions that regenerate every quantitative claim of the paper.
+"""Experiment harness: trial running, aggregation, and the declarative
+E1–E21 registry that regenerates every quantitative claim of the paper.
+
+The public surface is the registry (``get_experiment("e1").run(...)``);
+``tables`` keeps the legacy callable-per-experiment names, and ``trials``
+holds the picklable per-trial dataclasses.  See ``docs/EXPERIMENTS_API.md``.
 """
 
 from repro.experiments.harness import ExperimentTable, run_trials
+from repro.experiments.registry import (
+    ExperimentSpec,
+    Trial,
+    all_experiments,
+    experiment,
+    experiment_ids,
+    get_experiment,
+)
 from repro.experiments import tables
 
-__all__ = ["ExperimentTable", "run_trials", "tables"]
+__all__ = [
+    "ExperimentSpec",
+    "ExperimentTable",
+    "Trial",
+    "all_experiments",
+    "experiment",
+    "experiment_ids",
+    "get_experiment",
+    "run_trials",
+    "tables",
+]

@@ -2,18 +2,21 @@
 
 Every experiment in :mod:`repro.experiments.tables` produces an
 :class:`ExperimentTable` — a named list of dict rows with aligned text
-rendering — so benchmark output looks like the rows a paper would print and
-EXPERIMENTS.md can be regenerated mechanically.
+rendering and a JSON form — so benchmark output looks like the rows a paper
+would print, EXPERIMENTS.md can be regenerated mechanically, and
+``repro experiment e1 --json -`` emits machine-readable results.
 """
 
 from __future__ import annotations
 
+import json
+import os
 from dataclasses import dataclass, field
-from typing import Any, Callable, Sequence
+from typing import Any, Callable, Dict
 
 import numpy as np
 
-from repro.dist.executor import ExecutorSpec, resolve_executor
+from repro.dist.executor import EXECUTOR_ENV, ExecutorSpec, resolve_executor
 from repro.utils.rng import RandomState, spawn_seeds
 
 __all__ = ["ExperimentTable", "run_trials"]
@@ -59,31 +62,102 @@ class ExperimentTable:
     def column(self, name: str) -> list[Any]:
         return [r[name] for r in self.rows]
 
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-ready dict: name, description, columns, and plain rows."""
+        return {
+            "name": self.name,
+            "description": self.description,
+            "columns": list(self.columns),
+            "rows": [
+                {c: _jsonable(r[c]) for c in self.columns} for r in self.rows
+            ],
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """The table as a JSON document (see :meth:`to_dict`)."""
+        return json.dumps(self.to_dict(), indent=indent)
+
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.format()
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce numpy scalars/arrays to plain python for json.dumps."""
+    if isinstance(value, np.bool_):
+        return bool(value)
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    return value
+
+
+@dataclass(frozen=True)
+class _SerialEnginesTrial:
+    """Run a trial with the *inner* engines pinned to the serial backend.
+
+    When :func:`run_trials` fans trials out across worker processes, each
+    worker would otherwise re-resolve ``$REPRO_EXECUTOR`` inside
+    ``run_simultaneous`` / ``MapReduceSimulator`` and nest a second process
+    pool per trial.  One level of process parallelism is the useful grain,
+    so the trial level wins and the engines inside the trial run serially
+    (outputs are bit-identical either way — docs/PARALLELISM.md).  The
+    previous environment is restored afterwards, which also keeps the
+    single-task inline path of ``ProcessExecutor.map`` from leaking the
+    override into the caller's process.
+    """
+
+    trial: Callable[[Any], Dict[str, float]]
+
+    def __call__(self, seed: Any) -> Dict[str, float]:
+        previous = os.environ.get(EXECUTOR_ENV)
+        os.environ[EXECUTOR_ENV] = "serial"
+        try:
+            return self.trial(seed)
+        finally:
+            if previous is None:
+                os.environ.pop(EXECUTOR_ENV, None)
+            else:
+                os.environ[EXECUTOR_ENV] = previous
 
 
 def run_trials(
     fn: Callable[[np.random.SeedSequence], dict[str, float]],
     n_trials: int,
     seed: RandomState = None,
-    executor: ExecutorSpec = "serial",
+    executor: ExecutorSpec = None,
 ) -> dict[str, np.ndarray]:
     """Run ``fn`` on ``n_trials`` independent child seeds; stack the per-trial
     scalar dicts into arrays keyed by metric name.
 
-    ``executor`` optionally fans the trials out (results are collected in
-    seed order, so tables stay deterministic).  The default is *explicitly*
-    serial rather than ``$REPRO_EXECUTOR``: trial callables are almost
-    always closures, which the ``processes`` backend cannot pickle, and the
-    intended grain for process parallelism is the machine level inside a
-    trial (``run_simultaneous`` / ``MapReduceSimulator`` do consult the
-    environment).  Pass ``executor="threads"`` to overlap trials.
+    ``executor`` follows the :data:`~repro.dist.executor.ExecutorSpec`
+    convention shared by every engine: ``None`` resolves from
+    ``$REPRO_EXECUTOR`` (default ``serial``), a name picks a backend, an
+    :class:`~repro.dist.executor.Executor` instance is used as-is.  Worker
+    counts are validated by the executor module — there is exactly one
+    place (:func:`repro.dist.executor.validate_workers`) that owns that
+    rule.
+
+    Results are collected in seed order regardless of completion order, so
+    tables are bit-identical across backends for the same seed.
+
+    Trials destined for the ``processes`` backend must be *picklable*:
+    module-level callables or :class:`~repro.experiments.registry.Trial`
+    dataclasses (the E1–E21 trials in :mod:`repro.experiments.trials` all
+    qualify), never closures or lambdas.  When trials do fan out across
+    processes, the engines *inside* each trial are pinned to the serial
+    backend — trial-level fan-out is the coarser, better grain, and nesting
+    a process pool per trial would oversubscribe the machine.
     """
     if n_trials < 1:
         raise ValueError(f"need at least one trial, got {n_trials}")
+    backend = resolve_executor(executor)
+    task = _SerialEnginesTrial(fn) if backend.name == "processes" else fn
     seeds = spawn_seeds(seed, n_trials)
-    outputs = resolve_executor(executor).map(fn, seeds)
+    outputs = backend.map(task, seeds)
     keys = outputs[0].keys()
     for out in outputs[1:]:
         if out.keys() != keys:

@@ -15,14 +15,6 @@ from pathlib import Path
 
 __all__ = ["ArchivedTable", "collect_results", "render_report"]
 
-# Human ordering of the archived stems (prefix match).
-_ORDER = [
-    "e1_", "e2_", "e3_", "e4_", "e5_", "e6_", "e7_", "e8_",
-    "e9_", "e10_", "e11_", "e12_", "e13_", "e14_", "e15_", "e16_", "e17_",
-    "e18_", "e19_", "e20_", "e21_",
-]
-
-
 @dataclass(frozen=True)
 class ArchivedTable:
     """One archived benchmark table."""
@@ -32,11 +24,23 @@ class ArchivedTable:
     body: str
 
 
-def _sort_key(stem: str) -> tuple[int, str]:
-    for i, prefix in enumerate(_ORDER):
+def _stem_order() -> list[str]:
+    """Archived-stem prefixes in registry (paper) order, e.g. ``"e1_"``.
+
+    Derived from the experiment registry rather than a hand-maintained
+    list, so a newly registered experiment sorts correctly with no edit
+    here.
+    """
+    from repro.experiments.registry import experiment_ids
+
+    return [f"{exp_id}_" for exp_id in experiment_ids()]
+
+
+def _sort_key(stem: str, order: list[str]) -> tuple[int, str]:
+    for i, prefix in enumerate(order):
         if stem.startswith(prefix):
             return (i, stem)
-    return (len(_ORDER), stem)
+    return (len(order), stem)
 
 
 def collect_results(results_dir: str | Path) -> list[ArchivedTable]:
@@ -48,7 +52,9 @@ def collect_results(results_dir: str | Path) -> list[ArchivedTable]:
             "`pytest benchmarks/ --benchmark-only` first"
         )
     out = []
-    for path in sorted(directory.glob("*.txt"), key=lambda p: _sort_key(p.stem)):
+    order = _stem_order()
+    for path in sorted(directory.glob("*.txt"),
+                       key=lambda p: _sort_key(p.stem, order)):
         text = path.read_text().rstrip("\n")
         lines = text.splitlines()
         title = lines[0].strip("= ").strip() if lines else path.stem

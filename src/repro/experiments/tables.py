@@ -1,20 +1,53 @@
-"""E1–E21: one function per reproduced claim.
+"""E1–E21: one declarative spec per reproduced claim.
 
 The paper is theoretical; each "table" here is the empirical rendering of
-one theorem/remark/example, as indexed in DESIGN.md §4.  Every function is
-deterministic given its ``seed`` and returns an
-:class:`~repro.experiments.harness.ExperimentTable` whose rows the benchmark
-scripts print and EXPERIMENTS.md records.
+one theorem/remark/example, as indexed in DESIGN.md §4.  Every experiment
+is registered with the :mod:`repro.experiments.registry` via the
+:func:`~repro.experiments.registry.experiment` decorator: the spec carries
+id, title, description, columns, the default parameter grid, and the seed,
+while the builder below sweeps the grid, runs the picklable
+:mod:`~repro.experiments.trials` dataclasses through
+:func:`~repro.experiments.harness.run_trials`, and aggregates the metrics
+into rows.  Every table is deterministic given its ``seed`` — on any
+executor backend.
+
+The decorated names (``e1_matching_coreset`` …) remain callable with
+keyword overrides for backward compatibility; new code should resolve
+experiments through the registry (``get_experiment("e1").run(...)``).  See
+``docs/EXPERIMENTS_API.md``.
 """
 
 from __future__ import annotations
 
 import math
 
-import numpy as np
-
-from repro.experiments.harness import ExperimentTable, run_trials
-from repro.utils.rng import RandomState
+from repro.experiments.harness import run_trials
+from repro.experiments.registry import ExperimentSpec, experiment
+from repro.experiments.trials import (
+    E1Trial,
+    E2Trial,
+    E3Trial,
+    E4Trial,
+    E5Trial,
+    E6Trial,
+    E7Trial,
+    E8Trial,
+    E9Trial,
+    E10Trial,
+    E11Trial,
+    E12Trial,
+    E13Trial,
+    E14Trial,
+    E15Trial,
+    E16Trial,
+    E17Trial,
+    E18Trial,
+    E19Trial,
+    E20Trial,
+    E21Trial,
+    E15_VARIANTS,
+    E18_FAMILIES,
+)
 
 __all__ = [
     "e1_matching_coreset",
@@ -44,59 +77,34 @@ __all__ = [
 # --------------------------------------------------------------------- #
 # E1 — Theorem 1: max-matching coreset is O(1)-approximate
 # --------------------------------------------------------------------- #
-def e1_matching_coreset(
-    n_values: tuple[int, ...] = (2000, 6000),
-    k_values: tuple[int, ...] = (4, 16, 64),
-    n_trials: int = 3,
-    seed: RandomState = 11,
-    general_graphs: bool = False,
-) -> ExperimentTable:
+@experiment(
+    "e1",
+    title="E1: matching coreset approximation (Theorem 1)",
+    description="ratio = MM(G) / |composed matching|; theory bound 9",
+    columns=["graph", "n", "k", "ratio_mean", "ratio_max",
+             "coreset_edges_mean"],
+    grid=dict(n_values=(2000, 6000), k_values=(4, 16, 64), n_trials=3,
+              general_graphs=False),
+    seed=11,
+)
+def e1_matching_coreset(spec: ExperimentSpec, *, n_values, k_values,
+                        n_trials, general_graphs, seed, executor):
     """Approximation ratio of the Theorem 1 coreset vs n and k.
 
     Expected shape: ratio ≤ ~3 (theory: ≤ 9), flat in both n and k.
     """
-    from repro.core.protocols import matching_coreset_protocol
-    from repro.dist.coordinator import run_simultaneous
-    from repro.graph.generators import gnp, planted_matching_gnp
-    from repro.graph.partition import random_k_partition
-    from repro.matching.api import matching_number
-    from repro.utils.rng import spawn_generators
-
-    table = ExperimentTable(
-        name="E1: matching coreset approximation (Theorem 1)",
-        description="ratio = MM(G) / |composed matching|; theory bound 9",
-        columns=["graph", "n", "k", "ratio_mean", "ratio_max",
-                 "coreset_edges_mean"],
-    )
-    protocol = matching_coreset_protocol(combiner="exact")
-
+    table = spec.new_table()
     for n in n_values:
         for k in k_values:
-            def trial(s):
-                g_rng, p_rng, r_rng = spawn_generators(s, 3)
-                if general_graphs:
-                    graph = gnp(n, 3.0 / n, g_rng)
-                else:
-                    graph, _ = planted_matching_gnp(
-                        n // 2, n // 2, p=3.0 / n, rng=g_rng
-                    )
-                part = random_k_partition(graph, k, p_rng)
-                res = run_simultaneous(protocol, part, r_rng)
-                opt = matching_number(graph)
-                out = int(res.output.shape[0])
-                return {
-                    "ratio": opt / max(1, out),
-                    "coreset_edges": res.ledger.total_edges() / k,
-                }
-
-            metrics = run_trials(trial, n_trials, seed)
+            trial = E1Trial(n=n, k=k, general_graphs=general_graphs)
+            m = run_trials(trial, n_trials, seed, executor=executor)
             table.add_row(
                 graph="gnp" if general_graphs else "bip+planted",
                 n=n,
                 k=k,
-                ratio_mean=float(metrics["ratio"].mean()),
-                ratio_max=float(metrics["ratio"].max()),
-                coreset_edges_mean=float(metrics["coreset_edges"].mean()),
+                ratio_mean=float(m["ratio"].mean()),
+                ratio_max=float(m["ratio"].max()),
+                coreset_edges_mean=float(m["coreset_edges"].mean()),
             )
     return table
 
@@ -104,12 +112,17 @@ def e1_matching_coreset(
 # --------------------------------------------------------------------- #
 # E2 — §1.2: maximal-matching coreset is Ω(k)
 # --------------------------------------------------------------------- #
-def e2_maximal_coreset_bad(
-    k_values: tuple[int, ...] = (4, 8, 16, 32),
-    width: int = 64,
-    n_trials: int = 3,
-    seed: RandomState = 22,
-) -> ExperimentTable:
+@experiment(
+    "e2",
+    title="E2: maximal-matching coreset failure (paper §1.2)",
+    description="same random partition; only the summarizer differs; "
+                "opt >= N = k*width hidden edges",
+    columns=["k", "opt_lb", "maximal_ratio", "maximum_ratio"],
+    grid=dict(k_values=(4, 8, 16, 32), width=64, n_trials=3),
+    seed=22,
+)
+def e2_maximal_coreset_bad(spec: ExperimentSpec, *, k_values, width,
+                           n_trials, seed, executor):
     """Worst-case *maximal* matching vs *maximum* matching as coresets on
     the hidden-matching-with-hubs instance (§1.2's Ω(k) example).
 
@@ -117,41 +130,15 @@ def e2_maximal_coreset_bad(
     hub slack 2); the Theorem 1 coreset stays O(1) on the same inputs and
     the same random partitions.
     """
-    from repro.baselines.bad_coresets import blocking_maximal_protocol
-    from repro.core.protocols import matching_coreset_protocol
-    from repro.dist.coordinator import run_simultaneous
-    from repro.graph.generators import hidden_matching_with_hubs
-    from repro.graph.partition import random_k_partition
-    from repro.utils.rng import spawn_generators
-
-    table = ExperimentTable(
-        name="E2: maximal-matching coreset failure (paper §1.2)",
-        description="same random partition; only the summarizer differs; "
-                    "opt >= N = k*width hidden edges",
-        columns=["k", "opt_lb", "maximal_ratio", "maximum_ratio"],
-    )
-    good = matching_coreset_protocol(combiner="exact")
-
+    table = spec.new_table()
     for k in k_values:
-        def trial(s):
-            g_rng, p_rng, r_rng = spawn_generators(s, 3)
-            graph, n_pairs, _ = hidden_matching_with_hubs(k, width, rng=g_rng)
-            bad = blocking_maximal_protocol(hub_boundary=2 * n_pairs)
-            part = random_k_partition(graph, k, p_rng)
-            bad_out = run_simultaneous(bad, part, r_rng).output
-            good_out = run_simultaneous(good, part, r_rng).output
-            return {
-                "opt": n_pairs,
-                "bad_ratio": n_pairs / max(1, bad_out.shape[0]),
-                "good_ratio": n_pairs / max(1, good_out.shape[0]),
-            }
-
-        metrics = run_trials(trial, n_trials, seed)
+        m = run_trials(E2Trial(k=k, width=width), n_trials, seed,
+                       executor=executor)
         table.add_row(
             k=k,
-            opt_lb=float(metrics["opt"].mean()),
-            maximal_ratio=float(metrics["bad_ratio"].mean()),
-            maximum_ratio=float(metrics["good_ratio"].mean()),
+            opt_lb=float(m["opt"].mean()),
+            maximal_ratio=float(m["bad_ratio"].mean()),
+            maximum_ratio=float(m["good_ratio"].mean()),
         )
     return table
 
@@ -159,56 +146,27 @@ def e2_maximal_coreset_bad(
 # --------------------------------------------------------------------- #
 # E3 — Theorem 2: VC coreset is O(log n)-approximate, size O(n log n)
 # --------------------------------------------------------------------- #
-def e3_vc_coreset(
-    n_values: tuple[int, ...] = (2000, 8000),
-    k_values: tuple[int, ...] = (4, 16),
-    n_trials: int = 3,
-    seed: RandomState = 33,
-) -> ExperimentTable:
+@experiment(
+    "e3",
+    title="E3: vertex-cover coreset approximation (Theorem 2)",
+    description="ratio = |composed cover| / VC(G); theory bound O(log n)",
+    columns=["n", "k", "ratio_mean", "ratio_max", "log2_n",
+             "residual_edges_mean", "fixed_vertices_mean", "feasible"],
+    grid=dict(n_values=(2000, 8000), k_values=(4, 16), n_trials=3),
+    seed=33,
+)
+def e3_vc_coreset(spec: ExperimentSpec, *, n_values, k_values, n_trials,
+                  seed, executor):
     """Approximation ratio and message size of the Theorem 2 coreset on
     skewed-degree bipartite workloads.
 
     Expected shape: ratio well below log2(n); residual size O(n log n).
     """
-    from repro.core.protocols import vertex_cover_coreset_protocol
-    from repro.cover import is_vertex_cover, konig_cover
-    from repro.dist.coordinator import run_simultaneous
-    from repro.graph.generators import skewed_bipartite
-    from repro.graph.partition import random_k_partition
-    from repro.utils.rng import spawn_generators
-
-    table = ExperimentTable(
-        name="E3: vertex-cover coreset approximation (Theorem 2)",
-        description="ratio = |composed cover| / VC(G); theory bound O(log n)",
-        columns=["n", "k", "ratio_mean", "ratio_max", "log2_n",
-                 "residual_edges_mean", "fixed_vertices_mean", "feasible"],
-    )
+    table = spec.new_table()
     for n in n_values:
         for k in k_values:
-            protocol = vertex_cover_coreset_protocol(k=k)
-
-            def trial(s):
-                g_rng, p_rng, r_rng = spawn_generators(s, 3)
-                half = n // 2
-                graph = skewed_bipartite(
-                    half, half,
-                    hub_count=max(4, half // 50),
-                    hub_degree=max(8, half // 10),
-                    leaf_p=2.0 / half,
-                    rng=g_rng,
-                )
-                part = random_k_partition(graph, k, p_rng)
-                res = run_simultaneous(protocol, part, r_rng)
-                opt = int(konig_cover(graph).shape[0])
-                feasible = is_vertex_cover(graph, res.output)
-                return {
-                    "ratio": res.output.shape[0] / max(1, opt),
-                    "residual": res.ledger.total_edges() / k,
-                    "fixed": res.ledger.total_fixed_vertices() / k,
-                    "feasible": float(feasible),
-                }
-
-            m = run_trials(trial, n_trials, seed)
+            m = run_trials(E3Trial(n=n, k=k), n_trials, seed,
+                           executor=executor)
             table.add_row(
                 n=n, k=k,
                 ratio_mean=float(m["ratio"].mean()),
@@ -224,52 +182,25 @@ def e3_vc_coreset(
 # --------------------------------------------------------------------- #
 # E4 — §1.2: min-VC-as-coreset is Ω(k) (star example)
 # --------------------------------------------------------------------- #
-def e4_minvc_coreset_bad(
-    k_values: tuple[int, ...] = (4, 8, 16, 32),
-    n_stars: int = 64,
-    n_trials: int = 3,
-    seed: RandomState = 44,
-) -> ExperimentTable:
+@experiment(
+    "e4",
+    title="E4: min-VC coreset failure (paper §1.2 star example)",
+    description="stars with ~k leaves each; OPT = n_stars (the centers)",
+    columns=["k", "opt", "minvc_ratio", "peeling_ratio", "both_feasible"],
+    grid=dict(k_values=(4, 8, 16, 32), n_stars=64, n_trials=3),
+    seed=44,
+)
+def e4_minvc_coreset_bad(spec: ExperimentSpec, *, k_values, n_stars,
+                         n_trials, seed, executor):
     """Min-VC-of-the-piece vs the Theorem 2 peeling coreset on star forests.
 
     Expected shape: min-VC coreset ratio grows ~linearly in k (leaves get
     certified); the peeling coreset stays O(log n).
     """
-    from repro.baselines.bad_coresets import min_vc_coreset_protocol
-    from repro.core.protocols import vertex_cover_coreset_protocol
-    from repro.cover import is_vertex_cover
-    from repro.dist.coordinator import run_simultaneous
-    from repro.graph.generators import bipartite_star_forest
-    from repro.graph.partition import random_k_partition
-    from repro.utils.rng import spawn_generators
-
-    table = ExperimentTable(
-        name="E4: min-VC coreset failure (paper §1.2 star example)",
-        description="stars with ~k leaves each; OPT = n_stars (the centers)",
-        columns=["k", "opt", "minvc_ratio", "peeling_ratio", "both_feasible"],
-    )
-    bad = min_vc_coreset_protocol(prefer_leaves=True)
-
+    table = spec.new_table()
     for k in k_values:
-        good = vertex_cover_coreset_protocol(k=k)
-
-        def trial(s):
-            g_rng, p_rng, r_rng = spawn_generators(s, 3)
-            graph = bipartite_star_forest(n_stars, leaves_per_star=k)
-            part = random_k_partition(graph, k, p_rng)
-            bad_out = run_simultaneous(bad, part, r_rng).output
-            good_out = run_simultaneous(good, part, r_rng).output
-            opt = n_stars  # the centers
-            return {
-                "bad_ratio": bad_out.shape[0] / opt,
-                "good_ratio": good_out.shape[0] / opt,
-                "feasible": float(
-                    is_vertex_cover(graph, bad_out)
-                    and is_vertex_cover(graph, good_out)
-                ),
-            }
-
-        m = run_trials(trial, n_trials, seed)
+        m = run_trials(E4Trial(k=k, n_stars=n_stars), n_trials, seed,
+                       executor=executor)
         table.add_row(
             k=k,
             opt=n_stars,
@@ -283,55 +214,32 @@ def e4_minvc_coreset_bad(
 # --------------------------------------------------------------------- #
 # E5 — Theorem 3: matching coresets need Ω(n/α²) edges
 # --------------------------------------------------------------------- #
-def e5_matching_size_lb(
-    n: int = 8000,
-    alpha: float = 8.0,
-    k: int = 8,
-    budget_factors: tuple[float, ...] = (0.125, 0.5, 1.0, 4.0, 16.0),
-    n_trials: int = 3,
-    seed: RandomState = 55,
-) -> ExperimentTable:
+@experiment(
+    "e5",
+    title="E5: matching coreset size lower bound (Theorem 3)",
+    description="D_Matching budget sweep around the n/alpha^2 threshold",
+    columns=["budget", "budget_over_threshold", "ratio_mean",
+             "hidden_recovered_mean", "beats_alpha"],
+    grid=dict(n=8000, alpha=8.0, k=8,
+              budget_factors=(0.125, 0.5, 1.0, 4.0, 16.0), n_trials=3),
+    seed=55,
+)
+def e5_matching_size_lb(spec: ExperimentSpec, *, n, alpha, k,
+                        budget_factors, n_trials, seed, executor):
     """Budget-limited coresets on D_Matching, budgets around n/α².
 
     Expected shape: achieved ratio crosses α as the per-machine budget
     crosses ~n/α² (the Theorem 3 threshold).
     """
-    from repro.dist.coordinator import run_simultaneous
-    from repro.graph.partition import random_k_partition
-    from repro.lowerbounds.dmatching import (
-        budget_limited_matching_protocol,
-        hidden_edges_recovered,
-        sample_dmatching,
-    )
-    from repro.utils.rng import spawn_generators
-
-    table = ExperimentTable(
-        name="E5: matching coreset size lower bound (Theorem 3)",
-        description=f"D_Matching(n={n}, alpha={alpha:g}, k={k}); "
-                    f"threshold budget n/alpha^2 = {n / alpha**2:.0f}",
-        columns=["budget", "budget_over_threshold", "ratio_mean",
-                 "hidden_recovered_mean", "beats_alpha"],
-    )
     threshold = n / alpha**2
+    table = spec.new_table(
+        description=f"D_Matching(n={n}, alpha={alpha:g}, k={k}); "
+                    f"threshold budget n/alpha^2 = {threshold:.0f}",
+    )
     for factor in budget_factors:
         budget = max(1, int(round(factor * threshold)))
-        protocol = budget_limited_matching_protocol(budget)
-
-        def trial(s):
-            from repro.matching.api import matching_number
-
-            i_rng, p_rng, r_rng = spawn_generators(s, 3)
-            inst = sample_dmatching(n, alpha, k, i_rng)
-            part = random_k_partition(inst.graph, k, p_rng)
-            res = run_simultaneous(protocol, part, r_rng)
-            opt = matching_number(inst.graph)
-            out = int(res.output.shape[0])
-            return {
-                "ratio": opt / max(1, out),
-                "hidden": hidden_edges_recovered(inst, res.output),
-            }
-
-        m = run_trials(trial, n_trials, seed)
+        m = run_trials(E5Trial(n=n, alpha=alpha, k=k, budget=budget),
+                       n_trials, seed, executor=executor)
         ratio = float(m["ratio"].mean())
         table.add_row(
             budget=budget,
@@ -346,53 +254,32 @@ def e5_matching_size_lb(
 # --------------------------------------------------------------------- #
 # E6 — Theorem 4: VC coresets need Ω(n/α) size
 # --------------------------------------------------------------------- #
-def e6_vc_size_lb(
-    n: int = 8000,
-    alpha: float = 8.0,
-    k: int = 8,
-    budget_factors: tuple[float, ...] = (0.05, 0.25, 1.0, 4.0),
-    n_trials: int = 5,
-    seed: RandomState = 66,
-) -> ExperimentTable:
+@experiment(
+    "e6",
+    title="E6: vertex-cover coreset size lower bound (Theorem 4)",
+    description="D_VC budget sweep around the n/alpha threshold",
+    columns=["budget", "budget_over_threshold", "p_estar_covered",
+             "p_feasible", "cover_size_mean"],
+    grid=dict(n=8000, alpha=8.0, k=8, budget_factors=(0.05, 0.25, 1.0, 4.0),
+              n_trials=5),
+    seed=66,
+)
+def e6_vc_size_lb(spec: ExperimentSpec, *, n, alpha, k, budget_factors,
+                  n_trials, seed, executor):
     """Budget-limited coresets on D_VC, budgets around n/α.
 
     Expected shape: P[e* covered] (hence feasibility) collapses once the
     budget drops below ~n/α.
     """
-    from repro.cover import is_vertex_cover
-    from repro.dist.coordinator import run_simultaneous
-    from repro.graph.partition import random_k_partition
-    from repro.lowerbounds.dvc import (
-        budget_limited_cover_protocol,
-        covers_estar,
-        sample_dvc,
-    )
-    from repro.utils.rng import spawn_generators
-
-    table = ExperimentTable(
-        name="E6: vertex-cover coreset size lower bound (Theorem 4)",
-        description=f"D_VC(n={n}, alpha={alpha:g}, k={k}); "
-                    f"threshold budget n/alpha = {n / alpha:.0f}",
-        columns=["budget", "budget_over_threshold", "p_estar_covered",
-                 "p_feasible", "cover_size_mean"],
-    )
     threshold = n / alpha
+    table = spec.new_table(
+        description=f"D_VC(n={n}, alpha={alpha:g}, k={k}); "
+                    f"threshold budget n/alpha = {threshold:.0f}",
+    )
     for factor in budget_factors:
         budget = max(1, int(round(factor * threshold)))
-        protocol = budget_limited_cover_protocol(budget, budget, k=k)
-
-        def trial(s):
-            i_rng, p_rng, r_rng = spawn_generators(s, 3)
-            inst = sample_dvc(n, alpha, k, i_rng)
-            part = random_k_partition(inst.graph, k, p_rng)
-            res = run_simultaneous(protocol, part, r_rng)
-            return {
-                "covered": float(covers_estar(inst, res.output)),
-                "feasible": float(is_vertex_cover(inst.graph, res.output)),
-                "size": res.output.shape[0],
-            }
-
-        m = run_trials(trial, n_trials, seed)
+        m = run_trials(E6Trial(n=n, alpha=alpha, k=k, budget=budget),
+                       n_trials, seed, executor=executor)
         table.add_row(
             budget=budget,
             budget_over_threshold=factor,
@@ -406,37 +293,25 @@ def e6_vc_size_lb(
 # --------------------------------------------------------------------- #
 # E7 — headline: random vs adversarial partitioning
 # --------------------------------------------------------------------- #
-def e7_random_vs_adversarial(
-    k_values: tuple[int, ...] = (4, 8, 16),
-    n_hidden_per_k: int = 48,
-    n_trials: int = 3,
-    seed: RandomState = 77,
-) -> ExperimentTable:
+@experiment(
+    "e7",
+    title="E7: random vs adversarial partitioning (headline contrast)",
+    description="decoy-gadget instance; predicted adversarial ratio (k+1)/2",
+    columns=["k", "opt_mean", "random_ratio", "adversarial_ratio",
+             "predicted_adversarial"],
+    grid=dict(k_values=(4, 8, 16), n_hidden_per_k=48, n_trials=3),
+    seed=77,
+)
+def e7_random_vs_adversarial(spec: ExperimentSpec, *, k_values,
+                             n_hidden_per_k, n_trials, seed, executor):
     """Same graph, same Theorem 1 coreset, two partitionings.
 
     Expected shape: random ratio O(1); adversarial ratio ≈ (k+1)/2.
     """
-    from repro.lowerbounds.adversary import contrast_partitionings
-    from repro.utils.rng import spawn_seeds
-
-    table = ExperimentTable(
-        name="E7: random vs adversarial partitioning (headline contrast)",
-        description="decoy-gadget instance; predicted adversarial ratio (k+1)/2",
-        columns=["k", "opt_mean", "random_ratio", "adversarial_ratio",
-                 "predicted_adversarial"],
-    )
+    table = spec.new_table()
     for k in k_values:
-        n_hidden = n_hidden_per_k * k
-
-        def trial(s):
-            c = contrast_partitionings(n_hidden, k, s)
-            return {
-                "opt": c.optimum,
-                "rand": c.random_ratio,
-                "adv": c.adversarial_ratio,
-            }
-
-        m = run_trials(trial, n_trials, seed)
+        m = run_trials(E7Trial(k=k, n_hidden=n_hidden_per_k * k),
+                       n_trials, seed, executor=executor)
         table.add_row(
             k=k,
             opt_mean=float(m["opt"].mean()),
@@ -450,97 +325,60 @@ def e7_random_vs_adversarial(
 # --------------------------------------------------------------------- #
 # E8 — MapReduce: rounds and memory vs the filtering baseline
 # --------------------------------------------------------------------- #
-def e8_mapreduce_rounds(
-    n: int = 4000,
-    avg_degree: float = 24.0,
-    n_trials: int = 3,
-    seed: RandomState = 88,
-) -> ExperimentTable:
+@experiment(
+    "e8",
+    title="E8: MapReduce rounds (paper MR corollary vs filtering [46])",
+    description="coreset MapReduce vs filtering at memory budget n^1.5",
+    columns=["algorithm", "rounds_mean", "ratio_mean",
+             "peak_machine_edges", "memory_cap"],
+    grid=dict(n=4000, avg_degree=24.0, n_trials=3),
+    seed=88,
+)
+def e8_mapreduce_rounds(spec: ExperimentSpec, *, n, avg_degree, n_trials,
+                        seed, executor):
     """2-round coreset MapReduce vs the [46] filtering algorithm at the
     paper's memory budget Õ(n^1.5).
 
     Expected shape: coreset = 2 rounds (1 when pre-randomized), ratio ≤ ~3;
     filtering ≥ 3 rounds with ratio ≤ 2.
     """
-    from repro.baselines.filtering import filtering_matching
-    from repro.core.mapreduce_algos import mapreduce_matching
-    from repro.graph.generators import planted_matching_gnp
-    from repro.matching.api import matching_number
-    from repro.utils.rng import spawn_generators
-
-    table = ExperimentTable(
-        name="E8: MapReduce rounds (paper MR corollary vs filtering [46])",
-        description=f"n={n}, m≈{int(n * avg_degree / 2)}, memory n^1.5≈"
-                    f"{int(n**1.5)} edges",
-        columns=["algorithm", "rounds_mean", "ratio_mean",
-                 "peak_machine_edges", "memory_cap"],
-    )
     memory = int(n**1.5)
-
-    def trial(s):
-        g_rng, mr_rng, mr2_rng, f_rng = spawn_generators(s, 4)
-        graph, _ = planted_matching_gnp(
-            n // 2, n // 2, p=avg_degree / n, rng=g_rng
-        )
-        opt = matching_number(graph)
-        coreset = mapreduce_matching(
-            graph, rng=mr_rng, memory_cap_edges=memory
-        )
-        coreset1 = mapreduce_matching(
-            graph, rng=mr2_rng, memory_cap_edges=memory,
-            assume_random_input=True,
-        )
-        # Filtering must iterate: give it the same memory budget but note
-        # it only ever uses the central machine.
-        filt = filtering_matching(graph, memory_edges=max(64, graph.n_edges // 8),
-                                  rng=f_rng)
-        return {
-            "c_rounds": coreset.job.n_rounds,
-            "c_ratio": opt / max(1, coreset.matching.shape[0]),
-            "c_peak": coreset.job.peak_machine_edges,
-            "c1_rounds": coreset1.job.n_rounds,
-            "c1_ratio": opt / max(1, coreset1.matching.shape[0]),
-            "c1_peak": coreset1.job.peak_machine_edges,
-            "f_rounds": filt.n_rounds,
-            "f_ratio": opt / max(1, filt.matching_size),
-            "f_peak": filt.peak_central_edges,
-        }
-
-    m = run_trials(trial, n_trials, seed)
-    table.add_row(
-        algorithm="coreset-2round",
-        rounds_mean=float(m["c_rounds"].mean()),
-        ratio_mean=float(m["c_ratio"].mean()),
-        peak_machine_edges=float(m["c_peak"].mean()),
-        memory_cap=memory,
+    table = spec.new_table(
+        description=f"n={n}, m≈{int(n * avg_degree / 2)}, memory n^1.5≈"
+                    f"{memory} edges",
     )
-    table.add_row(
-        algorithm="coreset-prerandomized",
-        rounds_mean=float(m["c1_rounds"].mean()),
-        ratio_mean=float(m["c1_ratio"].mean()),
-        peak_machine_edges=float(m["c1_peak"].mean()),
-        memory_cap=memory,
+    m = run_trials(
+        E8Trial(n=n, avg_degree=avg_degree, memory_cap_edges=memory),
+        n_trials, seed, executor=executor,
     )
-    table.add_row(
-        algorithm="filtering[46]",
-        rounds_mean=float(m["f_rounds"].mean()),
-        ratio_mean=float(m["f_ratio"].mean()),
-        peak_machine_edges=float(m["f_peak"].mean()),
-        memory_cap=memory,
-    )
+    for label, prefix in (("coreset-2round", "c"),
+                          ("coreset-prerandomized", "c1"),
+                          ("filtering[46]", "f")):
+        table.add_row(
+            algorithm=label,
+            rounds_mean=float(m[f"{prefix}_rounds"].mean()),
+            ratio_mean=float(m[f"{prefix}_ratio"].mean()),
+            peak_machine_edges=float(m[f"{prefix}_peak"].mean()),
+            memory_cap=memory,
+        )
     return table
 
 
 # --------------------------------------------------------------------- #
 # E9 — Remark 5.2: subsampled matching, Õ(nk/α²) communication
 # --------------------------------------------------------------------- #
-def e9_subsampled_matching(
-    n: int = 8000,
-    k: int = 8,
-    alpha_values: tuple[float, ...] = (2.0, 4.0, 8.0, 16.0),
-    n_trials: int = 3,
-    seed: RandomState = 99,
-) -> ExperimentTable:
+@experiment(
+    "e9",
+    title="E9: subsampled matching protocol (Remark 5.2)",
+    description="alpha sweep on D_Matching; claim: alpha-approx, "
+                "Õ(nk/alpha²) bits",
+    columns=["alpha", "ratio_mean", "total_bits_mean",
+             "bits_x_alpha2_over_nk", "within_3alpha"],
+    grid=dict(n=8000, k=8, alpha_values=(2.0, 4.0, 8.0, 16.0), n_trials=3),
+    seed=99,
+)
+def e9_subsampled_matching(spec: ExperimentSpec, *, n, k, alpha_values,
+                           n_trials, seed, executor):
     """Sweep α on D_Matching(n, α, k) — the regime of Remark 5.2/Theorem 5,
     where each player's maximum matching is Θ(n/α) — and check ratio ≤ O(α)
     with communication ∝ nk/α².
@@ -551,35 +389,13 @@ def e9_subsampled_matching(
     the α² rate is specific to the hard regime, which is why this table
     samples D_Matching rather than a planted Gnp graph.
     """
-    from repro.core.protocols import subsampled_matching_protocol
-    from repro.dist.coordinator import run_simultaneous
-    from repro.graph.partition import random_k_partition
-    from repro.lowerbounds.dmatching import sample_dmatching
-    from repro.matching.api import matching_number
-    from repro.utils.rng import spawn_generators
-
-    table = ExperimentTable(
-        name="E9: subsampled matching protocol (Remark 5.2)",
+    table = spec.new_table(
         description=f"D_Matching(n={n}, alpha, k={k}); claim: alpha-approx, "
                     "Õ(nk/alpha²) bits",
-        columns=["alpha", "ratio_mean", "total_bits_mean",
-                 "bits_x_alpha2_over_nk", "within_3alpha"],
     )
     for alpha in alpha_values:
-        protocol = subsampled_matching_protocol(alpha)
-
-        def trial(s):
-            g_rng, p_rng, r_rng = spawn_generators(s, 3)
-            inst = sample_dmatching(n, alpha, k, g_rng)
-            part = random_k_partition(inst.graph, k, p_rng)
-            res = run_simultaneous(protocol, part, r_rng)
-            opt = matching_number(inst.graph)
-            return {
-                "ratio": opt / max(1, res.output.shape[0]),
-                "bits": res.total_bits,
-            }
-
-        m = run_trials(trial, n_trials, seed)
+        m = run_trials(E9Trial(n=n, k=k, alpha=alpha), n_trials, seed,
+                       executor=executor)
         ratio = float(m["ratio"].mean())
         bits = float(m["bits"].mean())
         table.add_row(
@@ -595,53 +411,27 @@ def e9_subsampled_matching(
 # --------------------------------------------------------------------- #
 # E10 — Remark 5.8: grouped VC, Õ(nk/α) communication
 # --------------------------------------------------------------------- #
-def e10_grouped_vc(
-    n: int = 8000,
-    k: int = 8,
-    alpha_values: tuple[float, ...] = (16.0, 32.0, 64.0),
-    n_trials: int = 3,
-    seed: RandomState = 1010,
-) -> ExperimentTable:
+@experiment(
+    "e10",
+    title="E10: grouped vertex cover protocol (Remark 5.8)",
+    description="alpha sweep; claim: alpha-approx, Õ(nk/alpha) bits",
+    columns=["alpha", "ratio_mean", "feasible", "total_bits_mean",
+             "bits_x_alpha_over_nk"],
+    grid=dict(n=8000, k=8, alpha_values=(16.0, 32.0, 64.0), n_trials=3),
+    seed=1010,
+)
+def e10_grouped_vc(spec: ExperimentSpec, *, n, k, alpha_values, n_trials,
+                   seed, executor):
     """Sweep α; check feasibility, ratio O(α), and communication ∝ nk/α.
 
     Expected shape: bits scale like 1/α; ratio grows at most linearly in α.
     """
-    from repro.core.protocols import grouped_vertex_cover_protocol
-    from repro.cover import is_vertex_cover, konig_cover
-    from repro.dist.coordinator import run_simultaneous
-    from repro.graph.generators import skewed_bipartite
-    from repro.graph.partition import random_k_partition
-    from repro.utils.rng import spawn_generators
-
-    table = ExperimentTable(
-        name="E10: grouped vertex cover protocol (Remark 5.8)",
+    table = spec.new_table(
         description=f"n={n}, k={k}; claim: alpha-approx, Õ(nk/alpha) bits",
-        columns=["alpha", "ratio_mean", "feasible", "total_bits_mean",
-                 "bits_x_alpha_over_nk"],
     )
     for alpha in alpha_values:
-        protocol = grouped_vertex_cover_protocol(k=k, alpha=alpha)
-
-        def trial(s):
-            g_rng, p_rng, r_rng = spawn_generators(s, 3)
-            half = n // 2
-            # Dense enough that the coreset's Õ(n'·log n') message bound is
-            # what limits communication (otherwise every protocol just
-            # sends its whole sparse piece and the 1/alpha scaling hides).
-            graph = skewed_bipartite(
-                half, half, hub_count=half // 50, hub_degree=half // 10,
-                leaf_p=16.0 / half, rng=g_rng,
-            )
-            part = random_k_partition(graph, k, p_rng)
-            res = run_simultaneous(protocol, part, r_rng)
-            opt = int(konig_cover(graph).shape[0])
-            return {
-                "ratio": res.output.shape[0] / max(1, opt),
-                "feasible": float(is_vertex_cover(graph, res.output)),
-                "bits": res.total_bits,
-            }
-
-        m = run_trials(trial, n_trials, seed)
+        m = run_trials(E10Trial(n=n, k=k, alpha=alpha), n_trials, seed,
+                       executor=executor)
         bits = float(m["bits"].mean())
         table.add_row(
             alpha=alpha,
@@ -656,41 +446,29 @@ def e10_grouped_vc(
 # --------------------------------------------------------------------- #
 # E11 — Appendix A: induced matchings in G(n, n, 1/n)
 # --------------------------------------------------------------------- #
-def e11_induced_matching(
-    n_values: tuple[int, ...] = (1000, 4000, 16000),
-    n_trials: int = 5,
-    seed: RandomState = 1111,
-) -> ExperimentTable:
+@experiment(
+    "e11",
+    title="E11: induced matching in G(n,n,1/n) (Appendix A)",
+    description="density -> 1/e^2 ≈ 0.1353 exactly, >= 1/e^3 ≈ 0.0498 "
+                "(Lemma A.3 bound); degree-1 fraction -> 1/e ≈ 0.3679",
+    columns=["n", "induced_density_mean", "exact_theory", "lemma_a3_bound",
+             "deg1_fraction_mean", "theory_deg1"],
+    grid=dict(n_values=(1000, 4000, 16000), n_trials=5),
+    seed=1111,
+)
+def e11_induced_matching(spec: ExperimentSpec, *, n_values, n_trials, seed,
+                         executor):
     """Induced-matching density vs the 1/e³ constant; degree-1 fraction vs
     1/e (Prop A.2 / Lemma A.3)."""
-    from repro.graph.generators import bipartite_gnp
     from repro.lowerbounds.induced import (
         degree_one_left_fraction_theory,
-        induced_matching,
         induced_matching_density_exact,
         induced_matching_density_theory,
     )
-    from repro.utils.rng import spawn_generators
 
-    table = ExperimentTable(
-        name="E11: induced matching in G(n,n,1/n) (Appendix A)",
-        description="density -> 1/e^2 ≈ 0.1353 exactly, >= 1/e^3 ≈ 0.0498 "
-                    "(Lemma A.3 bound); degree-1 fraction -> 1/e ≈ 0.3679",
-        columns=["n", "induced_density_mean", "exact_theory", "lemma_a3_bound",
-                 "deg1_fraction_mean", "theory_deg1"],
-    )
+    table = spec.new_table()
     for n in n_values:
-        def trial(s):
-            (g_rng,) = spawn_generators(s, 1)
-            g = bipartite_gnp(n, n, 1.0 / n, g_rng)
-            m = induced_matching(g)
-            deg_left = g.degrees[: n]
-            return {
-                "density": m.shape[0] / n,
-                "deg1": float((deg_left == 1).mean()),
-            }
-
-        m = run_trials(trial, n_trials, seed)
+        m = run_trials(E11Trial(n=n), n_trials, seed, executor=executor)
         table.add_row(
             n=n,
             induced_density_mean=float(m["density"].mean()),
@@ -705,13 +483,18 @@ def e11_induced_matching(
 # --------------------------------------------------------------------- #
 # E12 — §1.1: Crouch–Stubbs weighted extension
 # --------------------------------------------------------------------- #
-def e12_weighted_matching(
-    n: int = 2000,
-    k: int = 8,
-    weight_spread: float = 100.0,
-    n_trials: int = 3,
-    seed: RandomState = 1212,
-) -> ExperimentTable:
+@experiment(
+    "e12",
+    title="E12: weighted matching via Crouch–Stubbs classes (paper §1.1)",
+    description="weighted coreset vs centralized greedy 2-approximation",
+    columns=["epsilon", "protocol_weight", "central_greedy_weight",
+             "weight_ratio", "classes_bits_mean"],
+    grid=dict(n=2000, k=8, weight_spread=100.0, epsilon_values=(0.5, 1.0),
+              n_trials=3),
+    seed=1212,
+)
+def e12_weighted_matching(spec: ExperimentSpec, *, n, k, weight_spread,
+                          epsilon_values, n_trials, seed, executor):
     """Weighted coreset protocol vs the centralized greedy 2-approximation
     and (via it) the optimum.
 
@@ -719,38 +502,14 @@ def e12_weighted_matching(
     2 from greedy merge × O(1) from the unweighted coreset) of centralized
     greedy, which itself is ≥ OPT/2.
     """
-    from repro.core.weighted import weighted_matching_coreset_protocol
-    from repro.graph.generators import bipartite_gnp
-    from repro.graph.weights import WeightedGraph
-    from repro.matching.weighted import greedy_weighted_matching
-    from repro.utils.rng import spawn_generators
-
-    table = ExperimentTable(
-        name="E12: weighted matching via Crouch–Stubbs classes (paper §1.1)",
+    table = spec.new_table(
         description=f"weights log-uniform in [1, {weight_spread:g}]",
-        columns=["epsilon", "protocol_weight", "central_greedy_weight",
-                 "weight_ratio", "classes_bits_mean"],
     )
-    for epsilon in (0.5, 1.0):
-        def trial(s):
-            g_rng, w_rng, p_rng = spawn_generators(s, 3)
-            base = bipartite_gnp(n // 2, n // 2, p=4.0 / n, rng=g_rng)
-            weights = np.exp(
-                w_rng.uniform(0, math.log(weight_spread), size=base.n_edges)
-            )
-            wg = WeightedGraph(base.n_vertices, base.edges, weights,
-                               validated=True)
-            res = weighted_matching_coreset_protocol(
-                wg, k=k, epsilon=epsilon, rng=p_rng
-            )
-            _, central = greedy_weighted_matching(wg)
-            return {
-                "proto": res.weight,
-                "central": central,
-                "bits": res.ledger.total_bits(),
-            }
-
-        m = run_trials(trial, n_trials, seed)
+    for epsilon in epsilon_values:
+        m = run_trials(
+            E12Trial(n=n, k=k, weight_spread=weight_spread, epsilon=epsilon),
+            n_trials, seed, executor=executor,
+        )
         table.add_row(
             epsilon=epsilon,
             protocol_weight=float(m["proto"].mean()),
@@ -764,63 +523,29 @@ def e12_weighted_matching(
 # --------------------------------------------------------------------- #
 # E13 — Result 1→3: total communication Õ(nk)
 # --------------------------------------------------------------------- #
-def e13_communication_scaling(
-    n: int = 4000,
-    k_values: tuple[int, ...] = (2, 4, 8, 16, 32),
-    n_trials: int = 3,
-    seed: RandomState = 1313,
-) -> ExperimentTable:
+@experiment(
+    "e13",
+    title="E13: communication scaling (Results 1 and 3)",
+    description="total bits of both coresets vs send-everything as k grows",
+    columns=["k", "matching_total_bits", "vc_total_bits",
+             "naive_total_bits", "matching_bits_per_nk",
+             "max_player_bits"],
+    grid=dict(n=4000, k_values=(2, 4, 8, 16, 32), n_trials=3),
+    seed=1313,
+)
+def e13_communication_scaling(spec: ExperimentSpec, *, n, k_values,
+                              n_trials, seed, executor):
     """Total bits of both coreset protocols as k grows at fixed n.
 
     Expected shape: total bits ≈ linear in k (Õ(nk)), per-player bits Õ(n),
     and far below the send-everything baseline.
     """
-    from repro.baselines.naive import send_everything_protocol
-    from repro.core.protocols import (
-        matching_coreset_protocol,
-        vertex_cover_coreset_protocol,
-    )
-    from repro.dist.coordinator import run_simultaneous
-    from repro.graph.generators import skewed_bipartite
-    from repro.graph.partition import random_k_partition
-    from repro.utils.rng import spawn_generators
-
-    table = ExperimentTable(
-        name="E13: communication scaling (Results 1 and 3)",
+    table = spec.new_table(
         description=f"n={n}; totals in bits; naive = send everything",
-        columns=["k", "matching_total_bits", "vc_total_bits",
-                 "naive_total_bits", "matching_bits_per_nk",
-                 "max_player_bits"],
     )
-    match_p = matching_coreset_protocol()
-    naive_p = send_everything_protocol("matching")
-
     for k in k_values:
-        vc_p = vertex_cover_coreset_protocol(k=k)
-
-        def trial(s):
-            g_rng, p_rng, r_rng = spawn_generators(s, 3)
-            half = n // 2
-            # A hub-heavy dense workload: hub degrees ~n/4 exceed the
-            # peeling thresholds so the VC coreset genuinely compresses,
-            # and m ≫ n so the Õ(nk) coreset cost separates from the Θ(m)
-            # send-everything baseline.
-            graph = skewed_bipartite(
-                half, half, hub_count=half // 10, hub_degree=half // 2,
-                leaf_p=8.0 / half, rng=g_rng,
-            )
-            part = random_k_partition(graph, k, p_rng)
-            rm = run_simultaneous(match_p, part, r_rng)
-            rv = run_simultaneous(vc_p, part, r_rng)
-            rn = run_simultaneous(naive_p, part, r_rng)
-            return {
-                "m_bits": rm.total_bits,
-                "v_bits": rv.total_bits,
-                "n_bits": rn.total_bits,
-                "m_max": rm.ledger.max_player_bits(),
-            }
-
-        m = run_trials(trial, n_trials, seed)
+        m = run_trials(E13Trial(n=n, k=k), n_trials, seed,
+                       executor=executor)
         table.add_row(
             k=k,
             matching_total_bits=float(m["m_bits"].mean()),
@@ -835,50 +560,28 @@ def e13_communication_scaling(
 # --------------------------------------------------------------------- #
 # E14 — Claim 3.3 / Lemma 3.2: GreedyMatch dynamics
 # --------------------------------------------------------------------- #
-def e14_greedymatch_dynamics(
-    n: int = 4000,
-    k: int = 16,
-    n_trials: int = 3,
-    seed: RandomState = 1414,
-) -> ExperimentTable:
+@experiment(
+    "e14",
+    title="E14: GreedyMatch dynamics (Claim 3.3, Lemma 3.2)",
+    description="per-step prefix concentration and per-step gains",
+    columns=["k", "final_ratio", "prefix_deviation_max",
+             "first_third_gain_over_mm_per_k", "final_over_mm"],
+    grid=dict(n=4000, k=16, n_trials=3),
+    seed=1414,
+)
+def e14_greedymatch_dynamics(spec: ExperimentSpec, *, n, k, n_trials, seed,
+                             executor):
     """Instrumented GreedyMatch: per-step prefix concentration (Claim 3.3)
     and per-step gains (Lemma 3.2).
 
     Expected shape: |M*_{<i}| ≈ (i-1)/k · MM(G); early-step gains
     ≈ Ω(MM/k) while |M| ≤ MM/9.
     """
-    from repro.core.greedy_match import greedy_match
-    from repro.graph.generators import planted_matching_gnp
-    from repro.graph.partition import random_k_partition
-    from repro.matching.api import maximum_matching
-    from repro.utils.rng import spawn_generators
-
-    table = ExperimentTable(
-        name="E14: GreedyMatch dynamics (Claim 3.3, Lemma 3.2)",
-        description=f"n={n}, k={k}; prefix_dev = max_i |prefix_i - (i/k)·MM| / MM",
-        columns=["k", "final_ratio", "prefix_deviation_max",
-                 "first_third_gain_over_mm_per_k", "final_over_mm"],
+    table = spec.new_table(
+        description=f"n={n}, k={k}; prefix_dev = "
+                    "max_i |prefix_i - (i/k)·MM| / MM",
     )
-
-    def trial(s):
-        g_rng, p_rng = spawn_generators(s, 2)
-        graph, _ = planted_matching_gnp(n // 2, n // 2, p=3.0 / n, rng=g_rng)
-        part = random_k_partition(graph, k, p_rng)
-        opt_matching = maximum_matching(graph)
-        mm = opt_matching.shape[0]
-        _, trace = greedy_match(part, reference_optimum=opt_matching)
-        prefix = np.asarray(trace.optimal_assigned_prefix, dtype=np.float64)
-        ideal = np.arange(k, dtype=np.float64) / k * mm
-        dev = float(np.abs(prefix - ideal).max() / mm)
-        gains = np.asarray(trace.gains[: max(1, k // 3)], dtype=np.float64)
-        return {
-            "ratio": mm / max(1, trace.final_size),
-            "dev": dev,
-            "gain": float(gains.mean() / (mm / k)),
-            "final_frac": trace.final_size / mm,
-        }
-
-    m = run_trials(trial, n_trials, seed)
+    m = run_trials(E14Trial(n=n, k=k), n_trials, seed, executor=executor)
     table.add_row(
         k=k,
         final_ratio=float(m["ratio"].mean()),
@@ -892,58 +595,30 @@ def e14_greedymatch_dynamics(
 # --------------------------------------------------------------------- #
 # E15 — ablation: summarizer × combiner grid
 # --------------------------------------------------------------------- #
-def e15_ablation(
-    n: int = 4000,
-    k: int = 8,
-    n_trials: int = 3,
-    seed: RandomState = 1515,
-) -> ExperimentTable:
+@experiment(
+    "e15",
+    title="E15: summarizer/combiner ablation",
+    description="one workload, all summarizer/combiner variants side by side",
+    columns=["variant", "ratio_mean", "total_bits_mean"],
+    grid=dict(n=4000, k=8, variants=E15_VARIANTS, n_trials=3),
+    seed=1515,
+)
+def e15_ablation(spec: ExperimentSpec, *, n, k, variants, n_trials, seed,
+                 executor):
     """One workload, all summarizer/combiner variants side by side.
 
     Expected shape: maximum+exact ≈ maximum+greedy ≫ maximal (random order)
     on trap-free inputs maximal is fine; subsampled degrades gracefully;
     send-everything is exact but orders of magnitude more bits.
     """
-    from repro.baselines.bad_coresets import maximal_matching_coreset_protocol
-    from repro.baselines.naive import send_everything_protocol
-    from repro.core.protocols import (
-        matching_coreset_protocol,
-        subsampled_matching_protocol,
-    )
-    from repro.dist.coordinator import run_simultaneous
-    from repro.graph.generators import planted_matching_gnp
-    from repro.graph.partition import random_k_partition
-    from repro.matching.api import matching_number
-    from repro.utils.rng import spawn_generators
-
-    variants = [
-        ("maximum+exact", matching_coreset_protocol(combiner="exact")),
-        ("maximum+greedy", matching_coreset_protocol(combiner="greedy")),
-        ("maximal(random)+exact",
-         maximal_matching_coreset_protocol(order="random")),
-        ("subsampled(alpha=4)+exact", subsampled_matching_protocol(4.0)),
-        ("send-everything", send_everything_protocol("matching")),
-    ]
-    table = ExperimentTable(
-        name="E15: summarizer/combiner ablation",
+    table = spec.new_table(
         description=f"bipartite planted workload, n={n}, k={k}",
-        columns=["variant", "ratio_mean", "total_bits_mean"],
     )
-    for name, protocol in variants:
-        def trial(s):
-            g_rng, p_rng, r_rng = spawn_generators(s, 3)
-            graph, _ = planted_matching_gnp(n // 2, n // 2, p=3.0 / n, rng=g_rng)
-            part = random_k_partition(graph, k, p_rng)
-            res = run_simultaneous(protocol, part, r_rng)
-            opt = matching_number(graph)
-            return {
-                "ratio": opt / max(1, res.output.shape[0]),
-                "bits": res.total_bits,
-            }
-
-        m = run_trials(trial, n_trials, seed)
+    for variant in variants:
+        m = run_trials(E15Trial(n=n, k=k, variant=variant), n_trials, seed,
+                       executor=executor)
         table.add_row(
-            variant=name,
+            variant=variant,
             ratio_mean=float(m["ratio"].mean()),
             total_bits_mean=float(m["bits"].mean()),
         )
@@ -953,12 +628,17 @@ def e15_ablation(
 # --------------------------------------------------------------------- #
 # E16 — §1.3 connection: random-arrival streaming
 # --------------------------------------------------------------------- #
-def e16_streaming_orders(
-    n: int = 8000,
-    noise_degree: float = 3.0,
-    n_trials: int = 3,
-    seed: RandomState = 1616,
-) -> ExperimentTable:
+@experiment(
+    "e16",
+    title="E16: streaming arrival orders (paper §1.3 connection)",
+    description="one-pass matchers under random vs adversarial arrival",
+    columns=["order", "greedy_ratio", "two_phase_ratio",
+             "memory_words_over_n"],
+    grid=dict(n=8000, noise_degree=3.0, n_trials=3),
+    seed=1616,
+)
+def e16_streaming_orders(spec: ExperimentSpec, *, n, noise_degree, n_trials,
+                         seed, executor):
     """The streaming shadow of random partitioning: one-pass greedy under
     random vs adversarial arrival, plus the two-phase random-arrival
     matcher.
@@ -966,47 +646,11 @@ def e16_streaming_orders(
     Expected shape: greedy ≥ 0.5·OPT always (maximality); random order
     beats adversarial order; two-phase beats greedy on random order.
     """
-    from repro.graph.generators import planted_matching_gnp
-    from repro.matching.api import maximum_matching
-    from repro.streaming import (
-        StreamingGreedyMatcher,
-        TwoPhaseStreamingMatcher,
-        adversarial_order,
-        random_order,
-    )
-    from repro.utils.rng import spawn_generators
-
-    table = ExperimentTable(
-        name="E16: streaming arrival orders (paper §1.3 connection)",
+    table = spec.new_table(
         description=f"n={n}; one-pass semi-streaming, ratios vs MM(G)",
-        columns=["order", "greedy_ratio", "two_phase_ratio",
-                 "memory_words_over_n"],
     )
-    results: dict[str, list[dict[str, float]]] = {"random": [], "adversarial": []}
-
-    def trial(s):
-        g_rng, o_rng, o2_rng = spawn_generators(s, 3)
-        graph, _ = planted_matching_gnp(
-            n // 2, n // 2, p=noise_degree / n, rng=g_rng
-        )
-        opt_matching = maximum_matching(graph)
-        opt = opt_matching.shape[0]
-        out = {}
-        orders = {
-            "random": random_order(graph, o_rng),
-            "adversarial": adversarial_order(graph, opt_matching, o2_rng),
-        }
-        for name, order in orders.items():
-            greedy = StreamingGreedyMatcher(graph.n_vertices)
-            g_m = greedy.run(graph, order)
-            two = TwoPhaseStreamingMatcher(graph.n_vertices)
-            t_m = two.run(graph, order)
-            out[f"{name}_greedy"] = g_m.shape[0] / max(1, opt)
-            out[f"{name}_two"] = t_m.shape[0] / max(1, opt)
-            out[f"{name}_mem"] = two.memory_words / graph.n_vertices
-        return out
-
-    m = run_trials(trial, n_trials, seed)
+    m = run_trials(E16Trial(n=n, noise_degree=noise_degree), n_trials,
+                   seed, executor=executor)
     for name in ("random", "adversarial"):
         table.add_row(
             order=name,
@@ -1020,62 +664,29 @@ def e16_streaming_orders(
 # --------------------------------------------------------------------- #
 # E17 — footnote 3: exact kernel coresets for small optima
 # --------------------------------------------------------------------- #
-def e17_exact_kernel(
-    opt_values: tuple[int, ...] = (32, 128, 512),
-    n: int = 8000,
-    k: int = 8,
-    n_trials: int = 3,
-    seed: RandomState = 1717,
-) -> ExperimentTable:
+@experiment(
+    "e17",
+    title="E17: exact kernel coresets for small optima (footnote 3)",
+    description="exact composable kernels when MM(G) <= K, both partitionings",
+    columns=["opt_bound", "mm", "exact_random", "exact_adversarial",
+             "graph_edges", "kernel_edges_total"],
+    grid=dict(opt_values=(32, 128, 512), n=8000, k=8, n_trials=3),
+    seed=1717,
+)
+def e17_exact_kernel(spec: ExperimentSpec, *, opt_values, n, k, n_trials,
+                     seed, executor):
     """Exact matching via composable kernels when MM(G) ≤ K (footnote 3).
 
     Expected shape: output exactly MM(G) under *both* random and
     adversarial partitioning; kernel size grows ~O(K²), not with n.
     """
-    from repro.core.kernel_coreset import exact_matching_kernel_protocol
-    from repro.dist.coordinator import run_simultaneous
-    from repro.graph.generators import planted_matching_gnp
-    from repro.graph.partition import (
-        adversarial_degree_partition,
-        random_k_partition,
-    )
-    from repro.matching.api import matching_number
-    from repro.utils.rng import spawn_generators
-
-    table = ExperimentTable(
-        name="E17: exact kernel coresets for small optima (footnote 3)",
+    table = spec.new_table(
         description=f"n={n}, k={k}; kernel = maximal matching core + "
                     "3K+2 extra edges per matched vertex",
-        columns=["opt_bound", "mm", "exact_random", "exact_adversarial",
-                 "graph_edges", "kernel_edges_total"],
     )
     for opt_bound in opt_values:
-        protocol = exact_matching_kernel_protocol(opt_bound)
-
-        def trial(s):
-            g_rng, p_rng, r_rng = spawn_generators(s, 3)
-            # MM(G) = opt_bound: planted matching on opt_bound left
-            # vertices plus dense noise touching only those lefts, so the
-            # kernel's O(K²) size bound is what binds (not the graph size).
-            graph, _ = planted_matching_gnp(
-                opt_bound, n, p=16.0 / opt_bound, rng=g_rng
-            )
-            mm = matching_number(graph)
-            rand = run_simultaneous(
-                protocol, random_k_partition(graph, k, p_rng), r_rng
-            )
-            adv = run_simultaneous(
-                protocol, adversarial_degree_partition(graph, k), r_rng
-            )
-            return {
-                "mm": mm,
-                "rand_exact": float(rand.output.shape[0] == mm),
-                "adv_exact": float(adv.output.shape[0] == mm),
-                "graph_edges": graph.n_edges,
-                "kernel_edges": rand.ledger.total_edges(),
-            }
-
-        m = run_trials(trial, n_trials, seed)
+        m = run_trials(E17Trial(n=n, k=k, opt_bound=opt_bound), n_trials,
+                       seed, executor=executor)
         table.add_row(
             opt_bound=opt_bound,
             mm=float(m["mm"].mean()),
@@ -1090,12 +701,18 @@ def e17_exact_kernel(
 # --------------------------------------------------------------------- #
 # E18 — robustness: both coresets across graph families
 # --------------------------------------------------------------------- #
-def e18_family_robustness(
-    n: int = 4000,
-    k: int = 8,
-    n_trials: int = 3,
-    seed: RandomState = 1818,
-) -> ExperimentTable:
+@experiment(
+    "e18",
+    title="E18: coreset robustness across graph families",
+    description="Theorem 1 + Theorem 2 on five structurally distinct "
+                "families",
+    columns=["family", "matching_ratio_mean", "matching_ratio_max",
+             "vc_ratio_mean", "vc_feasible"],
+    grid=dict(n=4000, k=8, families=tuple(E18_FAMILIES), n_trials=3),
+    seed=1818,
+)
+def e18_family_robustness(spec: ExperimentSpec, *, n, k, families, n_trials,
+                          seed, executor):
     """Theorem 1/2 coresets across structurally different workloads:
     Gnp, planted matching, power-law, community-clustered, star-heavy.
 
@@ -1104,67 +721,13 @@ def e18_family_robustness(
     family.  Expected shape: matching ratio ≤ ~3 and VC ratio ≤ O(log n)
     across the board, with heavy-tailed families the hardest.
     """
-    from repro.core.protocols import (
-        matching_coreset_protocol,
-        vertex_cover_coreset_protocol,
+    table = spec.new_table(
+        description=f"n≈{n}, k={k}; Theorem 1 + Theorem 2 on "
+                    f"{len(families)} families",
     )
-    from repro.cover import is_vertex_cover, konig_cover
-    from repro.dist.coordinator import run_simultaneous
-    from repro.graph.generators import (
-        bipartite_gnp,
-        bipartite_star_forest,
-        clustered_bipartite,
-        planted_matching_gnp,
-        power_law_bipartite,
-    )
-    from repro.graph.partition import random_k_partition
-    from repro.matching.api import matching_number
-    from repro.utils.rng import spawn_generators
-
-    half = n // 2
-    families = {
-        "gnp": lambda r: bipartite_gnp(half, half, 3.0 / half, r),
-        "planted": lambda r: planted_matching_gnp(
-            half, half, 2.0 / n, rng=r
-        )[0],
-        "power_law": lambda r: power_law_bipartite(
-            half, half, avg_degree=4.0, exponent=2.2, rng=r
-        ),
-        "clustered": lambda r: clustered_bipartite(
-            n_blocks=max(2, half // 100), block_size=100,
-            p_in=0.08, p_out=0.2 / half, rng=r,
-        ),
-        "stars+noise": lambda r: bipartite_star_forest(
-            half // 8, 8
-        ).union(bipartite_gnp(half // 8, half, 1.0 / half, r)),
-    }
-
-    table = ExperimentTable(
-        name="E18: coreset robustness across graph families",
-        description=f"n≈{n}, k={k}; Theorem 1 + Theorem 2 on five families",
-        columns=["family", "matching_ratio_mean", "matching_ratio_max",
-                 "vc_ratio_mean", "vc_feasible"],
-    )
-    match_p = matching_coreset_protocol()
-
-    for family, make in families.items():
-        vc_p = vertex_cover_coreset_protocol(k=k)
-
-        def trial(s):
-            g_rng, p_rng, r_rng = spawn_generators(s, 3)
-            graph = make(g_rng)
-            part = random_k_partition(graph, k, p_rng)
-            rm = run_simultaneous(match_p, part, r_rng)
-            rv = run_simultaneous(vc_p, part, r_rng)
-            mm = matching_number(graph)
-            vc = int(konig_cover(graph).shape[0])
-            return {
-                "m_ratio": mm / max(1, rm.output.shape[0]),
-                "v_ratio": rv.output.shape[0] / max(1, vc),
-                "v_feasible": float(is_vertex_cover(graph, rv.output)),
-            }
-
-        m = run_trials(trial, n_trials, seed)
+    for family in families:
+        m = run_trials(E18Trial(n=n, k=k, family=family), n_trials, seed,
+                       executor=executor)
         table.add_row(
             family=family,
             matching_ratio_mean=float(m["m_ratio"].mean()),
@@ -1178,12 +741,18 @@ def e18_family_robustness(
 # --------------------------------------------------------------------- #
 # E19 — §1.3: edge-partition vs vertex-partition simultaneous models
 # --------------------------------------------------------------------- #
-def e19_vertex_partition_model(
-    n: int = 4000,
-    k_values: tuple[int, ...] = (4, 16),
-    n_trials: int = 3,
-    seed: RandomState = 1919,
-) -> ExperimentTable:
+@experiment(
+    "e19",
+    title="E19: edge-partition vs vertex-partition models (§1.3 / [10])",
+    description="same Theorem 1 summarizer in both simultaneous models",
+    columns=["k", "edge_model_ratio", "vertex_model_ratio",
+             "edge_model_bits", "vertex_model_bits",
+             "duplication_factor"],
+    grid=dict(n=4000, k_values=(4, 16), n_trials=3),
+    seed=1919,
+)
+def e19_vertex_partition_model(spec: ExperimentSpec, *, n, k_values,
+                               n_trials, seed, executor):
     """Run the Theorem 1 coreset in both simultaneous models.
 
     In the paper's edge-partition model each edge lives on one machine; in
@@ -1195,45 +764,12 @@ def e19_vertex_partition_model(
     constant fraction of the graph, so the per-player Õ(n) budget is simply
     bypassed rather than met.
     """
-    from repro.core.protocols import matching_coreset_protocol
-    from repro.dist.coordinator import run_simultaneous
-    from repro.graph.generators import planted_matching_gnp
-    from repro.graph.partition import (
-        random_k_partition,
-        random_vertex_partition,
-    )
-    from repro.matching.api import matching_number
-    from repro.utils.rng import spawn_generators
-
-    table = ExperimentTable(
-        name="E19: edge-partition vs vertex-partition models (§1.3 / [10])",
+    table = spec.new_table(
         description=f"n={n}; same Theorem 1 summarizer in both models",
-        columns=["k", "edge_model_ratio", "vertex_model_ratio",
-                 "edge_model_bits", "vertex_model_bits",
-                 "duplication_factor"],
     )
-    protocol = matching_coreset_protocol()
-
     for k in k_values:
-        def trial(s):
-            g_rng, p_rng, v_rng, r_rng = spawn_generators(s, 4)
-            graph, _ = planted_matching_gnp(
-                n // 2, n // 2, p=3.0 / n, rng=g_rng
-            )
-            opt = matching_number(graph)
-            edge_part = random_k_partition(graph, k, p_rng)
-            vertex_part = random_vertex_partition(graph, k, v_rng)
-            re_ = run_simultaneous(protocol, edge_part, r_rng)
-            rv = run_simultaneous(protocol, vertex_part, r_rng)
-            return {
-                "e_ratio": opt / max(1, re_.output.shape[0]),
-                "v_ratio": opt / max(1, rv.output.shape[0]),
-                "e_bits": re_.total_bits,
-                "v_bits": rv.total_bits,
-                "dup": vertex_part.duplication_factor(),
-            }
-
-        m = run_trials(trial, n_trials, seed)
+        m = run_trials(E19Trial(n=n, k=k), n_trials, seed,
+                       executor=executor)
         table.add_row(
             k=k,
             edge_model_ratio=float(m["e_ratio"].mean()),
@@ -1248,13 +784,18 @@ def e19_vertex_partition_model(
 # --------------------------------------------------------------------- #
 # E20 — the "w.h.p." itself: concentration of the coreset guarantee
 # --------------------------------------------------------------------- #
-def e20_concentration(
-    n_values: tuple[int, ...] = (500, 2000, 8000),
-    k: int = 8,
-    n_trials: int = 20,
-    ratio_threshold: float = 1.5,
-    seed: RandomState = 2020,
-) -> ExperimentTable:
+@experiment(
+    "e20",
+    title="E20: concentration of the w.h.p. guarantees",
+    description="tail probability of the ratio across many partitionings",
+    columns=["n", "ratio_mean", "ratio_std", "ratio_max",
+             "tail_probability", "prefix_dev_max"],
+    grid=dict(n_values=(500, 2000, 8000), k=8, n_trials=20,
+              ratio_threshold=1.5),
+    seed=2020,
+)
+def e20_concentration(spec: ExperimentSpec, *, n_values, k, n_trials,
+                      ratio_threshold, seed, executor):
     """Theorem 1 and Claim 3.3 are "with high probability" statements:
     the failure probability must *vanish as n grows* (the proofs lose
     O(1/n) per Chernoff application).  This experiment estimates tail
@@ -1263,43 +804,13 @@ def e20_concentration(
     Expected shape: P[ratio > threshold] and the spread of the per-step
     prefix deviation both shrink monotonically-ish in n.
     """
-    from repro.core.greedy_match import greedy_match
-    from repro.core.protocols import matching_coreset_protocol
-    from repro.dist.coordinator import run_simultaneous
-    from repro.graph.generators import planted_matching_gnp
-    from repro.graph.partition import random_k_partition
-    from repro.matching.api import maximum_matching
-    from repro.utils.rng import spawn_generators
-
-    table = ExperimentTable(
-        name="E20: concentration of the w.h.p. guarantees",
+    table = spec.new_table(
         description=f"k={k}, {n_trials} independent partitionings per n; "
                     f"tail = P[ratio > {ratio_threshold:g}]",
-        columns=["n", "ratio_mean", "ratio_std", "ratio_max",
-                 "tail_probability", "prefix_dev_max"],
     )
-    protocol = matching_coreset_protocol()
-
     for n in n_values:
-        def trial(s):
-            g_rng, p_rng, r_rng = spawn_generators(s, 3)
-            graph, _ = planted_matching_gnp(
-                n // 2, n // 2, p=3.0 / n, rng=g_rng
-            )
-            opt_matching = maximum_matching(graph)
-            mm = opt_matching.shape[0]
-            part = random_k_partition(graph, k, p_rng)
-            res = run_simultaneous(protocol, part, r_rng)
-            _, trace = greedy_match(part, reference_optimum=opt_matching)
-            prefix = np.asarray(trace.optimal_assigned_prefix, float)
-            ideal = np.arange(k, dtype=float) / k * mm
-            dev = float(np.abs(prefix - ideal).max() / max(1, mm))
-            return {
-                "ratio": mm / max(1, res.output.shape[0]),
-                "dev": dev,
-            }
-
-        m = run_trials(trial, n_trials, seed)
+        m = run_trials(E20Trial(n=n, k=k), n_trials, seed,
+                       executor=executor)
         ratios = m["ratio"]
         table.add_row(
             n=n,
@@ -1315,86 +826,79 @@ def e20_concentration(
 # --------------------------------------------------------------------- #
 # E21 — parallel scaling of the execution backends (E8 workload)
 # --------------------------------------------------------------------- #
-def e21_parallel_scaling(
-    n: int = 4000,
-    avg_degree: float = 24.0,
-    n_trials: int = 3,
-    seed: RandomState = 2121,
-    executors: tuple[str, ...] = ("serial", "processes"),
-    workers: int | None = None,
-) -> ExperimentTable:
+@experiment(
+    "e21",
+    title="E21: parallel scaling (executor backends, E8 workload)",
+    description="wall-clock per executor backend; identity vs serial is "
+                "the correctness claim",
+    columns=["executor", "workers", "wall_s_mean", "wall_s_min",
+             "speedup", "matching_size_mean", "identical_to_serial"],
+    grid=dict(n=4000, avg_degree=24.0, n_trials=3,
+              executors=("serial", "processes"), workers=None),
+    seed=2121,
+)
+def e21_parallel_scaling(spec: ExperimentSpec, *, n, avg_degree, n_trials,
+                         executors, workers, seed, executor):
     """Wall-clock of the E8 MapReduce matching workload per executor backend.
 
-    Expected shape: every backend bit-identical to the first (serial);
-    process speedup grows toward min(k, cores) as pieces get heavier.
-    Wall-clock columns are measurements of *this* machine, not of the
-    model — only the identical_to_serial column is a correctness claim.
+    Expected shape: every backend bit-identical to serial; process speedup
+    grows toward min(k, cores) as pieces get heavier.  Wall-clock columns
+    are measurements of *this* machine, not of the model — only the
+    identical_to_serial column is a correctness claim.
+
+    This table sweeps the *machine-level* backends itself, so the trial
+    harness always runs serially here (``executor`` is ignored): fanning
+    timing trials out across processes would contend for the same cores
+    the measured backends use and skew every wall-clock column.
     """
-    import time
-
-    from repro.core.mapreduce_algos import mapreduce_matching
+    del executor
     from repro.dist.executor import resolve_executor
-    from repro.graph.generators import planted_matching_gnp
-    from repro.utils.rng import spawn_seeds
 
-    table = ExperimentTable(
-        name="E21: parallel scaling (executor backends, E8 workload)",
+    table = spec.new_table(
         description=f"n={n}, m≈{int(n * avg_degree / 2)}, {n_trials} trials; "
                     f"speedup and identity are vs a serial run of the same "
                     f"seeds",
-        columns=["executor", "workers", "wall_s_mean", "wall_s_min",
-                 "speedup", "matching_size_mean", "identical_to_serial"],
     )
-    memory = int(n ** 1.5)
-
-    # One workload per trial, shared by every backend: the graph is built
-    # outside the timed region and the MapReduce seed is replayed per
-    # backend, so rows differ only in where the machines ran.
-    workloads = []
-    for s in spawn_seeds(seed, n_trials):
-        g_seed, mr_seed = s.spawn(2)
-        graph, _ = planted_matching_gnp(
-            n // 2, n // 2, p=avg_degree / n,
-            rng=np.random.default_rng(g_seed),
+    # Each non-serial trial measures its own serial reference (that is
+    # what makes identical_to_serial a genuine within-trial comparison),
+    # so a requested "serial" row reuses those reference measurements
+    # rather than running the workload a second time.
+    measured = {
+        name: run_trials(
+            E21Trial(n=n, avg_degree=avg_degree, executor=name,
+                     workers=workers),
+            n_trials, seed, executor="serial",
         )
-        workloads.append((graph, mr_seed))
-
-    def measure(backend) -> tuple[list[float], list[np.ndarray]]:
-        walls, matchings = [], []
-        for graph, mr_seed in workloads:
-            start = time.perf_counter()
-            res = mapreduce_matching(
-                graph, rng=mr_seed, memory_cap_edges=memory,
-                executor=backend,
-            )
-            walls.append(time.perf_counter() - start)
-            matchings.append(res.matching)
-        return walls, matchings
-
-    # The reference is always a genuine serial run — identical_to_serial
-    # must mean what it says even if "serial" is not among `executors`.
-    serial_walls, serial_matchings = measure(resolve_executor("serial"))
-    serial_mean = float(np.mean(serial_walls))
-
-    for spec in executors:
-        backend = resolve_executor(spec, workers=workers)
+        for name in executors
+        if resolve_executor(name, workers=workers).name != "serial"
+    }
+    reference = next(iter(measured.values()), None)
+    for name in executors:
+        backend = resolve_executor(name, workers=workers)
         if backend.name == "serial":
-            walls, matchings = serial_walls, serial_matchings
+            if reference is None:
+                reference = run_trials(
+                    E21Trial(n=n, avg_degree=avg_degree, executor="serial",
+                             workers=workers),
+                    n_trials, seed, executor="serial",
+                )
+            walls = reference["serial_wall_s"]
+            serial_walls = reference["serial_wall_s"]
+            sizes = reference["serial_size"]
+            identical = True
         else:
-            walls, matchings = measure(backend)
-        mean_wall = float(np.mean(walls))
+            m = measured[name]
+            walls, serial_walls = m["wall_s"], m["serial_wall_s"]
+            sizes = m["size"]
+            identical = bool(m["identical"].all())
+        mean_wall = float(walls.mean())
         table.add_row(
             executor=backend.name,
             workers=getattr(backend, "max_workers", 1),
             wall_s_mean=mean_wall,
-            wall_s_min=float(np.min(walls)),
-            speedup=serial_mean / max(mean_wall, 1e-12),
-            matching_size_mean=float(
-                np.mean([m.shape[0] for m in matchings])
-            ),
-            identical_to_serial=all(
-                np.array_equal(a, b)
-                for a, b in zip(matchings, serial_matchings)
-            ),
+            wall_s_min=float(walls.min()),
+            speedup=float(serial_walls.mean()) / max(mean_wall, 1e-12),
+            matching_size_mean=float(sizes.mean()),
+            identical_to_serial=identical,
         )
     return table

@@ -1,0 +1,907 @@
+"""E1–E21 trial bodies as module-level, picklable dataclasses.
+
+Each class here is one grid cell of one experiment: parameters live in
+frozen dataclass fields, and ``__call__(seed)`` runs a single independent
+trial and returns a flat ``dict[str, float]`` of metrics (the
+:class:`~repro.experiments.registry.Trial` contract).  Being plain data,
+every trial pickles — which is what lets
+:func:`~repro.experiments.harness.run_trials` fan trials out across worker
+*processes*, the parallelism grain ROADMAP flagged as the biggest win for
+the benchmark suite.
+
+The spec definitions that sweep these trials over their grids and
+aggregate the metrics into table rows live in
+:mod:`repro.experiments.tables`; heavyweight library imports stay inside
+``__call__`` so importing this module (or unpickling a trial in a worker)
+stays cheap.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.experiments.registry import Trial
+from repro.utils.rng import RandomState, spawn_generators
+
+__all__ = [
+    "E1Trial", "E2Trial", "E3Trial", "E4Trial", "E5Trial", "E6Trial",
+    "E7Trial", "E8Trial", "E9Trial", "E10Trial", "E11Trial", "E12Trial",
+    "E13Trial", "E14Trial", "E15Trial", "E16Trial", "E17Trial", "E18Trial",
+    "E19Trial", "E20Trial", "E21Trial",
+]
+
+
+# --------------------------------------------------------------------- #
+# E1 — Theorem 1: max-matching coreset is O(1)-approximate
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class E1Trial(Trial):
+    """Ratio of MM(G) to the composed Theorem 1 coreset matching."""
+
+    n: int
+    k: int
+    general_graphs: bool = False
+
+    def __call__(self, seed: RandomState) -> Dict[str, float]:
+        from repro.core.protocols import matching_coreset_protocol
+        from repro.dist.coordinator import run_simultaneous
+        from repro.graph.generators import gnp, planted_matching_gnp
+        from repro.graph.partition import random_k_partition
+        from repro.matching.api import matching_number
+
+        g_rng, p_rng, r_rng = spawn_generators(seed, 3)
+        protocol = matching_coreset_protocol(combiner="exact")
+        if self.general_graphs:
+            graph = gnp(self.n, 3.0 / self.n, g_rng)
+        else:
+            graph, _ = planted_matching_gnp(
+                self.n // 2, self.n // 2, p=3.0 / self.n, rng=g_rng
+            )
+        part = random_k_partition(graph, self.k, p_rng)
+        res = run_simultaneous(protocol, part, r_rng)
+        opt = matching_number(graph)
+        out = int(res.output.shape[0])
+        return {
+            "ratio": opt / max(1, out),
+            "coreset_edges": res.ledger.total_edges() / self.k,
+        }
+
+
+# --------------------------------------------------------------------- #
+# E2 — §1.2: maximal-matching coreset is Ω(k)
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class E2Trial(Trial):
+    """Maximal vs maximum matching as coresets on the §1.2 hub instance."""
+
+    k: int
+    width: int
+
+    def __call__(self, seed: RandomState) -> Dict[str, float]:
+        from repro.baselines.bad_coresets import blocking_maximal_protocol
+        from repro.core.protocols import matching_coreset_protocol
+        from repro.dist.coordinator import run_simultaneous
+        from repro.graph.generators import hidden_matching_with_hubs
+        from repro.graph.partition import random_k_partition
+
+        g_rng, p_rng, r_rng = spawn_generators(seed, 3)
+        good = matching_coreset_protocol(combiner="exact")
+        graph, n_pairs, _ = hidden_matching_with_hubs(
+            self.k, self.width, rng=g_rng
+        )
+        bad = blocking_maximal_protocol(hub_boundary=2 * n_pairs)
+        part = random_k_partition(graph, self.k, p_rng)
+        bad_out = run_simultaneous(bad, part, r_rng).output
+        good_out = run_simultaneous(good, part, r_rng).output
+        return {
+            "opt": n_pairs,
+            "bad_ratio": n_pairs / max(1, bad_out.shape[0]),
+            "good_ratio": n_pairs / max(1, good_out.shape[0]),
+        }
+
+
+# --------------------------------------------------------------------- #
+# E3 — Theorem 2: VC coreset is O(log n)-approximate
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class E3Trial(Trial):
+    """Theorem 2 coreset ratio/size on a skewed-degree bipartite workload."""
+
+    n: int
+    k: int
+
+    def __call__(self, seed: RandomState) -> Dict[str, float]:
+        from repro.core.protocols import vertex_cover_coreset_protocol
+        from repro.cover import is_vertex_cover, konig_cover
+        from repro.dist.coordinator import run_simultaneous
+        from repro.graph.generators import skewed_bipartite
+        from repro.graph.partition import random_k_partition
+
+        g_rng, p_rng, r_rng = spawn_generators(seed, 3)
+        protocol = vertex_cover_coreset_protocol(k=self.k)
+        half = self.n // 2
+        graph = skewed_bipartite(
+            half, half,
+            hub_count=max(4, half // 50),
+            hub_degree=max(8, half // 10),
+            leaf_p=2.0 / half,
+            rng=g_rng,
+        )
+        part = random_k_partition(graph, self.k, p_rng)
+        res = run_simultaneous(protocol, part, r_rng)
+        opt = int(konig_cover(graph).shape[0])
+        feasible = is_vertex_cover(graph, res.output)
+        return {
+            "ratio": res.output.shape[0] / max(1, opt),
+            "residual": res.ledger.total_edges() / self.k,
+            "fixed": res.ledger.total_fixed_vertices() / self.k,
+            "feasible": float(feasible),
+        }
+
+
+# --------------------------------------------------------------------- #
+# E4 — §1.2: min-VC-as-coreset is Ω(k) (star example)
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class E4Trial(Trial):
+    """Min-VC-of-the-piece vs the peeling coreset on star forests."""
+
+    k: int
+    n_stars: int
+
+    def __call__(self, seed: RandomState) -> Dict[str, float]:
+        from repro.baselines.bad_coresets import min_vc_coreset_protocol
+        from repro.core.protocols import vertex_cover_coreset_protocol
+        from repro.cover import is_vertex_cover
+        from repro.dist.coordinator import run_simultaneous
+        from repro.graph.generators import bipartite_star_forest
+        from repro.graph.partition import random_k_partition
+
+        g_rng, p_rng, r_rng = spawn_generators(seed, 3)
+        bad = min_vc_coreset_protocol(prefer_leaves=True)
+        good = vertex_cover_coreset_protocol(k=self.k)
+        graph = bipartite_star_forest(self.n_stars, leaves_per_star=self.k)
+        part = random_k_partition(graph, self.k, p_rng)
+        bad_out = run_simultaneous(bad, part, r_rng).output
+        good_out = run_simultaneous(good, part, r_rng).output
+        opt = self.n_stars  # the centers
+        return {
+            "bad_ratio": bad_out.shape[0] / opt,
+            "good_ratio": good_out.shape[0] / opt,
+            "feasible": float(
+                is_vertex_cover(graph, bad_out)
+                and is_vertex_cover(graph, good_out)
+            ),
+        }
+
+
+# --------------------------------------------------------------------- #
+# E5 — Theorem 3: matching coresets need Ω(n/α²) edges
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class E5Trial(Trial):
+    """Budget-limited coreset on one D_Matching instance."""
+
+    n: int
+    alpha: float
+    k: int
+    budget: int
+
+    def __call__(self, seed: RandomState) -> Dict[str, float]:
+        from repro.dist.coordinator import run_simultaneous
+        from repro.graph.partition import random_k_partition
+        from repro.lowerbounds.dmatching import (
+            budget_limited_matching_protocol,
+            hidden_edges_recovered,
+            sample_dmatching,
+        )
+        from repro.matching.api import matching_number
+
+        i_rng, p_rng, r_rng = spawn_generators(seed, 3)
+        protocol = budget_limited_matching_protocol(self.budget)
+        inst = sample_dmatching(self.n, self.alpha, self.k, i_rng)
+        part = random_k_partition(inst.graph, self.k, p_rng)
+        res = run_simultaneous(protocol, part, r_rng)
+        opt = matching_number(inst.graph)
+        out = int(res.output.shape[0])
+        return {
+            "ratio": opt / max(1, out),
+            "hidden": hidden_edges_recovered(inst, res.output),
+        }
+
+
+# --------------------------------------------------------------------- #
+# E6 — Theorem 4: VC coresets need Ω(n/α) size
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class E6Trial(Trial):
+    """Budget-limited cover coreset on one D_VC instance."""
+
+    n: int
+    alpha: float
+    k: int
+    budget: int
+
+    def __call__(self, seed: RandomState) -> Dict[str, float]:
+        from repro.cover import is_vertex_cover
+        from repro.dist.coordinator import run_simultaneous
+        from repro.graph.partition import random_k_partition
+        from repro.lowerbounds.dvc import (
+            budget_limited_cover_protocol,
+            covers_estar,
+            sample_dvc,
+        )
+
+        i_rng, p_rng, r_rng = spawn_generators(seed, 3)
+        protocol = budget_limited_cover_protocol(
+            self.budget, self.budget, k=self.k
+        )
+        inst = sample_dvc(self.n, self.alpha, self.k, i_rng)
+        part = random_k_partition(inst.graph, self.k, p_rng)
+        res = run_simultaneous(protocol, part, r_rng)
+        return {
+            "covered": float(covers_estar(inst, res.output)),
+            "feasible": float(is_vertex_cover(inst.graph, res.output)),
+            "size": res.output.shape[0],
+        }
+
+
+# --------------------------------------------------------------------- #
+# E7 — headline: random vs adversarial partitioning
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class E7Trial(Trial):
+    """Same graph, same coreset, random vs adversarial partitioning."""
+
+    k: int
+    n_hidden: int
+
+    def __call__(self, seed: RandomState) -> Dict[str, float]:
+        from repro.lowerbounds.adversary import contrast_partitionings
+
+        c = contrast_partitionings(self.n_hidden, self.k, seed)
+        return {
+            "opt": c.optimum,
+            "rand": c.random_ratio,
+            "adv": c.adversarial_ratio,
+        }
+
+
+# --------------------------------------------------------------------- #
+# E8 — MapReduce: rounds and memory vs the filtering baseline
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class E8Trial(Trial):
+    """Coreset MapReduce (2-round and pre-randomized) vs filtering [46]."""
+
+    n: int
+    avg_degree: float
+    memory_cap_edges: int
+
+    def __call__(self, seed: RandomState) -> Dict[str, float]:
+        from repro.baselines.filtering import filtering_matching
+        from repro.core.mapreduce_algos import mapreduce_matching
+        from repro.graph.generators import planted_matching_gnp
+        from repro.matching.api import matching_number
+
+        g_rng, mr_rng, mr2_rng, f_rng = spawn_generators(seed, 4)
+        graph, _ = planted_matching_gnp(
+            self.n // 2, self.n // 2, p=self.avg_degree / self.n, rng=g_rng
+        )
+        opt = matching_number(graph)
+        coreset = mapreduce_matching(
+            graph, rng=mr_rng, memory_cap_edges=self.memory_cap_edges
+        )
+        coreset1 = mapreduce_matching(
+            graph, rng=mr2_rng, memory_cap_edges=self.memory_cap_edges,
+            assume_random_input=True,
+        )
+        # Filtering must iterate: give it the same memory budget but note
+        # it only ever uses the central machine.
+        filt = filtering_matching(
+            graph, memory_edges=max(64, graph.n_edges // 8), rng=f_rng
+        )
+        return {
+            "c_rounds": coreset.job.n_rounds,
+            "c_ratio": opt / max(1, coreset.matching.shape[0]),
+            "c_peak": coreset.job.peak_machine_edges,
+            "c1_rounds": coreset1.job.n_rounds,
+            "c1_ratio": opt / max(1, coreset1.matching.shape[0]),
+            "c1_peak": coreset1.job.peak_machine_edges,
+            "f_rounds": filt.n_rounds,
+            "f_ratio": opt / max(1, filt.matching_size),
+            "f_peak": filt.peak_central_edges,
+        }
+
+
+# --------------------------------------------------------------------- #
+# E9 — Remark 5.2: subsampled matching, Õ(nk/α²) communication
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class E9Trial(Trial):
+    """Subsampled matching protocol on one D_Matching instance."""
+
+    n: int
+    k: int
+    alpha: float
+
+    def __call__(self, seed: RandomState) -> Dict[str, float]:
+        from repro.core.protocols import subsampled_matching_protocol
+        from repro.dist.coordinator import run_simultaneous
+        from repro.graph.partition import random_k_partition
+        from repro.lowerbounds.dmatching import sample_dmatching
+        from repro.matching.api import matching_number
+
+        g_rng, p_rng, r_rng = spawn_generators(seed, 3)
+        protocol = subsampled_matching_protocol(self.alpha)
+        inst = sample_dmatching(self.n, self.alpha, self.k, g_rng)
+        part = random_k_partition(inst.graph, self.k, p_rng)
+        res = run_simultaneous(protocol, part, r_rng)
+        opt = matching_number(inst.graph)
+        return {
+            "ratio": opt / max(1, res.output.shape[0]),
+            "bits": res.total_bits,
+        }
+
+
+# --------------------------------------------------------------------- #
+# E10 — Remark 5.8: grouped VC, Õ(nk/α) communication
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class E10Trial(Trial):
+    """Grouped vertex-cover protocol on a dense skewed workload."""
+
+    n: int
+    k: int
+    alpha: float
+
+    def __call__(self, seed: RandomState) -> Dict[str, float]:
+        from repro.core.protocols import grouped_vertex_cover_protocol
+        from repro.cover import is_vertex_cover, konig_cover
+        from repro.dist.coordinator import run_simultaneous
+        from repro.graph.generators import skewed_bipartite
+        from repro.graph.partition import random_k_partition
+
+        g_rng, p_rng, r_rng = spawn_generators(seed, 3)
+        protocol = grouped_vertex_cover_protocol(k=self.k, alpha=self.alpha)
+        half = self.n // 2
+        # Dense enough that the coreset's Õ(n'·log n') message bound is
+        # what limits communication (otherwise every protocol just
+        # sends its whole sparse piece and the 1/alpha scaling hides).
+        graph = skewed_bipartite(
+            half, half, hub_count=half // 50, hub_degree=half // 10,
+            leaf_p=16.0 / half, rng=g_rng,
+        )
+        part = random_k_partition(graph, self.k, p_rng)
+        res = run_simultaneous(protocol, part, r_rng)
+        opt = int(konig_cover(graph).shape[0])
+        return {
+            "ratio": res.output.shape[0] / max(1, opt),
+            "feasible": float(is_vertex_cover(graph, res.output)),
+            "bits": res.total_bits,
+        }
+
+
+# --------------------------------------------------------------------- #
+# E11 — Appendix A: induced matchings in G(n, n, 1/n)
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class E11Trial(Trial):
+    """Induced-matching density and degree-1 fraction in G(n, n, 1/n)."""
+
+    n: int
+
+    def __call__(self, seed: RandomState) -> Dict[str, float]:
+        from repro.graph.generators import bipartite_gnp
+        from repro.lowerbounds.induced import induced_matching
+
+        (g_rng,) = spawn_generators(seed, 1)
+        g = bipartite_gnp(self.n, self.n, 1.0 / self.n, g_rng)
+        m = induced_matching(g)
+        deg_left = g.degrees[: self.n]
+        return {
+            "density": m.shape[0] / self.n,
+            "deg1": float((deg_left == 1).mean()),
+        }
+
+
+# --------------------------------------------------------------------- #
+# E12 — §1.1: Crouch–Stubbs weighted extension
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class E12Trial(Trial):
+    """Weighted coreset protocol vs centralized greedy at one epsilon."""
+
+    n: int
+    k: int
+    weight_spread: float
+    epsilon: float
+
+    def __call__(self, seed: RandomState) -> Dict[str, float]:
+        from repro.core.weighted import weighted_matching_coreset_protocol
+        from repro.graph.generators import bipartite_gnp
+        from repro.graph.weights import WeightedGraph
+        from repro.matching.weighted import greedy_weighted_matching
+
+        g_rng, w_rng, p_rng = spawn_generators(seed, 3)
+        base = bipartite_gnp(
+            self.n // 2, self.n // 2, p=4.0 / self.n, rng=g_rng
+        )
+        weights = np.exp(
+            w_rng.uniform(0, math.log(self.weight_spread), size=base.n_edges)
+        )
+        wg = WeightedGraph(base.n_vertices, base.edges, weights,
+                           validated=True)
+        res = weighted_matching_coreset_protocol(
+            wg, k=self.k, epsilon=self.epsilon, rng=p_rng
+        )
+        _, central = greedy_weighted_matching(wg)
+        return {
+            "proto": res.weight,
+            "central": central,
+            "bits": res.ledger.total_bits(),
+        }
+
+
+# --------------------------------------------------------------------- #
+# E13 — Result 1→3: total communication Õ(nk)
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class E13Trial(Trial):
+    """Total bits of both coresets (and send-everything) at one k."""
+
+    n: int
+    k: int
+
+    def __call__(self, seed: RandomState) -> Dict[str, float]:
+        from repro.baselines.naive import send_everything_protocol
+        from repro.core.protocols import (
+            matching_coreset_protocol,
+            vertex_cover_coreset_protocol,
+        )
+        from repro.dist.coordinator import run_simultaneous
+        from repro.graph.generators import skewed_bipartite
+        from repro.graph.partition import random_k_partition
+
+        g_rng, p_rng, r_rng = spawn_generators(seed, 3)
+        match_p = matching_coreset_protocol()
+        vc_p = vertex_cover_coreset_protocol(k=self.k)
+        naive_p = send_everything_protocol("matching")
+        half = self.n // 2
+        # A hub-heavy dense workload: hub degrees ~n/4 exceed the
+        # peeling thresholds so the VC coreset genuinely compresses,
+        # and m ≫ n so the Õ(nk) coreset cost separates from the Θ(m)
+        # send-everything baseline.
+        graph = skewed_bipartite(
+            half, half, hub_count=half // 10, hub_degree=half // 2,
+            leaf_p=8.0 / half, rng=g_rng,
+        )
+        part = random_k_partition(graph, self.k, p_rng)
+        rm = run_simultaneous(match_p, part, r_rng)
+        rv = run_simultaneous(vc_p, part, r_rng)
+        rn = run_simultaneous(naive_p, part, r_rng)
+        return {
+            "m_bits": rm.total_bits,
+            "v_bits": rv.total_bits,
+            "n_bits": rn.total_bits,
+            "m_max": rm.ledger.max_player_bits(),
+        }
+
+
+# --------------------------------------------------------------------- #
+# E14 — Claim 3.3 / Lemma 3.2: GreedyMatch dynamics
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class E14Trial(Trial):
+    """Instrumented GreedyMatch prefix concentration and per-step gains."""
+
+    n: int
+    k: int
+
+    def __call__(self, seed: RandomState) -> Dict[str, float]:
+        from repro.core.greedy_match import greedy_match
+        from repro.graph.generators import planted_matching_gnp
+        from repro.graph.partition import random_k_partition
+        from repro.matching.api import maximum_matching
+
+        g_rng, p_rng = spawn_generators(seed, 2)
+        graph, _ = planted_matching_gnp(
+            self.n // 2, self.n // 2, p=3.0 / self.n, rng=g_rng
+        )
+        part = random_k_partition(graph, self.k, p_rng)
+        opt_matching = maximum_matching(graph)
+        mm = opt_matching.shape[0]
+        _, trace = greedy_match(part, reference_optimum=opt_matching)
+        prefix = np.asarray(trace.optimal_assigned_prefix, dtype=np.float64)
+        ideal = np.arange(self.k, dtype=np.float64) / self.k * mm
+        dev = float(np.abs(prefix - ideal).max() / mm)
+        gains = np.asarray(
+            trace.gains[: max(1, self.k // 3)], dtype=np.float64
+        )
+        return {
+            "ratio": mm / max(1, trace.final_size),
+            "dev": dev,
+            "gain": float(gains.mean() / (mm / self.k)),
+            "final_frac": trace.final_size / mm,
+        }
+
+
+# --------------------------------------------------------------------- #
+# E15 — ablation: summarizer × combiner grid
+# --------------------------------------------------------------------- #
+def _e15_protocol(variant: str):
+    """Build the protocol for one named E15 ablation variant."""
+    from repro.baselines.bad_coresets import maximal_matching_coreset_protocol
+    from repro.baselines.naive import send_everything_protocol
+    from repro.core.protocols import (
+        matching_coreset_protocol,
+        subsampled_matching_protocol,
+    )
+
+    factories = {
+        "maximum+exact": lambda: matching_coreset_protocol(combiner="exact"),
+        "maximum+greedy": lambda: matching_coreset_protocol(combiner="greedy"),
+        "maximal(random)+exact":
+            lambda: maximal_matching_coreset_protocol(order="random"),
+        "subsampled(alpha=4)+exact":
+            lambda: subsampled_matching_protocol(4.0),
+        "send-everything": lambda: send_everything_protocol("matching"),
+    }
+    if variant not in factories:
+        raise ValueError(
+            f"unknown E15 variant {variant!r}; available: "
+            f"{', '.join(factories)}"
+        )
+    return factories[variant]()
+
+
+E15_VARIANTS = (
+    "maximum+exact",
+    "maximum+greedy",
+    "maximal(random)+exact",
+    "subsampled(alpha=4)+exact",
+    "send-everything",
+)
+
+
+@dataclass(frozen=True)
+class E15Trial(Trial):
+    """One summarizer/combiner ablation variant on the planted workload."""
+
+    n: int
+    k: int
+    variant: str
+
+    def __call__(self, seed: RandomState) -> Dict[str, float]:
+        from repro.dist.coordinator import run_simultaneous
+        from repro.graph.generators import planted_matching_gnp
+        from repro.graph.partition import random_k_partition
+        from repro.matching.api import matching_number
+
+        g_rng, p_rng, r_rng = spawn_generators(seed, 3)
+        protocol = _e15_protocol(self.variant)
+        graph, _ = planted_matching_gnp(
+            self.n // 2, self.n // 2, p=3.0 / self.n, rng=g_rng
+        )
+        part = random_k_partition(graph, self.k, p_rng)
+        res = run_simultaneous(protocol, part, r_rng)
+        opt = matching_number(graph)
+        return {
+            "ratio": opt / max(1, res.output.shape[0]),
+            "bits": res.total_bits,
+        }
+
+
+# --------------------------------------------------------------------- #
+# E16 — §1.3 connection: random-arrival streaming
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class E16Trial(Trial):
+    """One-pass matchers under random and adversarial arrival orders."""
+
+    n: int
+    noise_degree: float
+
+    def __call__(self, seed: RandomState) -> Dict[str, float]:
+        from repro.graph.generators import planted_matching_gnp
+        from repro.matching.api import maximum_matching
+        from repro.streaming import (
+            StreamingGreedyMatcher,
+            TwoPhaseStreamingMatcher,
+            adversarial_order,
+            random_order,
+        )
+
+        g_rng, o_rng, o2_rng = spawn_generators(seed, 3)
+        graph, _ = planted_matching_gnp(
+            self.n // 2, self.n // 2, p=self.noise_degree / self.n, rng=g_rng
+        )
+        opt_matching = maximum_matching(graph)
+        opt = opt_matching.shape[0]
+        out: Dict[str, float] = {}
+        orders = {
+            "random": random_order(graph, o_rng),
+            "adversarial": adversarial_order(graph, opt_matching, o2_rng),
+        }
+        for name, order in orders.items():
+            greedy = StreamingGreedyMatcher(graph.n_vertices)
+            g_m = greedy.run(graph, order)
+            two = TwoPhaseStreamingMatcher(graph.n_vertices)
+            t_m = two.run(graph, order)
+            out[f"{name}_greedy"] = g_m.shape[0] / max(1, opt)
+            out[f"{name}_two"] = t_m.shape[0] / max(1, opt)
+            out[f"{name}_mem"] = two.memory_words / graph.n_vertices
+        return out
+
+
+# --------------------------------------------------------------------- #
+# E17 — footnote 3: exact kernel coresets for small optima
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class E17Trial(Trial):
+    """Exact composable kernels at one optimum bound, both partitionings."""
+
+    n: int
+    k: int
+    opt_bound: int
+
+    def __call__(self, seed: RandomState) -> Dict[str, float]:
+        from repro.core.kernel_coreset import exact_matching_kernel_protocol
+        from repro.dist.coordinator import run_simultaneous
+        from repro.graph.generators import planted_matching_gnp
+        from repro.graph.partition import (
+            adversarial_degree_partition,
+            random_k_partition,
+        )
+        from repro.matching.api import matching_number
+
+        g_rng, p_rng, r_rng = spawn_generators(seed, 3)
+        protocol = exact_matching_kernel_protocol(self.opt_bound)
+        # MM(G) = opt_bound: planted matching on opt_bound left
+        # vertices plus dense noise touching only those lefts, so the
+        # kernel's O(K²) size bound is what binds (not the graph size).
+        graph, _ = planted_matching_gnp(
+            self.opt_bound, self.n, p=16.0 / self.opt_bound, rng=g_rng
+        )
+        mm = matching_number(graph)
+        rand = run_simultaneous(
+            protocol, random_k_partition(graph, self.k, p_rng), r_rng
+        )
+        adv = run_simultaneous(
+            protocol, adversarial_degree_partition(graph, self.k), r_rng
+        )
+        return {
+            "mm": mm,
+            "rand_exact": float(rand.output.shape[0] == mm),
+            "adv_exact": float(adv.output.shape[0] == mm),
+            "graph_edges": graph.n_edges,
+            "kernel_edges": rand.ledger.total_edges(),
+        }
+
+
+# --------------------------------------------------------------------- #
+# E18 — robustness: both coresets across graph families
+# --------------------------------------------------------------------- #
+def _family_gnp(n: int, rng):
+    from repro.graph.generators import bipartite_gnp
+
+    half = n // 2
+    return bipartite_gnp(half, half, 3.0 / half, rng)
+
+
+def _family_planted(n: int, rng):
+    from repro.graph.generators import planted_matching_gnp
+
+    half = n // 2
+    return planted_matching_gnp(half, half, 2.0 / n, rng=rng)[0]
+
+
+def _family_power_law(n: int, rng):
+    from repro.graph.generators import power_law_bipartite
+
+    half = n // 2
+    return power_law_bipartite(half, half, avg_degree=4.0, exponent=2.2,
+                               rng=rng)
+
+
+def _family_clustered(n: int, rng):
+    from repro.graph.generators import clustered_bipartite
+
+    half = n // 2
+    return clustered_bipartite(
+        n_blocks=max(2, half // 100), block_size=100,
+        p_in=0.08, p_out=0.2 / half, rng=rng,
+    )
+
+
+def _family_stars_noise(n: int, rng):
+    from repro.graph.generators import bipartite_gnp, bipartite_star_forest
+
+    half = n // 2
+    return bipartite_star_forest(half // 8, 8).union(
+        bipartite_gnp(half // 8, half, 1.0 / half, rng)
+    )
+
+
+E18_FAMILIES = {
+    "gnp": _family_gnp,
+    "planted": _family_planted,
+    "power_law": _family_power_law,
+    "clustered": _family_clustered,
+    "stars+noise": _family_stars_noise,
+}
+
+
+@dataclass(frozen=True)
+class E18Trial(Trial):
+    """Both coresets on one structurally distinct graph family."""
+
+    n: int
+    k: int
+    family: str
+
+    def __call__(self, seed: RandomState) -> Dict[str, float]:
+        from repro.core.protocols import (
+            matching_coreset_protocol,
+            vertex_cover_coreset_protocol,
+        )
+        from repro.cover import is_vertex_cover, konig_cover
+        from repro.dist.coordinator import run_simultaneous
+        from repro.graph.partition import random_k_partition
+        from repro.matching.api import matching_number
+
+        if self.family not in E18_FAMILIES:
+            raise ValueError(
+                f"unknown E18 family {self.family!r}; available: "
+                f"{', '.join(E18_FAMILIES)}"
+            )
+        g_rng, p_rng, r_rng = spawn_generators(seed, 3)
+        match_p = matching_coreset_protocol()
+        vc_p = vertex_cover_coreset_protocol(k=self.k)
+        graph = E18_FAMILIES[self.family](self.n, g_rng)
+        part = random_k_partition(graph, self.k, p_rng)
+        rm = run_simultaneous(match_p, part, r_rng)
+        rv = run_simultaneous(vc_p, part, r_rng)
+        mm = matching_number(graph)
+        vc = int(konig_cover(graph).shape[0])
+        return {
+            "m_ratio": mm / max(1, rm.output.shape[0]),
+            "v_ratio": rv.output.shape[0] / max(1, vc),
+            "v_feasible": float(is_vertex_cover(graph, rv.output)),
+        }
+
+
+# --------------------------------------------------------------------- #
+# E19 — §1.3: edge-partition vs vertex-partition simultaneous models
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class E19Trial(Trial):
+    """Theorem 1 coreset in the edge- and vertex-partition models."""
+
+    n: int
+    k: int
+
+    def __call__(self, seed: RandomState) -> Dict[str, float]:
+        from repro.core.protocols import matching_coreset_protocol
+        from repro.dist.coordinator import run_simultaneous
+        from repro.graph.generators import planted_matching_gnp
+        from repro.graph.partition import (
+            random_k_partition,
+            random_vertex_partition,
+        )
+        from repro.matching.api import matching_number
+
+        g_rng, p_rng, v_rng, r_rng = spawn_generators(seed, 4)
+        protocol = matching_coreset_protocol()
+        graph, _ = planted_matching_gnp(
+            self.n // 2, self.n // 2, p=3.0 / self.n, rng=g_rng
+        )
+        opt = matching_number(graph)
+        edge_part = random_k_partition(graph, self.k, p_rng)
+        vertex_part = random_vertex_partition(graph, self.k, v_rng)
+        re_ = run_simultaneous(protocol, edge_part, r_rng)
+        rv = run_simultaneous(protocol, vertex_part, r_rng)
+        return {
+            "e_ratio": opt / max(1, re_.output.shape[0]),
+            "v_ratio": opt / max(1, rv.output.shape[0]),
+            "e_bits": re_.total_bits,
+            "v_bits": rv.total_bits,
+            "dup": vertex_part.duplication_factor(),
+        }
+
+
+# --------------------------------------------------------------------- #
+# E20 — the "w.h.p." itself: concentration of the coreset guarantee
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class E20Trial(Trial):
+    """One independent partitioning for the tail-probability estimate."""
+
+    n: int
+    k: int
+
+    def __call__(self, seed: RandomState) -> Dict[str, float]:
+        from repro.core.greedy_match import greedy_match
+        from repro.core.protocols import matching_coreset_protocol
+        from repro.dist.coordinator import run_simultaneous
+        from repro.graph.generators import planted_matching_gnp
+        from repro.graph.partition import random_k_partition
+        from repro.matching.api import maximum_matching
+
+        g_rng, p_rng, r_rng = spawn_generators(seed, 3)
+        protocol = matching_coreset_protocol()
+        graph, _ = planted_matching_gnp(
+            self.n // 2, self.n // 2, p=3.0 / self.n, rng=g_rng
+        )
+        opt_matching = maximum_matching(graph)
+        mm = opt_matching.shape[0]
+        part = random_k_partition(graph, self.k, p_rng)
+        res = run_simultaneous(protocol, part, r_rng)
+        _, trace = greedy_match(part, reference_optimum=opt_matching)
+        prefix = np.asarray(trace.optimal_assigned_prefix, float)
+        ideal = np.arange(self.k, dtype=float) / self.k * mm
+        dev = float(np.abs(prefix - ideal).max() / max(1, mm))
+        return {
+            "ratio": mm / max(1, res.output.shape[0]),
+            "dev": dev,
+        }
+
+
+# --------------------------------------------------------------------- #
+# E21 — parallel scaling of the execution backends (E8 workload)
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class E21Trial(Trial):
+    """Wall-clock of one E8 MapReduce workload on one executor backend.
+
+    Each trial builds its workload from the seed, runs it serially for
+    the reference, and re-runs it on the requested backend with the same
+    MapReduce seed — so ``identical`` is a genuine serial-vs-backend
+    comparison and ``wall_s`` / ``serial_wall_s`` time the same work.
+    """
+
+    n: int
+    avg_degree: float
+    executor: str
+    workers: Optional[int] = None
+
+    def __call__(self, seed: RandomState) -> Dict[str, float]:
+        from repro.core.mapreduce_algos import mapreduce_matching
+        from repro.dist.executor import resolve_executor
+        from repro.graph.generators import planted_matching_gnp
+
+        g_seed, mr_seed = seed.spawn(2) if isinstance(
+            seed, np.random.SeedSequence
+        ) else np.random.SeedSequence(seed).spawn(2)
+        memory = int(self.n ** 1.5)
+        graph, _ = planted_matching_gnp(
+            self.n // 2, self.n // 2, p=self.avg_degree / self.n,
+            rng=np.random.default_rng(g_seed),
+        )
+
+        def timed(backend):
+            start = time.perf_counter()
+            res = mapreduce_matching(
+                graph, rng=mr_seed, memory_cap_edges=memory,
+                executor=backend,
+            )
+            return time.perf_counter() - start, res.matching
+
+        serial_wall, serial_matching = timed(resolve_executor("serial"))
+        backend = resolve_executor(self.executor, workers=self.workers)
+        if backend.name == "serial":
+            wall, matching = serial_wall, serial_matching
+        else:
+            wall, matching = timed(backend)
+        return {
+            "wall_s": wall,
+            "serial_wall_s": serial_wall,
+            "size": float(matching.shape[0]),
+            "serial_size": float(serial_matching.shape[0]),
+            "identical": float(np.array_equal(matching, serial_matching)),
+        }

@@ -1,5 +1,7 @@
 """Tests for the CLI and the report tool."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -42,6 +44,40 @@ class TestCommands:
         assert main(["experiment", "e99"]) == 2
         err = capsys.readouterr().err
         assert "unknown experiment" in err
+
+    def test_experiment_set_overrides(self, capsys):
+        assert main(["experiment", "e11", "--trials", "1",
+                     "--set", "n_values=400,800"]) == 0
+        out = capsys.readouterr().out
+        assert "400" in out and "800" in out
+
+    def test_experiment_set_unknown_key(self, capsys):
+        assert main(["experiment", "e11", "--set", "bogus=1"]) == 2
+        err = capsys.readouterr().err
+        assert "bogus" in err and "settable" in err
+
+    def test_experiment_set_malformed(self, capsys):
+        assert main(["experiment", "e11", "--set", "n_values"]) == 2
+        err = capsys.readouterr().err
+        assert "KEY=VALUE" in err
+
+    def test_experiment_json_stdout(self, capsys):
+        assert main(["experiment", "e11", "--trials", "1",
+                     "--set", "n_values=400", "--json", "-"]) == 0
+        out = capsys.readouterr().out
+        doc = json.loads(out)
+        assert doc["name"].startswith("E11")
+        assert doc["columns"] and doc["rows"]
+        assert doc["rows"][0]["n"] == 400
+
+    def test_experiment_json_file(self, tmp_path, capsys):
+        target = tmp_path / "e11.json"
+        assert main(["experiment", "e11", "--trials", "1",
+                     "--set", "n_values=400", "--json", str(target)]) == 0
+        out = capsys.readouterr().out
+        assert "E11" in out  # text table still printed
+        doc = json.loads(target.read_text())
+        assert doc["rows"][0]["n"] == 400
 
 
 class TestReport:

@@ -88,8 +88,15 @@ class TestResolveExecutor:
             resolve_executor("gpu")
 
     def test_bad_worker_count_rejected(self):
-        with pytest.raises(ValueError, match="max_workers"):
+        # validate_workers owns the rule for every consumer (constructors,
+        # $REPRO_WORKERS, and the CLI's --workers flag).
+        from repro.dist.executor import validate_workers
+
+        with pytest.raises(ValueError, match="worker count"):
             ThreadExecutor(max_workers=0)
+        with pytest.raises(ValueError, match="worker count"):
+            validate_workers(0)
+        assert validate_workers(3) == 3
 
     def test_available_backends(self):
         assert available_backends() == ("serial", "threads", "processes")
@@ -280,14 +287,31 @@ class TestProcessPicklingErrors:
 # --------------------------------------------------------------------- #
 # run_trials fan-out
 # --------------------------------------------------------------------- #
+def _uniform_trial(s):
+    # Module-level so every backend — including ``processes`` — can run it.
+    gen = np.random.default_rng(s)
+    return {"x": float(gen.uniform())}
+
+
 class TestRunTrialsExecutor:
     def test_threads_match_serial(self):
         from repro.experiments.harness import run_trials
 
-        def trial(s):
-            gen = np.random.default_rng(s)
-            return {"x": float(gen.uniform())}
+        a = run_trials(_uniform_trial, 6, seed=5, executor="serial")
+        b = run_trials(_uniform_trial, 6, seed=5, executor="threads")
+        np.testing.assert_array_equal(a["x"], b["x"])
 
-        a = run_trials(trial, 6, seed=5)
-        b = run_trials(trial, 6, seed=5, executor="threads")
+    def test_processes_match_serial(self):
+        from repro.experiments.harness import run_trials
+
+        a = run_trials(_uniform_trial, 6, seed=5, executor="serial")
+        b = run_trials(_uniform_trial, 6, seed=5, executor="processes")
+        np.testing.assert_array_equal(a["x"], b["x"])
+
+    def test_default_resolves_from_env(self, monkeypatch):
+        from repro.experiments.harness import run_trials
+
+        monkeypatch.setenv(EXECUTOR_ENV, "threads")
+        a = run_trials(_uniform_trial, 4, seed=9)
+        b = run_trials(_uniform_trial, 4, seed=9, executor="serial")
         np.testing.assert_array_equal(a["x"], b["x"])

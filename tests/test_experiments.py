@@ -1,11 +1,33 @@
 """Tests for the experiment harness and tiny-scale smoke runs of every
-experiment table (the full-scale runs live in benchmarks/)."""
+experiment table (the full-scale runs live in benchmarks/).
+
+Trial helpers are module-level (never closures) so this file keeps passing
+when the whole suite runs under ``REPRO_EXECUTOR=processes`` — the harness
+now resolves its default backend from the environment, and the processes
+backend pickles every trial into a worker.
+"""
+
+import json
 
 import numpy as np
 import pytest
 
 from repro.experiments.harness import ExperimentTable, run_trials
 from repro.experiments import tables
+
+
+def _constant_trial(s):
+    return {"x": 1.0, "y": 2.0}
+
+
+def _uniform_trial(s):
+    return {"v": float(np.random.default_rng(s).random())}
+
+
+def _inconsistent_trial(s):
+    # Child seeds carry their trial index in the spawn key, so the metric
+    # set differs between trials on any backend (no shared state needed).
+    return {"a": 1.0} if s.spawn_key[-1] == 0 else {"b": 1.0}
 
 
 class TestHarness:
@@ -21,35 +43,33 @@ class TestHarness:
         with pytest.raises(ValueError, match="missing"):
             t.add_row(a=1)
 
+    def test_table_to_dict_and_json(self):
+        t = ExperimentTable("T", "desc", ["a", "b"])
+        t.add_row(a=np.int64(1), b=np.float64(2.5))
+        doc = json.loads(t.to_json())
+        assert doc["name"] == "T" and doc["columns"] == ["a", "b"]
+        assert doc["rows"] == [{"a": 1, "b": 2.5}]
+
     def test_run_trials_stacks(self):
-        out = run_trials(lambda s: {"x": 1.0, "y": 2.0}, 3, seed=0)
+        out = run_trials(_constant_trial, 3, seed=0)
         np.testing.assert_array_equal(out["x"], [1, 1, 1])
 
     def test_run_trials_independent_seeds(self):
-        out = run_trials(
-            lambda s: {"v": float(np.random.default_rng(s).random())}, 4, 0
-        )
+        out = run_trials(_uniform_trial, 4, 0)
         assert len(set(out["v"].tolist())) == 4
 
     def test_run_trials_reproducible(self):
-        f = lambda s: {"v": float(np.random.default_rng(s).random())}
-        a = run_trials(f, 3, seed=5)
-        b = run_trials(f, 3, seed=5)
+        a = run_trials(_uniform_trial, 3, seed=5)
+        b = run_trials(_uniform_trial, 3, seed=5)
         np.testing.assert_array_equal(a["v"], b["v"])
 
     def test_inconsistent_metrics_rejected(self):
-        calls = [0]
-
-        def f(s):
-            calls[0] += 1
-            return {"a": 1.0} if calls[0] == 1 else {"b": 1.0}
-
         with pytest.raises(ValueError, match="inconsistent"):
-            run_trials(f, 2, 0)
+            run_trials(_inconsistent_trial, 2, 0)
 
     def test_zero_trials_rejected(self):
         with pytest.raises(ValueError):
-            run_trials(lambda s: {"x": 1.0}, 0, 0)
+            run_trials(_constant_trial, 0, 0)
 
 
 class TestExperimentShapes:

@@ -169,25 +169,27 @@ def test_vc_kernel_sound(g, k_bound):
 # --------------------------------------------------------------------- #
 class TestSuiteConsistency:
     def test_every_experiment_has_a_benchmark(self):
-        """Each eNN table in repro.experiments.tables is regenerated by
-        some bench_*.py file (DESIGN.md §4 contract)."""
-        from repro.experiments import tables
+        """Each registered experiment is regenerated by some bench_*.py
+        file via the registry (DESIGN.md §4 contract)."""
+        from repro.experiments.registry import experiment_ids
 
         bench_dir = Path(__file__).parent.parent / "benchmarks"
         bench_sources = "\n".join(
             p.read_text() for p in bench_dir.glob("bench_*.py")
         )
-        for name in tables.__all__:
-            assert f"tables.{name}(" in bench_sources, (
-                f"experiment {name} has no benchmark invocation"
+        for exp_id in experiment_ids():
+            assert f'get_experiment("{exp_id}").run(' in bench_sources, (
+                f"experiment {exp_id} has no benchmark invocation"
             )
 
     def test_every_experiment_reachable_from_cli(self):
-        from repro.cli import _experiment_registry
+        from repro.cli import main
         from repro.experiments import tables
+        from repro.experiments.registry import experiment_ids
 
-        registry = _experiment_registry()
-        assert len(registry) == len(tables.__all__)
+        ids = experiment_ids()
+        assert len(ids) == len(tables.__all__)
+        assert main(["list-experiments"]) == 0
 
     def test_design_doc_mentions_all_experiments(self):
         design = (Path(__file__).parent.parent / "DESIGN.md").read_text()
