@@ -4,8 +4,11 @@
     python -m repro experiment e1 [--trials 3]
     python -m repro experiment e1 --set n_values=2000,4000 --json out.json
     python -m repro experiment e21 --executor processes --workers 8
+    python -m repro experiment e1 --archive            # JSON run artifact
     python -m repro list-experiments
+    python -m repro bench [--quick --check --out BENCH_substrate.json]
     python -m repro report [--results benchmarks/results -o report.md]
+    python -m repro report --diff OLD.json NEW.json
 
 The CLI is a thin shell over the declarative experiment registry
 (:mod:`repro.experiments.registry`) so that every table a benchmark can
@@ -64,16 +67,37 @@ def build_parser() -> argparse.ArgumentParser:
     e.add_argument("--json", default=None, dest="json_path", metavar="PATH",
                    help="write the table as JSON to PATH ('-' prints JSON "
                         "to stdout instead of the text table)")
+    e.add_argument("--archive", nargs="?", const="benchmarks/results",
+                   default=None, metavar="DIR",
+                   help="persist the run as a schema-versioned JSON "
+                        "artifact under DIR (default benchmarks/results) "
+                        "for repro report --diff")
     _add_executor_flags(e)
 
     sub.add_parser("list-experiments", help="list available experiment ids")
 
+    b = sub.add_parser(
+        "bench",
+        help="time the executor substrate and write BENCH_substrate.json",
+    )
+    # One source of truth for the flags: the bench module declares them for
+    # this subcommand and for its standalone entry point alike.
+    from repro.experiments.bench import add_bench_arguments
+
+    add_bench_arguments(b)
+
     r = sub.add_parser("report", help="stitch archived benchmark tables "
-                                      "into one markdown report")
+                                      "into one markdown report, or diff "
+                                      "two archived run artifacts")
     r.add_argument("--results", default="benchmarks/results",
                    help="directory of archived tables")
     r.add_argument("-o", "--output", default=None,
                    help="write the report here (default: stdout)")
+    r.add_argument("--diff", nargs=2, default=None,
+                   metavar=("OLD", "NEW"),
+                   help="diff two JSON run artifacts (written by "
+                        "`repro experiment ... --archive`) instead of "
+                        "rendering the report")
 
     return parser
 
@@ -148,7 +172,8 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         overrides["n_trials"] = args.trials
 
     try:
-        table = spec.run(seed=args.seed, **overrides)
+        table = spec.run(seed=args.seed, archive_dir=args.archive,
+                         **overrides)
     except ValueError as exc:
         # Covers UnknownParameterError plus values that pass coercion but
         # fail at run time (e.g. an unknown E15 variant, n_trials=0) —
@@ -156,15 +181,20 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         print(f"experiment {spec.id}: {exc}", file=sys.stderr)
         return 2
 
+    archived = getattr(table, "artifact_path", None)
     if args.json_path == "-":
         print(table.to_json())
+        if archived:
+            print(f"[archived run: {archived}]", file=sys.stderr)
         return 0
     if args.json_path is not None:
         Path(args.json_path).write_text(table.to_json() + "\n")
         print(table.format())
         print(f"[wrote JSON: {args.json_path}]")
-        return 0
-    print(table.format())
+    else:
+        print(table.format())
+    if archived:
+        print(f"[archived run: {archived}]")
     return 0
 
 
@@ -177,14 +207,46 @@ def _cmd_list(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.experiments.bench import run_from_args
+
+    try:
+        return run_from_args(args)
+    except ValueError as exc:  # e.g. --workers 0
+        print(f"bench: {exc}", file=sys.stderr)
+        return 2
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
-    from repro.experiments.report import collect_results, render_report
+    from repro.experiments.artifacts import ArtifactError
+    from repro.experiments.report import (
+        collect_artifacts,
+        collect_results,
+        render_diff,
+        render_report,
+    )
+
+    if args.diff is not None:
+        old_path, new_path = args.diff
+        try:
+            text = render_diff(old_path, new_path)
+        except ArtifactError as exc:
+            print(f"--diff: {exc}", file=sys.stderr)
+            return 2
+        if args.output:
+            Path(args.output).write_text(text + "\n")
+            print(f"wrote {args.output}")
+        else:
+            print(text)
+        return 0
 
     results = collect_results(args.results)
-    text = render_report(results)
+    artifacts = collect_artifacts(args.results)
+    text = render_report(results, artifacts=artifacts)
     if args.output:
         Path(args.output).write_text(text)
-        print(f"wrote {args.output} ({len(results)} tables)")
+        print(f"wrote {args.output} ({len(results)} tables, "
+              f"{len(artifacts)} run artifacts)")
     else:
         print(text)
     return 0
@@ -194,6 +256,7 @@ _COMMANDS = {
     "quickstart": _cmd_quickstart,
     "experiment": _cmd_experiment,
     "list-experiments": _cmd_list,
+    "bench": _cmd_bench,
     "report": _cmd_report,
 }
 

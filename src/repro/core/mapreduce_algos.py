@@ -143,24 +143,28 @@ def mapreduce_matching(
     """
     gen = as_generator(rng)
     k = default_machine_count(graph.n_vertices) if k is None else int(k)
-    sim = MapReduceSimulator(
+    # The context manager releases the simulator's worker pool when the
+    # rounds are done (a pool the caller passed in stays open — see
+    # MapReduceSimulator.close); the pool itself persists across both
+    # rounds, so start-up is paid once per job.
+    with MapReduceSimulator(
         graph.n_vertices, k, memory_cap_edges=memory_cap_edges, rng=gen,
         executor=executor,
-    )
-    placement = "random" if assume_random_input else initial_placement
-    sim.load(_initial_pieces(graph, k, placement, gen))
+    ) as sim:
+        placement = "random" if assume_random_input else initial_placement
+        sim.load(_initial_pieces(graph, k, placement, gen))
 
-    if not assume_random_input:
-        # Round 1: random re-partitioning.
-        sim.shuffle_round(_UniformRoute(k))
+        if not assume_random_input:
+            # Round 1: random re-partitioning.
+            sim.shuffle_round(_UniformRoute(k))
 
-    # Round 2: coreset per machine, shipped to machine 0.  The compute
-    # callable carries only the edge-free template (n + bipartition), so
-    # shipping it to process workers stays cheap.
-    sim.compute_round(_MatchingCoresetCompute(_edge_free_template(graph)),
-                      send_to=0)
+        # Round 2: coreset per machine, shipped to machine 0.  The compute
+        # callable carries only the edge-free template (n + bipartition), so
+        # shipping it to process workers stays cheap.
+        sim.compute_round(_MatchingCoresetCompute(_edge_free_template(graph)),
+                          send_to=0)
 
-    final_edges = sim.machine_edges(0)
+        final_edges = sim.machine_edges(0)
     matching = compose_matching(
         graph.n_vertices, [final_edges], combiner="exact",
         algorithm=combiner_algorithm, template=graph,
@@ -186,27 +190,27 @@ def mapreduce_vertex_cover(
     """
     gen, cover_gen = spawn_generators(rng, 2)
     k = default_machine_count(graph.n_vertices) if k is None else int(k)
-    sim = MapReduceSimulator(
+    with MapReduceSimulator(
         graph.n_vertices, k, memory_cap_edges=memory_cap_edges, rng=gen,
         executor=executor,
-    )
-    placement = "random" if assume_random_input else initial_placement
-    sim.load(_initial_pieces(graph, k, placement, gen))
+    ) as sim:
+        placement = "random" if assume_random_input else initial_placement
+        sim.load(_initial_pieces(graph, k, placement, gen))
 
-    if not assume_random_input:
-        sim.shuffle_round(_UniformRoute(k))
+        if not assume_random_input:
+            sim.shuffle_round(_UniformRoute(k))
 
-    # Fixed vertices ride along with the residual edges; they are ≤ n
-    # vertex ids, well inside the same Õ(n) message budget.  They come back
-    # through the round's aux channel, keyed by machine index.
-    aux = sim.compute_round(
-        _VCCoresetCompute(graph.n_vertices, k, log_slack), send_to=0
-    )
-    fixed_sets: list[np.ndarray] = [
-        a if a is not None else np.zeros(0, dtype=np.int64) for a in aux
-    ]
+        # Fixed vertices ride along with the residual edges; they are ≤ n
+        # vertex ids, well inside the same Õ(n) message budget.  They come
+        # back through the round's aux channel, keyed by machine index.
+        aux = sim.compute_round(
+            _VCCoresetCompute(graph.n_vertices, k, log_slack), send_to=0
+        )
+        fixed_sets: list[np.ndarray] = [
+            a if a is not None else np.zeros(0, dtype=np.int64) for a in aux
+        ]
 
-    residual_union = Graph(graph.n_vertices, sim.machine_edges(0))
+        residual_union = Graph(graph.n_vertices, sim.machine_edges(0))
     results = [
         VCCoresetResult(
             fixed_vertices=fixed_sets[i],

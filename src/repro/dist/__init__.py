@@ -25,7 +25,12 @@ substrate, independent of any particular coreset:
   :class:`~repro.dist.mapreduce.MapReduceSimulator` with per-machine memory
   caps, for the paper's 2-round MPC corollaries.
 * :mod:`repro.dist.executor` — pluggable execution backends (``serial``,
-  ``threads``, ``processes``) for the per-machine work of both engines.
+  ``threads``, ``processes``) for the per-machine work of both engines,
+  with persistent worker pools amortized across rounds and trials.
+* :mod:`repro.dist.shm` — zero-copy piece transfer: the
+  :class:`~repro.dist.shm.SharedEdgeStore` places edge arrays in shared
+  memory once and ships lightweight handles to workers instead of
+  pickling arrays per task (``transfer="shared"``).
 
 Machines are independent in the model, and the engines preserve that
 independence in the code, so the k per-machine computations can genuinely
@@ -59,11 +64,13 @@ from repro.dist.coordinator import (
 )
 from repro.dist.executor import (
     Executor,
+    ExecutorClosedError,
     ExecutorError,
     ProcessExecutor,
     SerialExecutor,
     ThreadExecutor,
     UnpicklableTaskError,
+    WorkerPoolBrokenError,
     available_backends,
     resolve_executor,
 )
@@ -76,11 +83,21 @@ from repro.dist.mapreduce import (
     RoundRecord,
 )
 from repro.dist.message import Message
+from repro.dist.shm import (
+    EdgeHandle,
+    SharedEdgeStore,
+    SharedPartitionView,
+    SharedStoreClosedError,
+    available_transfer_modes,
+    resolve_transfer,
+)
 
 __all__ = [
     "CommunicationLedger",
     "Coordinator",
+    "EdgeHandle",
     "Executor",
+    "ExecutorClosedError",
     "ExecutorError",
     "Machine",
     "MapReduceJob",
@@ -91,10 +108,16 @@ __all__ = [
     "ProtocolResult",
     "RoundRecord",
     "SerialExecutor",
+    "SharedEdgeStore",
+    "SharedPartitionView",
+    "SharedStoreClosedError",
     "SimultaneousProtocol",
     "ThreadExecutor",
     "UnpicklableTaskError",
+    "WorkerPoolBrokenError",
     "available_backends",
+    "available_transfer_modes",
     "resolve_executor",
+    "resolve_transfer",
     "run_simultaneous",
 ]

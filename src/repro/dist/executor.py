@@ -32,7 +32,25 @@ Backends
     every task — including the protocol's summarizer or the round's
     route/compute function — must be **picklable**: defined at module
     level, never a closure or a lambda.  Unpicklable tasks raise
-    :class:`UnpicklableTaskError` *before* any worker starts.
+    :class:`UnpicklableTaskError`.
+
+Lifecycle
+---------
+Executors are **persistent**: the thread/process pool is created lazily on
+the first :meth:`Executor.map` call that needs it and *reused* by every
+subsequent call until :meth:`Executor.close`.  That is what lets an
+r-round MapReduce job or an n-trial sweep pay pool start-up (fork + import)
+once instead of once per barrier.  Executors are context managers::
+
+    with ProcessExecutor(max_workers=4) as ex:
+        res1 = run_simultaneous(proto, part, rng=2, executor=ex)
+        res2 = run_simultaneous(proto, part, rng=3, executor=ex)  # same pool
+
+``close()`` is idempotent; :meth:`Executor.map` after ``close()`` raises
+:class:`ExecutorClosedError`.  Engines that *resolve* an executor from a
+name or the environment own it and close it when their work completes;
+engines handed an :class:`Executor` instance never close it — the caller
+controls pool lifetime (ownership rule in ``docs/PARALLELISM.md`` §6).
 
 Usage
 -----
@@ -53,12 +71,6 @@ Or pick the backend per environment (the CLI's ``--executor`` flag and the
 CI's parallel leg both use this)::
 
     REPRO_EXECUTOR=processes REPRO_WORKERS=8 python -m pytest tests/ -q
-
-An explicit instance gives control over the worker count::
-
-    from repro.dist.executor import ProcessExecutor
-    res = run_simultaneous(proto, part, rng=2,
-                           executor=ProcessExecutor(max_workers=4))
 """
 
 from __future__ import annotations
@@ -66,18 +78,21 @@ from __future__ import annotations
 import os
 import pickle
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, Iterable, List, Optional, Union
 
 __all__ = [
     "EXECUTOR_ENV",
     "WORKERS_ENV",
     "Executor",
+    "ExecutorClosedError",
     "ExecutorError",
     "ExecutorSpec",
     "ProcessExecutor",
     "SerialExecutor",
     "ThreadExecutor",
     "UnpicklableTaskError",
+    "WorkerPoolBrokenError",
     "available_backends",
     "resolve_executor",
     "validate_workers",
@@ -93,12 +108,25 @@ class ExecutorError(RuntimeError):
     """A task could not be executed on the selected backend."""
 
 
+class ExecutorClosedError(ExecutorError):
+    """:meth:`Executor.map` was called on an executor after ``close()``."""
+
+
 class UnpicklableTaskError(ExecutorError):
     """A task cannot cross a process boundary.
 
-    Raised by the ``processes`` backend before any worker starts, so the
-    failure names the offending object instead of surfacing as an opaque
-    ``PicklingError`` from inside the pool machinery.
+    Raised by the ``processes`` backend with a message naming the offending
+    object instead of surfacing as an opaque ``PicklingError`` from inside
+    the pool machinery.
+    """
+
+
+class WorkerPoolBrokenError(ExecutorError):
+    """A worker process died mid-map (segfault, ``os._exit``, OOM kill).
+
+    The executor discards the broken pool when raising this, so the *next*
+    :meth:`Executor.map` call transparently starts a fresh pool — a crash
+    costs one barrier, not the whole executor.
     """
 
 
@@ -108,29 +136,74 @@ class Executor:
     Subclasses implement :meth:`map`.  The order guarantee is the whole
     API: callers rely on it to compose per-machine results positionally,
     which is what keeps parallel runs bit-identical to serial ones.
+
+    Executors own at most one worker pool, created lazily and reused by
+    every ``map`` call until :meth:`close` — the pool lifecycle documented
+    in ``docs/PARALLELISM.md`` §6.
     """
 
     name: str = "abstract"
 
+    def __init__(self) -> None:
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
     def map(self, fn: Callable[[Any], Any], tasks: Iterable[Any]) -> List[Any]:
         """Apply ``fn`` to every task; return results in input order."""
         raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called."""
+        return self._closed
+
+    def close(self) -> None:
+        """Release the worker pool (if any).  Idempotent."""
+        self._closed = True
+
+    def __enter__(self) -> "Executor":
+        self._ensure_open()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise ExecutorClosedError(
+                f"{type(self).__name__} has been closed; create a new "
+                f"executor (or use the context-manager form) to run more "
+                f"tasks"
+            )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}()"
 
 
 class SerialExecutor(Executor):
-    """The plain loop: run every task in the calling process, in order."""
+    """The plain loop: run every task in the calling process, in order.
+
+    There is no pool to release, but ``close()`` still flips the executor
+    into the closed state so lifecycle behavior is backend-independent —
+    code that works with a closed ``serial`` executor would silently break
+    the moment ``$REPRO_EXECUTOR`` selects a pooled backend.
+    """
 
     name = "serial"
 
     def map(self, fn: Callable[[Any], Any], tasks: Iterable[Any]) -> List[Any]:
+        self._ensure_open()
         return [fn(t) for t in tasks]
 
 
 class ThreadExecutor(Executor):
     """A ``ThreadPoolExecutor`` backend (shared memory, GIL-bound).
+
+    The pool is created on the first multi-task :meth:`map` and reused by
+    every later call until :meth:`close`.
 
     Parameters
     ----------
@@ -141,19 +214,33 @@ class ThreadExecutor(Executor):
     name = "threads"
 
     def __init__(self, max_workers: Optional[int] = None) -> None:
+        super().__init__()
         self.max_workers = _default_workers(max_workers)
+        self._pool: Optional[ThreadPoolExecutor] = None
 
     def map(self, fn: Callable[[Any], Any], tasks: Iterable[Any]) -> List[Any]:
+        self._ensure_open()
         tasks = list(tasks)
-        if len(tasks) <= 1:
+        if len(tasks) <= 1 and self._pool is None:
+            # A single task gains nothing from spinning up a pool.
             return [fn(t) for t in tasks]
-        with ThreadPoolExecutor(
-            max_workers=min(self.max_workers, len(tasks))
-        ) as pool:
-            return list(pool.map(fn, tasks))
+        return list(self._ensure_pool().map(fn, tasks))
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(max_workers=self.max_workers)
+        return self._pool
+
+    def close(self) -> None:
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+        super().close()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"ThreadExecutor(max_workers={self.max_workers})"
+        state = "closed" if self._closed else (
+            "pool" if self._pool is not None else "lazy")
+        return f"ThreadExecutor(max_workers={self.max_workers}, {state})"
 
 
 class ProcessExecutor(Executor):
@@ -162,9 +249,10 @@ class ProcessExecutor(Executor):
     Every ``fn`` and every task is pickled into a worker process, so both
     must be defined at module level.  Unpicklable work surfaces as
     :class:`UnpicklableTaskError` naming the object, never as an opaque
-    pool crash — and without serializing the (potentially large) task
-    payloads twice: only ``fn`` is pre-checked; task pickling failures are
-    caught when the pool reports them.
+    pool crash.  The pool is created on the first :meth:`map` that needs
+    one and reused by every later call until :meth:`close`; a crashed pool
+    is discarded (:class:`WorkerPoolBrokenError`) and replaced on the next
+    call.
 
     Parameters
     ----------
@@ -175,12 +263,15 @@ class ProcessExecutor(Executor):
     name = "processes"
 
     def __init__(self, max_workers: Optional[int] = None) -> None:
+        super().__init__()
         self.max_workers = _default_workers(max_workers)
+        self._pool: Optional[ProcessPoolExecutor] = None
 
     def map(self, fn: Callable[[Any], Any], tasks: Iterable[Any]) -> List[Any]:
+        self._ensure_open()
         tasks = list(tasks)
         self._check_picklable("task function", fn)
-        if len(tasks) <= 1:
+        if len(tasks) <= 1 and self._pool is None:
             # One task gains nothing from a pool, but the pickle contract
             # still holds so behavior is task-count-independent; with no
             # pool serialization this check is the only pass.
@@ -188,17 +279,47 @@ class ProcessExecutor(Executor):
                 self._check_picklable(f"task {i}", t)
             return [fn(t) for t in tasks]
         try:
-            with ProcessPoolExecutor(
-                max_workers=min(self.max_workers, len(tasks))
-            ) as pool:
-                return list(pool.map(fn, tasks))
-        except (pickle.PicklingError, AttributeError, TypeError) as exc:
-            # Pickle signals failures with any of these types; a task that
-            # failed to serialize on submission propagates here.
-            if "pickle" not in str(exc).lower():
-                raise
+            return list(self._ensure_pool().map(fn, tasks))
+        except BrokenProcessPool as exc:
+            self._discard_pool()
+            raise WorkerPoolBrokenError(
+                "a worker process died while executing tasks (crash, "
+                "os._exit, or kill); the broken pool was discarded and the "
+                "next map() call will start a fresh one"
+            ) from exc
+        except pickle.PicklingError as exc:
             raise UnpicklableTaskError(self._advice("a task", exc)) from exc
+        except (AttributeError, TypeError) as exc:
+            # Structured disambiguation, not message sniffing: besides
+            # PicklingError, pickle signals failures as AttributeError or
+            # TypeError ("Can't pickle local object ..."), which a task
+            # body could equally raise on its own.  Re-checking the
+            # payloads' picklability — only on this failure path — tells
+            # the two apart exactly; any other exception type is task
+            # code's own and propagates untouched.
+            culprit = self._first_unpicklable(tasks)
+            if culprit is None:
+                raise
+            raise UnpicklableTaskError(self._advice(culprit, exc)) from exc
 
+    # ------------------------------------------------------------------ #
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.max_workers)
+        return self._pool
+
+    def _discard_pool(self) -> None:
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    def close(self) -> None:
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+        super().close()
+
+    # ------------------------------------------------------------------ #
     @classmethod
     def _check_picklable(cls, label: str, obj: Any) -> None:
         try:
@@ -207,6 +328,16 @@ class ProcessExecutor(Executor):
             raise UnpicklableTaskError(
                 cls._advice(f"{label} ({obj!r})", exc)
             ) from exc
+
+    @staticmethod
+    def _first_unpicklable(tasks: List[Any]) -> Optional[str]:
+        """The label of the first task that cannot be pickled, or ``None``."""
+        for i, task in enumerate(tasks):
+            try:
+                pickle.dumps(task)
+            except Exception:
+                return f"task {i} ({task!r})"
+        return None
 
     @staticmethod
     def _advice(what: str, exc: Exception) -> str:
@@ -219,7 +350,9 @@ class ProcessExecutor(Executor):
         )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"ProcessExecutor(max_workers={self.max_workers})"
+        state = "closed" if self._closed else (
+            "pool" if self._pool is not None else "lazy")
+        return f"ProcessExecutor(max_workers={self.max_workers}, {state})"
 
 
 #: What callers may pass wherever an executor is accepted: ``None`` (resolve
@@ -255,6 +388,10 @@ def resolve_executor(
     names a backend (a few aliases are accepted); an :class:`Executor`
     instance passes through unchanged (``workers`` is then ignored —
     the instance already fixed its worker count).
+
+    Ownership: an executor *created here* (spec was ``None`` or a name)
+    belongs to the caller, which should ``close()`` it when its barriers
+    are done; a passed-through instance stays owned by whoever built it.
     """
     if isinstance(spec, Executor):
         return spec

@@ -34,7 +34,8 @@ from typing import Any, Callable, List, Optional, Sequence
 
 import numpy as np
 
-from repro.dist.executor import ExecutorSpec, resolve_executor
+from repro.dist.executor import Executor, ExecutorSpec, resolve_executor
+from repro.dist.shm import SharedEdgeStore, open_edges, resolve_transfer
 from repro.graph.edgelist import Graph
 from repro.utils.rng import RandomState, spawn_generators
 
@@ -69,6 +70,27 @@ def _compute_machine(task: tuple) -> tuple:
     """One machine's compute step, as an executor-shippable unit of work."""
     i, edges, gen, compute_fn = task
     out = compute_fn(i, edges, gen)
+    return out, gen
+
+
+def _round_machine_shared(task: tuple) -> tuple:
+    """The zero-copy twin of the round workers above.
+
+    The task ships an :class:`~repro.dist.shm.EdgeHandle` instead of the
+    machine's edge array; the worker maps the shared segment read-only and
+    runs the round function over the view in place.  Mapping lifetime is
+    reference-counted: dropping the local view releases the segment unless
+    the round's output aliases its input, which keeps it alive exactly as
+    long as the result needs.
+    """
+    i, handle, gen, round_fn = task
+    attachment = open_edges(handle)
+    edges = attachment.array
+    try:
+        out = round_fn(i, edges, gen)
+    finally:
+        del edges
+        attachment.release()
     return out, gen
 
 
@@ -132,7 +154,19 @@ class MapReduceSimulator:
         adopted in machine-index order, and each machine's generator state
         is threaded back from the workers, so all backends are
         bit-identical per seed.  The ``processes`` backend requires
-        picklable route/compute functions (no lambdas or closures).
+        picklable route/compute functions (no lambdas or closures).  The
+        executor's worker pool persists *across rounds* — pool start-up is
+        paid once per job, not once per barrier.  An executor resolved
+        here (name/``None``) is owned by the simulator and released by
+        :meth:`close` (simulators are context managers); a passed-in
+        instance stays open for the caller to reuse.
+    transfer:
+        How per-machine edge arrays reach round workers: ``"pickle"``
+        (serialized per task — the default) or ``"shared"`` (each round's
+        arrays are written once into a shared-memory segment and workers
+        map read-only views; see :mod:`repro.dist.shm`).  ``None``
+        resolves from ``$REPRO_TRANSFER``.  Outputs are bit-identical
+        across modes.
     """
 
     def __init__(
@@ -142,6 +176,7 @@ class MapReduceSimulator:
         rng: RandomState = None,
         memory_cap_edges: Optional[int] = None,
         executor: ExecutorSpec = None,
+        transfer: Optional[str] = None,
     ) -> None:
         if n_vertices < 0:
             raise ValueError(
@@ -157,12 +192,32 @@ class MapReduceSimulator:
         self.k = int(k)
         self.memory_cap_edges = memory_cap_edges
         self.executor = resolve_executor(executor)
+        self._owns_executor = not isinstance(executor, Executor)
+        self.transfer = resolve_transfer(transfer)
         self._machine_gens = spawn_generators(rng, self.k)
         self._edges: List[np.ndarray] = [
             np.zeros((0, 2), dtype=np.int64) for _ in range(self.k)
         ]
         self._loaded = False
         self.job = MapReduceJob()
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Release the executor's worker pool if this simulator owns it.
+
+        Idempotent.  A simulator handed an :class:`Executor` instance
+        never closes it — the caller amortizes that pool across jobs.
+        """
+        if self._owns_executor:
+            self.executor.close()
+
+    def __enter__(self) -> "MapReduceSimulator":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ------------------------------------------------------------------ #
     # state
@@ -202,11 +257,7 @@ class MapReduceSimulator:
         per edge of machine ``i``.  Edges are conserved by construction:
         every edge lands on exactly the machine its owner routed it to.
         """
-        tasks = [
-            (i, self._edges[i], self._machine_gens[i], route_fn)
-            for i in range(self.k)
-        ]
-        results = self.executor.map(_route_machine, tasks)
+        results = self._run_round(route_fn, _route_machine)
 
         all_edges: List[np.ndarray] = []
         all_dest: List[np.ndarray] = []
@@ -265,11 +316,7 @@ class MapReduceSimulator:
         """
         if send_to is not None:
             self._check_machine(send_to, "send_to machine")
-        tasks = [
-            (i, self._edges[i], self._machine_gens[i], compute_fn)
-            for i in range(self.k)
-        ]
-        results = self.executor.map(_compute_machine, tasks)
+        results = self._run_round(compute_fn, _compute_machine)
 
         outputs: List[np.ndarray] = []
         aux: List[Any] = []
@@ -310,6 +357,28 @@ class MapReduceSimulator:
     # ------------------------------------------------------------------ #
     # internals
     # ------------------------------------------------------------------ #
+    def _run_round(self, round_fn: Any, pickle_worker: Any) -> List[tuple]:
+        """Fan one round's per-machine work out on the configured backend.
+
+        With ``transfer="shared"`` the round's edge arrays are packed into
+        one shared segment and workers receive handles; the store lives
+        exactly as long as the barrier.  Either way results come back as
+        ``(output, generator)`` pairs in machine-index order.
+        """
+        if self.transfer == "shared":
+            with SharedEdgeStore() as store:
+                handles = store.put_arrays(self._edges)
+                tasks = [
+                    (i, handles[i], self._machine_gens[i], round_fn)
+                    for i in range(self.k)
+                ]
+                return self.executor.map(_round_machine_shared, tasks)
+        tasks = [
+            (i, self._edges[i], self._machine_gens[i], round_fn)
+            for i in range(self.k)
+        ]
+        return self.executor.map(pickle_worker, tasks)
+
     def _validate_edges(self, edges: np.ndarray, owner: int) -> np.ndarray:
         arr = np.asarray(edges, dtype=np.int64)
         if arr.size == 0:

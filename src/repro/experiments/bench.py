@@ -1,0 +1,530 @@
+"""The substrate performance harness behind ``repro bench``.
+
+Every claim the executor substrate makes — persistent pools beat per-call
+pools, shared-memory piece transfer beats pickled transfer, the greedy
+scan rewrite beats the list-append scan — is measured here, on the same
+scenario sizes the experiment suite uses (E1's small grids, E8's MapReduce
+workload, E21's parallel-scaling size), and written to a structured
+``BENCH_substrate.json`` artifact that CI uploads and future commits can
+compare against.  ``--check`` turns the two load-bearing claims into hard
+assertions (exit code 1 on regression), which is what the
+``substrate-perf`` CI job runs.
+
+Three sections:
+
+``pool_lifecycle``
+    Per-barrier *substrate overhead* of R back-to-back
+    ``run_simultaneous`` barriers per backend variant: ``serial``,
+    ``threads-persistent``, ``processes-cold`` (a fresh pool per barrier
+    — the pre-lifecycle behavior, reconstructed by resolving the
+    executor by name inside the loop) and ``processes-persistent`` (one
+    :class:`~repro.dist.executor.ProcessExecutor` reused across all R
+    barriers).  The barriers run the transfer probe (compute-light), so
+    the column *is* the pool cost: on a compute-heavy workload a ±5%
+    compute wobble would drown the ~10ms/barrier pool start-up being
+    measured — real-workload backend scaling is E21's table, not this
+    one.  Every variant's outputs are asserted bit-identical to serial
+    before its row is recorded.
+
+``piece_transfer``
+    Transfer *overhead* isolated: the same persistent process pool runs a
+    probe protocol whose per-machine compute is one pass over the piece
+    (a checksum — every byte is touched, so both modes really move the
+    data) and whose messages are tiny.  What remains of the barrier is
+    the cost of getting pieces to workers: pickled into each task, vs
+    mapped from a :class:`~repro.dist.shm.SharedEdgeStore` segment
+    (``transfer="shared"``).  The real-workload rounds in
+    ``pool_lifecycle`` would hide a ~10ms transfer delta under ~300ms of
+    matching compute; the probe is what makes the overhead measurable.
+
+``matching_scan``
+    The sequential greedy-matching scan
+    (:func:`repro.matching.maximal.greedy_maximal_matching`) against a
+    reference implementation of the pre-optimization scan (two Python
+    lists + ``np.stack``, one edge at a time), asserted output-identical.
+
+Wall-clock numbers describe the machine the bench ran on; only the
+``identical`` columns and the relative orderings are claims.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "add_bench_arguments",
+    "main",
+    "run_from_args",
+    "run_substrate_bench",
+]
+
+BENCH_SCHEMA_VERSION = 1
+
+#: Scenario sizes mirror the experiment grids: e1-small is E1's lower grid
+#: cell, e8-mid is the E8 MapReduce workload at reduced n, e21 is exactly
+#: E21's registered size (n=4000, avg_degree=24).
+_SCENARIOS: Dict[str, List[Dict[str, Any]]] = {
+    "quick": [
+        dict(name="e1-small", n=1200, k=4, avg_degree=8.0, repeats=4),
+        dict(name="e8-mid", n=2400, k=8, avg_degree=12.0, repeats=4),
+    ],
+    "full": [
+        dict(name="e1-small", n=1200, k=4, avg_degree=8.0, repeats=6),
+        dict(name="e8-mid", n=2400, k=8, avg_degree=12.0, repeats=6),
+        dict(name="e21", n=4000, k=8, avg_degree=24.0, repeats=6),
+    ],
+}
+
+
+def _build_workload(scenario: Dict[str, Any], seed: int = 1701):
+    """The partitioned graph for a scenario size."""
+    from repro.graph.generators import bipartite_gnp
+    from repro.graph.partition import random_k_partition
+
+    n, k, deg = scenario["n"], scenario["k"], scenario["avg_degree"]
+    side = n // 2
+    graph = bipartite_gnp(side, side, p=min(1.0, deg / side), rng=seed)
+    return random_k_partition(graph, k, rng=seed + 1)
+
+
+def _warm_task(x):
+    return x
+
+
+def _global_warmup(workers: int) -> None:
+    """Pay every one-time cost before anything is timed.
+
+    Creating the first shared-memory segment spawns the multiprocessing
+    resource tracker, and the first process pool primes fork/import
+    machinery; both are per-interpreter costs that would otherwise land
+    inside whichever timed loop happened to run first and skew that one
+    variant.  (Order matters: tracker first, so every pool's workers fork
+    with it inherited.)
+    """
+    from repro.dist.executor import ProcessExecutor
+    from repro.dist.shm import SharedEdgeStore
+
+    with SharedEdgeStore() as store:
+        store.put_arrays([np.zeros((4, 2), dtype=np.int64)])
+    with ProcessExecutor(max_workers=workers) as pool:
+        pool.map(_warm_task, list(range(max(2, workers))))
+
+
+def _time_rounds(fn, repeats: int) -> float:
+    """Total wall-clock of ``repeats`` calls of ``fn`` (first call included:
+    pool start-up is exactly the cost under test)."""
+    start = time.perf_counter()
+    for _ in range(repeats):
+        fn()
+    return time.perf_counter() - start
+
+
+def _run_pool_lifecycle(
+    scenarios: Sequence[Dict[str, Any]], workers: int, repeats_override: Optional[int]
+) -> List[Dict[str, Any]]:
+    from repro.dist.coordinator import run_simultaneous
+    from repro.dist.executor import ProcessExecutor, ThreadExecutor
+
+    proto = _probe_protocol()
+    rows: List[Dict[str, Any]] = []
+    for scenario in scenarios:
+        part = _build_workload(scenario)
+        # Probe barriers are milliseconds, so stability is cheap: raise the
+        # scenario default to ten rounds.  An explicit --repeats override
+        # is honored exactly, here and in every other section.
+        repeats = repeats_override or max(scenario["repeats"], 10)
+        seed = 42
+
+        def run(executor, transfer="pickle"):
+            return run_simultaneous(proto, part, seed, executor=executor,
+                                    transfer=transfer)
+
+        reference = run("serial").output
+
+        variants: Dict[str, float] = {}
+        identical: Dict[str, bool] = {}
+
+        variants["serial"] = _time_rounds(lambda: run("serial"), repeats)
+        identical["serial"] = True
+
+        with ThreadExecutor(max_workers=workers) as threads:
+            run(threads)  # steady-state warmup, untimed
+            variants["threads-persistent"] = _time_rounds(
+                lambda: run(threads), repeats)
+        identical["threads-persistent"] = bool(
+            np.array_equal(run("threads").output, reference))
+
+        # Cold: the engine resolves "processes" by name each barrier, so it
+        # builds and tears down one pool per call — the pre-lifecycle cost.
+        variants["processes-cold"] = _time_rounds(
+            lambda: run("processes"), repeats)
+        identical["processes-cold"] = bool(
+            np.array_equal(run("processes").output, reference))
+
+        with ProcessExecutor(max_workers=workers) as persistent:
+            run(persistent)  # pool creation paid here, steady state timed
+            variants["processes-persistent"] = _time_rounds(
+                lambda: run(persistent), repeats)
+            identical["processes-persistent"] = bool(
+                np.array_equal(run(persistent).output, reference))
+
+        for variant, total in variants.items():
+            rows.append(dict(
+                scenario=scenario["name"],
+                variant=variant,
+                rounds=repeats,
+                total_s=round(total, 6),
+                per_round_s=round(total / repeats, 6),
+                speedup_vs_serial=round(variants["serial"] / total, 4),
+                identical=identical[variant],
+            ))
+    return rows
+
+
+def _probe_protocol():
+    """A transfer-bound protocol: full data touch, negligible compute."""
+    from repro.dist.coordinator import SimultaneousProtocol
+
+    return SimultaneousProtocol(
+        "transfer-probe", _probe_summarize, _probe_combine
+    )
+
+
+def _probe_summarize(piece, machine_index, rng, public=None):
+    """Checksum the piece (touching every edge byte) and reply tiny.
+
+    Module-level so the ``processes`` backend can pickle it.  The one-row
+    message is copied out of the piece so it never aliases a shared
+    segment (workers can release their attachments each round).
+    """
+    from repro.dist.message import Message
+
+    edges = piece.edges
+    # One full pass over the data, echoed in the reply so it cannot be
+    # skipped: both transfer modes must actually deliver every byte.
+    checksum = int(edges.sum()) % max(piece.n_vertices, 1) if edges.size else 0
+    probe = np.array([[0, checksum]], dtype=np.int64)
+    return Message(sender=machine_index, edges=probe)
+
+
+def _probe_combine(coordinator, messages):
+    return np.vstack([m.edges for m in messages]) if messages else None
+
+
+def _run_piece_transfer(
+    scenarios: Sequence[Dict[str, Any]], workers: int, repeats_override: Optional[int]
+) -> List[Dict[str, Any]]:
+    from repro.dist.coordinator import run_simultaneous
+    from repro.dist.executor import ProcessExecutor
+
+    from repro.dist.shm import SharedPartitionView
+
+    proto = _probe_protocol()
+    rows: List[Dict[str, Any]] = []
+    for scenario in scenarios:
+        part = _build_workload(scenario)
+        repeats = repeats_override or scenario["repeats"]
+        seed = 43
+
+        def run(executor, transfer, partition=part):
+            return run_simultaneous(proto, partition, seed,
+                                    executor=executor, transfer=transfer)
+
+        reference = run("serial", "pickle").output
+        serial_total = _time_rounds(lambda: run("serial", "pickle"), repeats)
+
+        def record(transfer_label, total, identical):
+            rows.append(dict(
+                scenario=scenario["name"],
+                transfer=transfer_label,
+                rounds=repeats,
+                total_edge_bytes=int(part.graph.edge_nbytes),
+                per_round_s=round(total / repeats, 6),
+                overhead_vs_serial_s=round(
+                    (total - serial_total) / repeats, 6),
+                identical=identical,
+            ))
+
+        with ProcessExecutor(max_workers=workers) as pool:
+            for transfer in ("pickle", "shared"):
+                run(pool, transfer)  # steady-state warmup, untimed
+                total = _time_rounds(lambda: run(pool, transfer), repeats)
+                record(
+                    transfer if transfer == "pickle" else "shared-ephemeral",
+                    total,
+                    bool(np.array_equal(run(pool, transfer).output,
+                                        reference)),
+                )
+            # The pay-once path: pieces pinned in one segment, handles
+            # reused by every barrier — the deployment shape of a sweep.
+            with SharedPartitionView(part) as pinned:
+                run(pool, "shared", pinned)  # warmup, untimed
+                total = _time_rounds(
+                    lambda: run(pool, "shared", pinned), repeats)
+                record(
+                    "shared-persistent",
+                    total,
+                    bool(np.array_equal(run(pool, "shared", pinned).output,
+                                        reference)),
+                )
+    return rows
+
+
+# --------------------------------------------------------------------- #
+# the greedy-scan microbenchmark
+# --------------------------------------------------------------------- #
+def _baseline_scan(n_vertices: int, eu: np.ndarray, ev: np.ndarray) -> np.ndarray:
+    """The pre-optimization scan, kept verbatim as the comparison baseline:
+    one numpy bool read per endpoint per edge, two growing Python lists,
+    one ``np.stack`` at the end."""
+    taken = np.zeros(n_vertices, dtype=bool)
+    out_u: List[int] = []
+    out_v: List[int] = []
+    for u, v in zip(eu.tolist(), ev.tolist()):
+        if not taken[u] and not taken[v]:
+            taken[u] = True
+            taken[v] = True
+            out_u.append(u)
+            out_v.append(v)
+    if not out_u:
+        return np.zeros((0, 2), dtype=np.int64)
+    return np.stack(
+        [np.asarray(out_u, dtype=np.int64),
+         np.asarray(out_v, dtype=np.int64)], axis=1)
+
+
+def _run_matching_scan(mode: str) -> List[Dict[str, Any]]:
+    from repro.graph.generators import gnp
+    from repro.matching.maximal import _sequential_scan
+
+    sizes = [(20_000, 8.0)] if mode == "quick" else [(20_000, 8.0),
+                                                     (100_000, 10.0)]
+    rows: List[Dict[str, Any]] = []
+    for n, deg in sizes:
+        graph = gnp(n, deg / n, 5)
+        e = graph.edges
+        eu, ev = np.ascontiguousarray(e[:, 0]), np.ascontiguousarray(e[:, 1])
+
+        t0 = time.perf_counter()
+        base = _baseline_scan(n, eu, ev)
+        baseline_s = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        opt = _sequential_scan(n, eu, ev)
+        optimized_s = time.perf_counter() - t0
+
+        rows.append(dict(
+            n=n,
+            m=int(e.shape[0]),
+            baseline_s=round(baseline_s, 6),
+            optimized_s=round(optimized_s, 6),
+            speedup=round(baseline_s / optimized_s, 4)
+            if optimized_s else float("inf"),
+            identical=bool(np.array_equal(base, opt)),
+        ))
+    return rows
+
+
+# --------------------------------------------------------------------- #
+# driver
+# --------------------------------------------------------------------- #
+def run_substrate_bench(
+    mode: str = "full",
+    workers: Optional[int] = None,
+    repeats: Optional[int] = None,
+    out: Optional[str | Path] = None,
+) -> Dict[str, Any]:
+    """Run all three sections and (optionally) write the JSON artifact."""
+    if mode not in _SCENARIOS:
+        raise ValueError(f"mode must be one of {sorted(_SCENARIOS)}, "
+                         f"got {mode!r}")
+    scenarios = _SCENARIOS[mode]
+    workers = workers or min(os.cpu_count() or 1, 8)
+
+    _global_warmup(workers)
+    pool_rows = _run_pool_lifecycle(scenarios, workers, repeats)
+    transfer_rows = _run_piece_transfer(scenarios, workers, repeats)
+    scan_rows = _run_matching_scan(mode)
+
+    largest = scenarios[-1]["name"]
+    checks = _evaluate_checks(pool_rows, transfer_rows, scan_rows, largest)
+
+    doc: Dict[str, Any] = {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "kind": "substrate_bench",
+        "mode": mode,
+        "created_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "host": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "cpu_count": os.cpu_count(),
+        },
+        "workers": workers,
+        "scenarios": [
+            {k: s[k] for k in ("name", "n", "k", "avg_degree")}
+            for s in scenarios
+        ],
+        "pool_lifecycle": pool_rows,
+        "piece_transfer": transfer_rows,
+        "matching_scan": scan_rows,
+        "checks": checks,
+    }
+    if out is not None:
+        Path(out).write_text(json.dumps(doc, indent=2) + "\n")
+    return doc
+
+
+def _evaluate_checks(
+    pool_rows: List[Dict[str, Any]],
+    transfer_rows: List[Dict[str, Any]],
+    scan_rows: List[Dict[str, Any]],
+    largest_scenario: str,
+) -> Dict[str, Any]:
+    """The assertable facts: each maps to one acceptance claim."""
+    per = {
+        (r["scenario"], r["variant"]): r["per_round_s"] for r in pool_rows
+    }
+    scenarios = sorted({r["scenario"] for r in pool_rows})
+    persistent_faster = all(
+        per[(s, "processes-persistent")] < per[(s, "processes-cold")]
+        for s in scenarios
+    )
+    shared = {
+        (r["scenario"], r["transfer"]): r["per_round_s"]
+        for r in transfer_rows
+    }
+    # The claim is about the deployment shape: pinned segment + reused
+    # handles vs per-task pickling, at the largest scenario size.
+    shared_faster_at_largest = (
+        shared[(largest_scenario, "shared-persistent")]
+        < shared[(largest_scenario, "pickle")]
+    )
+    return {
+        "persistent_pool_faster_than_cold": bool(persistent_faster),
+        "shared_transfer_lower_overhead_at_largest": bool(
+            shared_faster_at_largest),
+        "all_outputs_identical": bool(
+            all(r["identical"] for r in pool_rows)
+            and all(r["identical"] for r in transfer_rows)
+            and all(r["identical"] for r in scan_rows)
+        ),
+        "scan_min_speedup": min(r["speedup"] for r in scan_rows),
+    }
+
+
+def _format_summary(doc: Dict[str, Any]) -> str:
+    lines = [f"substrate bench [{doc['mode']}] — workers={doc['workers']}, "
+             f"python {doc['host']['python']}"]
+    lines.append("pool_lifecycle (probe barriers, per-round seconds):")
+    for r in doc["pool_lifecycle"]:
+        lines.append(
+            f"  {r['scenario']:>10s}  {r['variant']:<22s}"
+            f"{r['per_round_s']:>10.4f}s  x{r['speedup_vs_serial']:<6.3g}"
+            f"{'' if r['identical'] else '  OUTPUT MISMATCH'}"
+        )
+    lines.append("piece_transfer (per-round seconds, process pool):")
+    for r in doc["piece_transfer"]:
+        lines.append(
+            f"  {r['scenario']:>10s}  {r['transfer']:<22s}"
+            f"{r['per_round_s']:>10.4f}s  overhead "
+            f"{r['overhead_vs_serial_s']:+.4f}s"
+            f"{'' if r['identical'] else '  OUTPUT MISMATCH'}"
+        )
+    lines.append("matching_scan:")
+    for r in doc["matching_scan"]:
+        lines.append(
+            f"  n={r['n']:>7d} m={r['m']:>8d}  baseline {r['baseline_s']:.4f}s"
+            f"  optimized {r['optimized_s']:.4f}s  x{r['speedup']:.3g}"
+            f"{'' if r['identical'] else '  OUTPUT MISMATCH'}"
+        )
+    lines.append("checks:")
+    for key, value in doc["checks"].items():
+        lines.append(f"  {key}: {value}")
+    return "\n".join(lines)
+
+
+def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
+    """Declare the bench flags on ``parser``.
+
+    The single source of truth for the interface: the ``repro bench``
+    subcommand and this module's standalone ``main`` both call it, so the
+    two entry points cannot drift.
+    """
+    parser.add_argument("--quick", action="store_true",
+                        help="small scenario sizes (the CI smoke mode)")
+    parser.add_argument("--out", default="BENCH_substrate.json",
+                        metavar="PATH",
+                        help="artifact path (default: %(default)s; "
+                             "'-' skips writing)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="pool worker count (default: min(cpus, 8))")
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="override rounds per variant")
+    parser.add_argument("--check", action="store_true",
+                        help="exit 1 unless persistent >= cold throughput "
+                             "and all outputs are bit-identical")
+
+
+def run_from_args(args: argparse.Namespace) -> int:
+    """Execute the bench from parsed :func:`add_bench_arguments` flags."""
+    if args.workers is not None:
+        from repro.dist.executor import validate_workers
+
+        validate_workers(args.workers)  # ValueError on bad counts
+
+    doc = run_substrate_bench(
+        mode="quick" if args.quick else "full",
+        workers=args.workers,
+        repeats=args.repeats,
+        out=None if args.out == "-" else args.out,
+    )
+    print(_format_summary(doc))
+    if args.out != "-":
+        print(f"[wrote {args.out}]")
+
+    if args.check:
+        checks = doc["checks"]
+        failed = [
+            key for key in ("persistent_pool_faster_than_cold",
+                            "all_outputs_identical")
+            if not checks[key]
+        ]
+        # The shared-transfer claim is asserted on full runs; quick sizes
+        # are too small for mapping overhead to separate from noise.
+        if doc["mode"] == "full" and not checks[
+                "shared_transfer_lower_overhead_at_largest"]:
+            failed.append("shared_transfer_lower_overhead_at_largest")
+        if failed:
+            print(f"CHECK FAILED: {', '.join(failed)}", file=sys.stderr)
+            return 1
+        print("all checks passed")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro bench",
+        description="Time the executor substrate (pool lifecycle, piece "
+                    "transfer, greedy scan) and write BENCH_substrate.json",
+    )
+    add_bench_arguments(parser)
+    args = parser.parse_args(argv)
+    try:
+        return run_from_args(args)
+    except ValueError as exc:
+        parser.error(str(exc))
+
+
+if __name__ == "__main__":  # pragma: no cover - module execution hook
+    raise SystemExit(main())

@@ -16,7 +16,12 @@ from typing import Any, Callable, Dict
 
 import numpy as np
 
-from repro.dist.executor import EXECUTOR_ENV, ExecutorSpec, resolve_executor
+from repro.dist.executor import (
+    EXECUTOR_ENV,
+    Executor,
+    ExecutorSpec,
+    resolve_executor,
+)
 from repro.utils.rng import RandomState, spawn_seeds
 
 __all__ = ["ExperimentTable", "run_trials"]
@@ -157,7 +162,15 @@ def run_trials(
     backend = resolve_executor(executor)
     task = _SerialEnginesTrial(fn) if backend.name == "processes" else fn
     seeds = spawn_seeds(seed, n_trials)
-    outputs = backend.map(task, seeds)
+    try:
+        outputs = backend.map(task, seeds)
+    finally:
+        # An executor resolved here (by name or from $REPRO_EXECUTOR) is
+        # owned by this call and its pool is released at the barrier; a
+        # passed-in Executor instance stays open so one pool can amortize
+        # across many run_trials calls (docs/PARALLELISM.md §6).
+        if not isinstance(executor, Executor):
+            backend.close()
     keys = outputs[0].keys()
     for out in outputs[1:]:
         if out.keys() != keys:

@@ -136,6 +136,7 @@ class ExperimentSpec:
         *,
         seed: RandomState = None,
         executor: Any = None,
+        archive_dir: Any = None,
         **overrides: Any,
     ) -> ExperimentTable:
         """Build the experiment table: defaults + ``overrides``.
@@ -144,14 +145,33 @@ class ExperimentSpec:
         follows the :data:`repro.dist.executor.ExecutorSpec` convention
         (``None`` resolves from ``$REPRO_EXECUTOR``) and selects the
         backend that fans the *trials* out.
+
+        ``archive_dir`` (a directory path, or ``True`` for the default
+        ``benchmarks/results/``) persists the run as a schema-versioned
+        JSON artifact — id, resolved params, seed, and rows — via
+        :mod:`repro.experiments.artifacts`, so ``repro report --diff``
+        can compare runs across commits.  The created path is attached to
+        the returned table as ``table.artifact_path``.
         """
         params = self.resolve_params(overrides)
-        return self.build(
+        effective_seed = self.seed if seed is None else seed
+        table = self.build(
             self,
-            seed=self.seed if seed is None else seed,
+            seed=effective_seed,
             executor=executor,
             **params,
         )
+        if archive_dir:
+            from repro.experiments.artifacts import save_run_artifact
+
+            table.artifact_path = save_run_artifact(
+                table,
+                experiment=self.id,
+                params=params,
+                seed=effective_seed,
+                directory=None if archive_dir is True else archive_dir,
+            )
+        return table
 
 
 _REGISTRY: Dict[str, ExperimentSpec] = {}
@@ -195,8 +215,10 @@ def experiment(
 
         @functools.wraps(build)
         def wrapper(*, seed: RandomState = None, executor: Any = None,
+                    archive_dir: Any = None,
                     **overrides: Any) -> ExperimentTable:
-            return spec.run(seed=seed, executor=executor, **overrides)
+            return spec.run(seed=seed, executor=executor,
+                            archive_dir=archive_dir, **overrides)
 
         wrapper.spec = spec
         return wrapper

@@ -13,7 +13,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from pathlib import Path
 
-__all__ = ["ArchivedTable", "collect_results", "render_report"]
+__all__ = [
+    "ArchivedTable",
+    "collect_artifacts",
+    "collect_results",
+    "render_diff",
+    "render_report",
+]
 
 @dataclass(frozen=True)
 class ArchivedTable:
@@ -62,10 +68,55 @@ def collect_results(results_dir: str | Path) -> list[ArchivedTable]:
     return out
 
 
+def collect_artifacts(results_dir: str | Path) -> list[dict]:
+    """Load all structured run artifacts from a results directory.
+
+    Artifacts are the JSON siblings of the text archives (see
+    :mod:`repro.experiments.artifacts`); malformed or foreign-schema files
+    are skipped rather than aborting the whole report.
+    """
+    from repro.experiments.artifacts import ArtifactError, load_artifact
+
+    from repro.experiments.registry import experiment_ids
+
+    directory = Path(results_dir)
+    if not directory.is_dir():
+        return []
+    docs = []
+    for path in sorted(directory.glob("*.json")):
+        try:
+            doc = load_artifact(path)
+        except ArtifactError:
+            continue
+        doc["_path"] = str(path)
+        docs.append(doc)
+    # E-order by the *loaded* experiment id (artifact stems carry a
+    # timestamp, so stem-prefix matching cannot order them), then by
+    # creation time within an experiment.
+    ids = {exp_id: i for i, exp_id in enumerate(experiment_ids())}
+    docs.sort(key=lambda d: (ids.get(d.get("experiment"), len(ids)),
+                             str(d.get("created_at", "")), d["_path"]))
+    return docs
+
+
+def render_diff(old_path: str | Path, new_path: str | Path) -> str:
+    """Diff two archived run artifacts (``repro report --diff OLD NEW``)."""
+    from repro.experiments.artifacts import diff_artifacts, load_artifact
+
+    return diff_artifacts(load_artifact(old_path), load_artifact(new_path))
+
+
 def render_report(
-    results: list[ArchivedTable], heading: str = "Benchmark results"
+    results: list[ArchivedTable],
+    heading: str = "Benchmark results",
+    artifacts: list[dict] | None = None,
 ) -> str:
-    """Render the archived tables as one markdown document."""
+    """Render the archived tables as one markdown document.
+
+    When ``artifacts`` is given, a closing index lists every structured
+    run artifact (experiment, timestamp, seed, file) so readers know which
+    JSON files ``repro report --diff`` can compare.
+    """
     parts = [f"# {heading}", ""]
     if not results:
         parts.append("*(no archived results found)*")
@@ -75,5 +126,14 @@ def render_report(
         parts.append("```")
         parts.append(table.body)
         parts.append("```")
+        parts.append("")
+    if artifacts:
+        parts.append("## Run artifacts")
+        parts.append("")
+        for doc in artifacts:
+            parts.append(
+                f"- `{doc.get('experiment')}` @ {doc.get('created_at')} "
+                f"(seed {doc.get('seed')}): `{doc.get('_path')}`"
+            )
         parts.append("")
     return "\n".join(parts)

@@ -76,6 +76,27 @@ class Graph:
         self._edges = arr
 
     # ------------------------------------------------------------------ #
+    # buffer export / view reconstruction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_canonical_edges(cls, n_vertices: int, edges: np.ndarray) -> "Graph":
+        """Zero-copy reconstruction around an already-canonical edge array.
+
+        The counterpart of :attr:`edges`: ``Graph.from_canonical_edges(g.n_vertices,
+        g.edges)`` equals ``g`` without touching a single edge byte.  Used by
+        :mod:`repro.dist.shm` to rebuild piece views over shared-memory
+        buffers in worker processes — the array must already be in the
+        canonical ``u < v``, key-sorted, deduplicated form this class
+        maintains (anything exported via :attr:`edges` qualifies).
+        """
+        return cls(n_vertices, edges, validated=True)
+
+    @property
+    def edge_nbytes(self) -> int:
+        """Size of the canonical edge array in bytes (16 per edge)."""
+        return int(self._edges.nbytes)
+
+    # ------------------------------------------------------------------ #
     # basic accessors
     # ------------------------------------------------------------------ #
     @property

@@ -1,0 +1,290 @@
+"""Tests for zero-copy piece transfer: SharedEdgeStore, handles, and the
+``transfer="shared"`` paths of both engines.
+
+The load-bearing properties: a round-tripped array is bit-identical to
+what was stored, segments are gone after close() (no leaks, even when a
+worker crashes mid-barrier), and the shared paths obey the same per-seed
+determinism contract as pickled transfer.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.dist.coordinator import run_simultaneous
+from repro.dist.executor import ProcessExecutor, WorkerPoolBrokenError
+from repro.dist.mapreduce import MapReduceSimulator
+from repro.dist.shm import (
+    SharedEdgeStore,
+    SharedPartitionView,
+    SharedStoreClosedError,
+    available_transfer_modes,
+    open_edges,
+    open_graph,
+    resolve_transfer,
+)
+from repro.graph.bipartite import BipartiteGraph
+from repro.graph.edgelist import Graph
+from repro.graph.generators import bipartite_gnp, gnp
+from repro.graph.partition import random_k_partition
+
+BACKENDS = ["shm", "mmap"]
+
+
+def _segment_exists(backend: str, name: str) -> bool:
+    if backend == "mmap":
+        return os.path.exists(name)
+    from multiprocessing import shared_memory
+
+    try:
+        seg = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        return False
+    seg.close()
+    return True
+
+
+def _crash_worker(task):
+    os._exit(17)
+
+
+# --------------------------------------------------------------------- #
+# round trip
+# --------------------------------------------------------------------- #
+class TestRoundTrip:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_put_get_bit_identical(self, backend):
+        rng = np.random.default_rng(0)
+        arrays = [
+            rng.integers(0, 50, size=(m, 2)).astype(np.int64)
+            for m in (0, 1, 7, 500)
+        ]
+        with SharedEdgeStore(backend=backend) as store:
+            handles = store.put_arrays(arrays, n_vertices=50)
+            for arr, handle in zip(arrays, handles):
+                att = open_edges(handle)
+                assert att.array.dtype == np.int64
+                np.testing.assert_array_equal(att.array, arr)
+                assert not att.array.flags.writeable
+                att.release()
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_graph_view_reconstruction(self, backend):
+        g = gnp(40, 0.2, 3)
+        with SharedEdgeStore(backend=backend) as store:
+            handle = store.put_graph(g)
+            rebuilt, att = open_graph(handle)
+            assert rebuilt == g
+            assert type(rebuilt) is Graph
+            att.release()
+
+    def test_bipartite_metadata_survives(self):
+        g = bipartite_gnp(20, 30, 0.2, 5)
+        with SharedEdgeStore() as store:
+            handle = store.put_graph(g)
+            rebuilt, att = open_graph(handle)
+            assert isinstance(rebuilt, BipartiteGraph)
+            assert (rebuilt.n_left, rebuilt.n_right) == (20, 30)
+            assert rebuilt == g
+            att.release()
+
+    def test_put_pieces_matches_piece_arrays(self):
+        g = gnp(60, 0.15, 9)
+        part = random_k_partition(g, 5, 4)
+        with SharedEdgeStore() as store:
+            handles = store.put_pieces(part)
+            assert len(handles) == 5
+            for i, handle in enumerate(handles):
+                rebuilt, att = open_graph(handle)
+                assert rebuilt == part.piece(i)
+                att.release()
+
+    def test_piece_edge_arrays_bit_identical_to_pieces(self):
+        g = gnp(80, 0.1, 11)
+        part = random_k_partition(g, 6, 12)
+        arrays = part.piece_edge_arrays()
+        assert len(arrays) == 6
+        for i, arr in enumerate(arrays):
+            np.testing.assert_array_equal(arr, part.piece(i).edges)
+
+    def test_from_canonical_edges_round_trip(self):
+        g = gnp(30, 0.2, 2)
+        clone = Graph.from_canonical_edges(g.n_vertices, g.edges)
+        assert clone == g
+        assert clone.edges is g.edges  # genuinely zero-copy
+
+    def test_rejects_bad_shapes(self):
+        with SharedEdgeStore() as store:
+            with pytest.raises(ValueError, match="shape"):
+                store.put_arrays([np.zeros((3, 3), dtype=np.int64)])
+
+
+# --------------------------------------------------------------------- #
+# lifecycle and cleanup
+# --------------------------------------------------------------------- #
+class TestStoreLifecycle:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_close_removes_segments(self, backend):
+        store = SharedEdgeStore(backend=backend)
+        handle = store.put_edges(np.arange(20, dtype=np.int64).reshape(10, 2))
+        assert _segment_exists(backend, handle.name)
+        store.close()
+        assert not _segment_exists(backend, handle.name)
+
+    def test_close_is_idempotent(self):
+        store = SharedEdgeStore()
+        store.put_edges(np.zeros((2, 2), dtype=np.int64))
+        store.close()
+        store.close()
+        assert store.closed
+
+    def test_put_after_close_raises(self):
+        store = SharedEdgeStore()
+        store.close()
+        with pytest.raises(SharedStoreClosedError, match="closed"):
+            store.put_edges(np.zeros((2, 2), dtype=np.int64))
+
+    def test_context_manager(self):
+        with SharedEdgeStore() as store:
+            handle = store.put_edges(
+                np.arange(8, dtype=np.int64).reshape(4, 2))
+            assert _segment_exists(store.backend, handle.name)
+        assert store.closed
+        assert not _segment_exists(store.backend, handle.name)
+
+    def test_empty_arrays_need_no_segment(self):
+        with SharedEdgeStore() as store:
+            handle = store.put_edges(np.zeros((0, 2), dtype=np.int64))
+            assert handle.n_rows == 0 and handle.name == ""
+            att = open_edges(handle)
+            assert att.array.shape == (0, 2)
+            att.release()
+
+    def test_worker_crash_does_not_leak_segments(self):
+        """A worker dying mid-barrier must not stop close() from
+        reclaiming the segment."""
+        store = SharedEdgeStore()
+        handle = store.put_edges(
+            np.arange(40, dtype=np.int64).reshape(20, 2))
+        with ProcessExecutor(max_workers=2) as ex:
+            with pytest.raises(WorkerPoolBrokenError):
+                ex.map(_crash_worker, [handle, handle])
+        store.close()
+        assert not _segment_exists(store.backend, handle.name)
+
+    def test_shared_partition_view_lifecycle(self):
+        g = gnp(50, 0.15, 21)
+        part = random_k_partition(g, 4, 22)
+        with SharedPartitionView(part) as view:
+            assert view.k == 4 and view.graph is g
+            assert len(view.piece_handles) == 4
+            assert view.piece(2) == part.piece(2)
+            name = next(h.name for h in view.piece_handles if h.n_rows)
+            assert _segment_exists(view.store.backend, name)
+        assert view.closed
+        assert not _segment_exists(view.store.backend, name)
+
+
+# --------------------------------------------------------------------- #
+# transfer resolution
+# --------------------------------------------------------------------- #
+class TestResolveTransfer:
+    def test_default_is_pickle(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TRANSFER", raising=False)
+        assert resolve_transfer(None) == "pickle"
+
+    def test_env_var(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRANSFER", "shared")
+        assert resolve_transfer(None) == "shared"
+
+    def test_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRANSFER", "shared")
+        assert resolve_transfer("pickle") == "pickle"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError, match="unknown transfer"):
+            resolve_transfer("carrier-pigeon")
+
+    def test_modes(self):
+        assert available_transfer_modes() == ("pickle", "shared")
+
+
+# --------------------------------------------------------------------- #
+# engine determinism across transfer modes
+# --------------------------------------------------------------------- #
+def _route_even_k4(i, edges, rng):
+    return rng.integers(0, 4, size=edges.shape[0])
+
+
+def _edges_identity(i, edges, rng):
+    return edges
+
+
+class TestEngineDeterminism:
+    @pytest.mark.parametrize("backend", ["serial", "threads", "processes"])
+    def test_run_simultaneous_shared_matches_pickle(self, backend):
+        from repro.core.protocols import matching_coreset_protocol
+
+        g = bipartite_gnp(60, 60, 0.08, 7)
+        part = random_k_partition(g, 4, 8)
+        proto = matching_coreset_protocol()
+        a = run_simultaneous(proto, part, 9, executor="serial",
+                             transfer="pickle")
+        b = run_simultaneous(proto, part, 9, executor=backend,
+                             transfer="shared")
+        np.testing.assert_array_equal(a.output, b.output)
+        assert a.ledger.summary() == b.ledger.summary()
+
+    def test_pinned_view_matches_across_runs(self):
+        from repro.core.protocols import matching_coreset_protocol
+
+        g = bipartite_gnp(50, 50, 0.1, 3)
+        part = random_k_partition(g, 4, 5)
+        proto = matching_coreset_protocol()
+        expected = [
+            run_simultaneous(proto, part, seed, executor="serial").output
+            for seed in (7, 8)
+        ]
+        with ProcessExecutor(max_workers=2) as ex, \
+                SharedPartitionView(part) as view:
+            for seed, want in zip((7, 8), expected):
+                got = run_simultaneous(proto, view, seed, executor=ex,
+                                       transfer="shared").output
+                np.testing.assert_array_equal(want, got)
+
+    @pytest.mark.parametrize("backend", ["serial", "threads", "processes"])
+    def test_mapreduce_shared_matches_pickle(self, backend):
+        g = gnp(70, 0.1, 5)
+        pieces = [g.edges[i::3] for i in range(3)]
+        reference = MapReduceSimulator(70, 3, rng=6, executor="serial",
+                                       transfer="pickle")
+        reference.load(pieces)
+        reference.shuffle_round(_random_route_k3)
+        reference.shuffle_round(_random_route_k3)
+
+        with MapReduceSimulator(70, 3, rng=6, executor=backend,
+                                transfer="shared") as sim:
+            sim.load(pieces)
+            sim.shuffle_round(_random_route_k3)
+            sim.shuffle_round(_random_route_k3)
+            for i in range(3):
+                np.testing.assert_array_equal(
+                    reference.machine_edges(i), sim.machine_edges(i))
+
+    def test_mapreduce_shared_echo_compute(self):
+        """A compute fn returning its (mapped, read-only) input verbatim
+        must still work — the worker leaves that attachment to process
+        exit instead of invalidating the result."""
+        g = gnp(40, 0.2, 4)
+        with MapReduceSimulator(40, 2, rng=1, executor="processes",
+                                transfer="shared") as sim:
+            sim.load([g.edges[:5], g.edges[5:]])
+            sim.local_round(_edges_identity)
+            np.testing.assert_array_equal(
+                np.vstack([sim.machine_edges(0), sim.machine_edges(1)]),
+                np.vstack([g.edges[:5], g.edges[5:]]))
+
+
+def _random_route_k3(i, edges, rng):
+    return rng.integers(0, 3, size=edges.shape[0])

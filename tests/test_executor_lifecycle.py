@@ -1,0 +1,221 @@
+"""Tests for the executor lifecycle: persistent pools, close semantics,
+broken-pool recovery, and pool-reuse determinism.
+
+The load-bearing additions of the pool-lifecycle work (docs/PARALLELISM.md
+§6): an executor's pool is created lazily, *reused* across map() calls,
+released by an idempotent close(), and a closed executor refuses work the
+same way on every backend.  Reuse must be invisible to outputs: two
+consecutive runs on one persistent executor are bit-identical to two fresh
+serial runs.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.dist.coordinator import run_simultaneous
+from repro.dist.executor import (
+    Executor,
+    ExecutorClosedError,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    WorkerPoolBrokenError,
+    resolve_executor,
+)
+from repro.dist.mapreduce import MapReduceSimulator
+from repro.graph.generators import bipartite_gnp, gnp
+from repro.graph.partition import random_k_partition
+
+ALL_EXECUTORS = [SerialExecutor, ThreadExecutor, ProcessExecutor]
+
+
+def _square(x):
+    return x * x
+
+
+def _pid(_):
+    return os.getpid()
+
+
+def _crash(flag):
+    if flag:
+        os._exit(13)
+    return flag
+
+
+def _random_route_k3(i, edges, rng):
+    return rng.integers(0, 3, size=edges.shape[0])
+
+
+# --------------------------------------------------------------------- #
+# close / context-manager semantics
+# --------------------------------------------------------------------- #
+class TestCloseSemantics:
+    @pytest.mark.parametrize("cls", ALL_EXECUTORS)
+    def test_close_is_idempotent(self, cls):
+        ex = cls()
+        ex.map(_square, [1, 2, 3])
+        ex.close()
+        ex.close()  # second close must be a no-op, not an error
+        assert ex.closed
+
+    @pytest.mark.parametrize("cls", ALL_EXECUTORS)
+    def test_map_after_close_raises(self, cls):
+        ex = cls()
+        ex.close()
+        with pytest.raises(ExecutorClosedError, match="closed"):
+            ex.map(_square, [1])
+
+    @pytest.mark.parametrize("cls", ALL_EXECUTORS)
+    def test_context_manager_closes(self, cls):
+        with cls() as ex:
+            assert ex.map(_square, [2, 3]) == [4, 9]
+            assert not ex.closed
+        assert ex.closed
+        with pytest.raises(ExecutorClosedError):
+            ex.map(_square, [1])
+
+    def test_entering_a_closed_executor_raises(self):
+        ex = ThreadExecutor(max_workers=2)
+        ex.close()
+        with pytest.raises(ExecutorClosedError):
+            with ex:
+                pass  # pragma: no cover - must not be reached
+
+
+# --------------------------------------------------------------------- #
+# pool persistence
+# --------------------------------------------------------------------- #
+class TestPoolPersistence:
+    def test_process_pool_is_reused_across_maps(self):
+        with ProcessExecutor(max_workers=2) as ex:
+            first = set(ex.map(_pid, range(8)))
+            pool = ex._pool
+            second = set(ex.map(_pid, range(8)))
+            assert ex._pool is pool  # same pool object served both calls
+        # At least one worker process served both maps (the pool may spawn
+        # workers on demand, so full PID-set equality is not guaranteed).
+        assert first & second
+        assert os.getpid() not in first | second
+
+    def test_thread_pool_is_reused(self):
+        with ThreadExecutor(max_workers=2) as ex:
+            assert ex._pool is None  # lazy: no pool before the first map
+            ex.map(_square, [1, 2, 3])
+            pool = ex._pool
+            assert pool is not None
+            ex.map(_square, [4, 5, 6])
+            assert ex._pool is pool
+
+    def test_singleton_map_does_not_spin_up_pool(self):
+        with ProcessExecutor(max_workers=2) as ex:
+            assert ex.map(_square, [3]) == [9]
+            assert ex._pool is None
+
+    def test_broken_pool_is_discarded_and_replaced(self):
+        with ProcessExecutor(max_workers=2) as ex:
+            with pytest.raises(WorkerPoolBrokenError, match="died"):
+                ex.map(_crash, [True, False, True, False])
+            # The next barrier transparently gets a fresh pool.
+            assert ex.map(_square, [1, 2, 3]) == [1, 4, 9]
+
+
+# --------------------------------------------------------------------- #
+# pool-reuse determinism
+# --------------------------------------------------------------------- #
+class TestPoolReuseDeterminism:
+    def test_two_runs_on_one_pool_match_two_fresh_serial_runs(self):
+        from repro.core.protocols import matching_coreset_protocol
+
+        g = bipartite_gnp(60, 60, 0.08, 7)
+        part = random_k_partition(g, 4, 8)
+        proto = matching_coreset_protocol()
+
+        serial_a = run_simultaneous(proto, part, 9, executor="serial")
+        serial_b = run_simultaneous(proto, part, 10, executor="serial")
+        with ProcessExecutor(max_workers=2) as ex:
+            pooled_a = run_simultaneous(proto, part, 9, executor=ex)
+            pooled_b = run_simultaneous(proto, part, 10, executor=ex)
+        np.testing.assert_array_equal(serial_a.output, pooled_a.output)
+        np.testing.assert_array_equal(serial_b.output, pooled_b.output)
+        assert serial_a.ledger.summary() == pooled_a.ledger.summary()
+        assert serial_b.ledger.summary() == pooled_b.ledger.summary()
+
+    def test_mapreduce_rounds_share_one_pool(self):
+        """All rounds of a job run on the same persistent pool, and the
+        results stay bit-identical to serial round for round."""
+        g = gnp(70, 0.1, 5)
+        pieces = [g.edges[i::3] for i in range(3)]
+
+        serial_sim = MapReduceSimulator(70, 3, rng=6, executor="serial")
+        serial_sim.load(pieces)
+        serial_sim.shuffle_round(_random_route_k3)
+        serial_sim.shuffle_round(_random_route_k3)
+
+        with ProcessExecutor(max_workers=2) as ex:
+            sim = MapReduceSimulator(70, 3, rng=6, executor=ex)
+            sim.load(pieces)
+            sim.shuffle_round(_random_route_k3)
+            pool = ex._pool
+            assert pool is not None
+            sim.shuffle_round(_random_route_k3)
+            assert ex._pool is pool  # round 2 reused round 1's pool
+        for i in range(3):
+            np.testing.assert_array_equal(
+                serial_sim.machine_edges(i), sim.machine_edges(i))
+
+
+# --------------------------------------------------------------------- #
+# engine ownership: resolved executors are closed, instances are not
+# --------------------------------------------------------------------- #
+class TestOwnership:
+    def test_run_simultaneous_leaves_instances_open(self):
+        from repro.core.protocols import matching_coreset_protocol
+
+        g = bipartite_gnp(40, 40, 0.1, 2)
+        part = random_k_partition(g, 3, 4)
+        with ProcessExecutor(max_workers=2) as ex:
+            run_simultaneous(matching_coreset_protocol(), part, 5,
+                             executor=ex)
+            assert not ex.closed  # engine must not close a caller's pool
+            run_simultaneous(matching_coreset_protocol(), part, 5,
+                             executor=ex)
+
+    def test_simulator_close_spares_caller_instances(self):
+        with ThreadExecutor(max_workers=2) as ex:
+            sim = MapReduceSimulator(10, 2, rng=0, executor=ex)
+            sim.close()
+            assert not ex.closed
+        sim2 = MapReduceSimulator(10, 2, rng=0, executor="threads")
+        owned = sim2.executor
+        sim2.close()
+        assert owned.closed  # resolved-by-name executor belongs to the sim
+
+    def test_run_trials_closes_resolved_executor(self, monkeypatch):
+        from repro.experiments.harness import run_trials
+
+        created = []
+        original = resolve_executor
+
+        def tracking_resolve(spec=None, workers=None):
+            ex = original(spec, workers)
+            created.append(ex)
+            return ex
+
+        monkeypatch.setattr("repro.experiments.harness.resolve_executor",
+                            tracking_resolve)
+        run_trials(_uniform_trial, 4, seed=5, executor="threads")
+        assert created and all(ex.closed for ex in created)
+
+    def test_simulator_context_manager(self):
+        with MapReduceSimulator(10, 2, rng=0, executor="threads") as sim:
+            g = gnp(10, 0.3, 1)
+            sim.load([g.edges[:2], g.edges[2:]])
+        assert sim.executor.closed
+
+
+def _uniform_trial(s):
+    gen = np.random.default_rng(s)
+    return {"x": float(gen.uniform())}
