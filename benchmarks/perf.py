@@ -40,6 +40,9 @@ def assert_substrate_claims(doc: dict) -> None:
     assert checks["persistent_pool_faster_than_cold"], (
         "persistent process pools were not faster than per-call pools"
     )
+    assert checks["solver_facade_all_verified"], (
+        "a repro.solve facade solver returned an unverified certificate"
+    )
     if doc["mode"] == "full":
         assert checks["shared_transfer_lower_overhead_at_largest"], (
             "shared-memory transfer did not beat pickled transfer at the "

@@ -5,6 +5,12 @@
   communication plots (the paper's point is that Õ(nk) ≪ m bits suffice).
 * ``single_machine_*`` — compute the optimum with no distribution at all:
   the ground-truth denominators for every approximation ratio.
+
+.. deprecated::
+    As *entry points* these are superseded by the unified solver facade —
+    ``repro.solve.solve(graph, "matching.send_everything", ctx)`` etc.
+    (see ``docs/SOLVER_API.md``); the protocol factories stay as the
+    implementations the facade adapters call.
 """
 
 from __future__ import annotations

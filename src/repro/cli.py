@@ -1,6 +1,10 @@
 """Command-line interface.
 
     python -m repro quickstart [--n 4000 --k 8 --seed 0]
+    python -m repro solve --list
+    python -m repro solve planted:n=4000 --problem matching --solver coreset \
+        --k 8 --executor processes
+    python -m repro solve graph.npz --solver vertex_cover.coreset --k 8 --json -
     python -m repro experiment e1 [--trials 3]
     python -m repro experiment e1 --set n_values=2000,4000 --json out.json
     python -m repro experiment e21 --executor processes --workers 8
@@ -52,6 +56,47 @@ def build_parser() -> argparse.ArgumentParser:
     q.add_argument("--k", type=int, default=8, help="number of machines")
     q.add_argument("--seed", type=int, default=0)
     _add_executor_flags(q)
+
+    s = sub.add_parser(
+        "solve",
+        help="run one registered solver on a graph (repro.solve facade)",
+        description="Run one capability-tagged solver from the "
+                    "repro.solve registry on a graph file (.npz or "
+                    "edge-list text) or a generator spec like "
+                    "planted:n=2000 (see docs/SOLVER_API.md).",
+    )
+    s.add_argument("graph", nargs="?", default=None, metavar="GRAPH",
+                   help="graph file (.npz / edge-list text) or generator "
+                        "spec name[:k=v,...] — planted, gnp, bipartite, "
+                        "skewed, weighted")
+    s.add_argument("--list", action="store_true", dest="list_solvers",
+                   help="list registered solvers with their capability "
+                        "metadata and exit")
+    s.add_argument("--problem", choices=["matching", "vertex_cover"],
+                   default=None,
+                   help="problem to solve (disambiguates short --solver "
+                        "names; filters --list)")
+    s.add_argument("--solver", default=None,
+                   help="registered solver name, full (matching.coreset) "
+                        "or short within --problem (coreset)")
+    s.add_argument("--k", type=int, default=None,
+                   help="machine count for coreset/mapreduce solvers")
+    s.add_argument("--seed", type=int, default=0,
+                   help="root seed: graph generation and the solver run "
+                        "derive independent streams from it")
+    s.add_argument("--param", action="append", default=[], dest="params",
+                   metavar="KEY=VALUE",
+                   help="solver parameter override (repeatable), e.g. "
+                        "--param alpha=8")
+    s.add_argument("--transfer", choices=["pickle", "shared"], default=None,
+                   help="piece-transfer mode for coreset solvers "
+                        "(default: $REPRO_TRANSFER or pickle)")
+    s.add_argument("--certificate", action="store_true",
+                   help="include the full certificate in --json output")
+    s.add_argument("--json", default=None, dest="json_path", metavar="PATH",
+                   help="write the SolveResult as JSON to PATH ('-' prints "
+                        "JSON to stdout)")
+    _add_executor_flags(s)
 
     e = sub.add_parser("experiment", help="run one experiment table")
     e.add_argument("id", help="experiment id, e.g. e1, e7, e21")
@@ -139,6 +184,110 @@ def _cmd_quickstart(args: argparse.Namespace) -> int:
                               executor=args.executor)
     for key, value in out.items():
         print(f"{key:>17}: {value}")
+    return 0
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    from repro.solve import (
+        RunContext,
+        SolverCapabilityError,
+        UnknownSolverError,
+        get_solver,
+        load_graph,
+        solve,
+        solvers_for,
+    )
+    from repro.solve.graphs import parse_scalar
+    from repro.utils.rng import spawn_seeds
+
+    if args.list_solvers:
+        specs = solvers_for(problem=args.problem)
+        for spec in specs:
+            flags = []
+            if spec.bipartite_only:
+                flags.append("bipartite-only")
+            if spec.weighted:
+                flags.append("weighted")
+            if spec.uses_k:
+                flags.append("uses-k")
+            flag_text = f" [{', '.join(flags)}]" if flags else ""
+            print(f"{spec.name:32s} {spec.problem:12s} {spec.model:10s} "
+                  f"{spec.guarantee}{flag_text}")
+            print(f"{'':32s} {spec.description}")
+        print(f"{len(specs)} solvers registered")
+        return 0
+
+    if args.graph is None or args.solver is None:
+        print("solve: GRAPH and --solver are required (or use --list)",
+              file=sys.stderr)
+        return 2
+
+    name = args.solver
+    if "." not in name and args.problem is not None:
+        name = f"{args.problem}.{name}"
+    try:
+        spec = get_solver(name)
+    except UnknownSolverError as exc:
+        print(f"solve: {exc}", file=sys.stderr)
+        return 2
+    if args.problem is not None and spec.problem != args.problem:
+        print(f"solve: solver {spec.name!r} solves {spec.problem}, "
+              f"not {args.problem}", file=sys.stderr)
+        return 2
+
+    params = {}
+    for item in args.params:
+        key, sep, text = item.partition("=")
+        key = key.strip()
+        if not sep or not key:
+            print(f"--param expects KEY=VALUE, got {item!r}", file=sys.stderr)
+            return 2
+        params[key] = parse_scalar(text.strip())
+
+    _apply_executor_flags(args)
+    # One clean exit path for every bad input — a negative seed, an
+    # out-of-range --k, a bad graph spec, or a capability violation all
+    # print one line and exit 2, never a traceback.
+    try:
+        graph_seed, solve_seed = spawn_seeds(args.seed, 2)
+        graph = load_graph(args.graph, rng=graph_seed)
+        ctx = RunContext(seed=solve_seed, k=args.k, executor=args.executor,
+                         workers=args.workers, transfer=args.transfer)
+        result = solve(graph, spec.name, ctx, **params)
+    except (SolverCapabilityError, ValueError) as exc:
+        print(f"solve: {exc}", file=sys.stderr)
+        return 2
+
+    doc = result.to_dict(include_certificate=args.certificate)
+    doc["graph"] = {
+        "source": args.graph,
+        "n_vertices": graph.n_vertices,
+        "n_edges": graph.n_edges,
+        "kind": type(graph).__name__,
+    }
+    doc["solver_meta"] = spec.capabilities()
+    doc["seed"] = args.seed
+
+    if args.json_path == "-":
+        import json
+
+        print(json.dumps(doc, indent=2))
+        return 0
+    if args.json_path is not None:
+        import json
+
+        Path(args.json_path).write_text(json.dumps(doc, indent=2) + "\n")
+    print(f"  solver: {spec.name} ({spec.model}, {spec.guarantee})")
+    print(f"   graph: {args.graph} — n={graph.n_vertices} "
+          f"m={graph.n_edges} ({type(graph).__name__})")
+    print(f"   value: {result.value:g}")
+    print(f"    size: {result.size}")
+    print(f"verified: {result.verified}")
+    print(f"    wall: {result.wall_time_s:.4f}s")
+    for key in sorted(result.stats):
+        print(f"   stats: {key} = {result.stats[key]}")
+    if args.json_path is not None:
+        print(f"[wrote JSON: {args.json_path}]")
     return 0
 
 
@@ -254,6 +403,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 _COMMANDS = {
     "quickstart": _cmd_quickstart,
+    "solve": _cmd_solve,
     "experiment": _cmd_experiment,
     "list-experiments": _cmd_list,
     "bench": _cmd_bench,

@@ -13,6 +13,13 @@ With ``k = √n`` machines of memory Õ(n·√n):
 If the input is *already* randomly distributed, round 1 is skipped and the
 whole computation takes **one** round (the paper cites [52] for when that
 assumption applies) — exposed via ``assume_random_input=True``.
+
+.. deprecated::
+    As *entry points* these are superseded by the unified solver facade —
+    ``repro.solve.solve(graph, "matching.mapreduce", ctx)`` /
+    ``"vertex_cover.mapreduce"`` (see ``docs/SOLVER_API.md``).  The
+    functions remain the implementations the facade adapters call and
+    keep working unchanged.
 """
 
 from __future__ import annotations
@@ -134,12 +141,15 @@ def mapreduce_matching(
     combiner_algorithm: Algorithm = "auto",
     initial_placement: str = "contiguous",
     executor: ExecutorSpec = None,
+    transfer: str | None = None,
 ) -> MapReduceMatchingResult:
     """O(1)-approximate maximum matching in ≤ 2 MapReduce rounds.
 
     ``executor`` selects the backend the simulated machines run on
-    (serial / threads / processes; see :mod:`repro.dist.executor`) —
-    results are bit-identical per seed across all backends.
+    (serial / threads / processes; see :mod:`repro.dist.executor`) and
+    ``transfer`` the piece-transfer mode (pickle / shared; see
+    :mod:`repro.dist.shm`) — results are bit-identical per seed across
+    all backends and transfer modes.
     """
     gen = as_generator(rng)
     k = default_machine_count(graph.n_vertices) if k is None else int(k)
@@ -149,7 +159,7 @@ def mapreduce_matching(
     # rounds, so start-up is paid once per job.
     with MapReduceSimulator(
         graph.n_vertices, k, memory_cap_edges=memory_cap_edges, rng=gen,
-        executor=executor,
+        executor=executor, transfer=transfer,
     ) as sim:
         placement = "random" if assume_random_input else initial_placement
         sim.load(_initial_pieces(graph, k, placement, gen))
@@ -181,18 +191,21 @@ def mapreduce_vertex_cover(
     log_slack: float = 4.0,
     initial_placement: str = "contiguous",
     executor: ExecutorSpec = None,
+    transfer: str | None = None,
 ) -> MapReduceCoverResult:
     """O(log n)-approximate vertex cover in ≤ 2 MapReduce rounds.
 
     ``executor`` selects the backend the simulated machines run on
-    (serial / threads / processes; see :mod:`repro.dist.executor`) —
-    results are bit-identical per seed across all backends.
+    (serial / threads / processes; see :mod:`repro.dist.executor`) and
+    ``transfer`` the piece-transfer mode (pickle / shared; see
+    :mod:`repro.dist.shm`) — results are bit-identical per seed across
+    all backends and transfer modes.
     """
     gen, cover_gen = spawn_generators(rng, 2)
     k = default_machine_count(graph.n_vertices) if k is None else int(k)
     with MapReduceSimulator(
         graph.n_vertices, k, memory_cap_edges=memory_cap_edges, rng=gen,
-        executor=executor,
+        executor=executor, transfer=transfer,
     ) as sim:
         placement = "random" if assume_random_input else initial_placement
         sim.load(_initial_pieces(graph, k, placement, gen))

@@ -22,6 +22,13 @@ closures: a summarizer is the one protocol component the engine may ship to
 worker *processes* (``run_simultaneous(..., executor="processes")``), and
 pickle cannot serialize a closure.  Combine steps and public setups always
 run in the coordinator's process, so they may stay closures.
+
+.. deprecated::
+    As *entry points* the factories here are superseded by the unified
+    solver facade — ``repro.solve.solve(graph, "matching.coreset",
+    RunContext(seed=s, k=k))`` partitions, runs, and verifies in one call
+    (see ``docs/SOLVER_API.md``).  The factories remain the protocol
+    definitions the facade adapters call and keep working unchanged.
 """
 
 from __future__ import annotations

@@ -18,6 +18,12 @@ each class's residual union and keeps each class's peeled vertices.  Within
 a class the cheaper-endpoint weights agree up to (1+ε), so the unweighted
 O(log n) guarantee transfers with an extra (1+ε)·O(log W) loss — measured
 (not just asserted) by experiment E12.
+
+.. deprecated::
+    As *entry points* these are superseded by the unified solver facade —
+    ``repro.solve.solve(wg, "matching.weighted_coreset", ctx)`` /
+    ``"vertex_cover.weighted_coreset"`` (see ``docs/SOLVER_API.md``); the
+    protocol functions stay as the implementations the adapters call.
 """
 
 from __future__ import annotations

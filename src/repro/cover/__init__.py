@@ -14,6 +14,12 @@ need exact optima to measure true approximation ratios:
   kernelization for small general graphs (test oracle);
 * :func:`~repro.cover.lp.lp_cover` — half-integral LP rounding
   (2-approximation with a fractional lower-bound certificate).
+
+.. deprecated::
+    As *entry points* these are superseded by the unified solver facade —
+    ``repro.solve.solve(graph, "vertex_cover.two_approx", ctx)`` etc.
+    (see ``docs/SOLVER_API.md``).  The functions remain the
+    implementations the facade adapters call and keep working unchanged.
 """
 
 from repro.cover.exact import exact_cover, exact_cover_size

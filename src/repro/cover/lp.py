@@ -17,7 +17,7 @@ from scipy.optimize import linprog
 
 from repro.graph.edgelist import Graph
 
-__all__ = ["lp_cover", "lp_lower_bound"]
+__all__ = ["lp_cover", "lp_lower_bound", "lp_solution"]
 
 
 def _solve_lp(graph: Graph) -> np.ndarray:
@@ -40,19 +40,36 @@ def _solve_lp(graph: Graph) -> np.ndarray:
     return np.asarray(res.x, dtype=np.float64)
 
 
-def lp_lower_bound(graph: Graph) -> float:
+def lp_solution(graph: Graph) -> np.ndarray:
+    """The optimal (half-integral) LP solution vector ``x``.
+
+    Callers needing both the rounded cover *and* the LP value solve once
+    here and pass the vector to :func:`lp_cover` / :func:`lp_lower_bound`
+    — the LP solve is the dominant cost and should never run twice for
+    one graph.
+    """
+    return _solve_lp(graph)
+
+
+def lp_lower_bound(graph: Graph, solution: np.ndarray | None = None) -> float:
     """Optimal LP value: a lower bound on ``VC(G)`` (≥ VC/2, ≥ MM/... exact
-    to within a factor 2)."""
-    return float(_solve_lp(graph).sum())
+    to within a factor 2).  ``solution`` may supply a precomputed
+    :func:`lp_solution` vector."""
+    x = _solve_lp(graph) if solution is None else solution
+    return float(np.asarray(x).sum())
 
 
-def lp_cover(graph: Graph, threshold: float = 0.5) -> np.ndarray:
+def lp_cover(
+    graph: Graph, threshold: float = 0.5,
+    solution: np.ndarray | None = None,
+) -> np.ndarray:
     """Round the LP solution: keep vertices with ``x_v ≥ threshold``.
 
     With the default threshold this is the classical 2-approximation; the
     returned set is always verified feasible before returning.
+    ``solution`` may supply a precomputed :func:`lp_solution` vector.
     """
-    x = _solve_lp(graph)
+    x = _solve_lp(graph) if solution is None else np.asarray(solution)
     # Guard against solver values a hair below 0.5 on tight instances.
     cover = np.flatnonzero(x >= threshold - 1e-9).astype(np.int64)
     from repro.cover.verify import is_vertex_cover

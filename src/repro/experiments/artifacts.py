@@ -7,10 +7,10 @@ the experiment id, the fully-resolved parameter grid, the seed, and the
 table rows — enough to diff two runs of the same experiment across
 commits (``repro report --diff``) or to re-issue the exact run later.
 
-Schema (``schema_version`` 1)::
+Schema (``schema_version`` 2)::
 
     {
-      "schema_version": 1,
+      "schema_version": 2,
       "kind": "experiment_run",
       "experiment": "e1",
       "title": "E1: matching coreset approximation (Theorem 1)",
@@ -18,8 +18,14 @@ Schema (``schema_version`` 1)::
       "params": {"n_values": [2000, 6000], ...},
       "created_at": "2026-07-27T12:00:00+00:00",
       "table": {"name": ..., "description": ..., "columns": [...],
-                "rows": [{...}, ...]}
+                "rows": [{...}, ...]},
+      "per_trial": [{"ratio": [1.02, 1.11, ...], ...}, ...]
     }
+
+``per_trial`` (added in version 2) carries the raw per-trial metric lists
+behind each aggregated row — one entry per ``run_trials`` call, in build
+order — so variance plots are possible without re-running the sweep.
+Version-1 artifacts (no ``per_trial``) still load.
 
 Artifacts live under ``benchmarks/results/`` next to the text archives,
 named ``<experiment>-run-<UTC timestamp>.json`` so consecutive runs never
@@ -35,6 +41,7 @@ from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional
 
 from repro.experiments.harness import ExperimentTable, _jsonable
+from repro.utils.jsonable import jsonable_deep
 
 __all__ = [
     "ARTIFACT_SCHEMA_VERSION",
@@ -45,7 +52,12 @@ __all__ = [
     "save_run_artifact",
 ]
 
-ARTIFACT_SCHEMA_VERSION = 1
+ARTIFACT_SCHEMA_VERSION = 2
+
+#: Older schema versions this build still understands when *loading* (new
+#: artifacts are always written at ARTIFACT_SCHEMA_VERSION).  Version 1
+#: simply lacks the ``per_trial`` section.
+_READABLE_SCHEMA_VERSIONS = frozenset({1, 2})
 
 _DEFAULT_DIR = Path("benchmarks") / "results"
 
@@ -71,6 +83,7 @@ def run_artifact_doc(
         "params": {k: _jsonable_deep(v) for k, v in params.items()},
         "created_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
         "table": table.to_dict(),
+        "per_trial": _jsonable_deep(getattr(table, "trial_metrics", []) or []),
     }
 
 
@@ -114,11 +127,12 @@ def load_artifact(path: str | Path) -> Dict[str, Any]:
     if not isinstance(doc, dict):
         raise ArtifactError(f"artifact {path} is not a JSON object")
     version = doc.get("schema_version")
-    if version != ARTIFACT_SCHEMA_VERSION:
+    if version not in _READABLE_SCHEMA_VERSIONS:
         raise ArtifactError(
             f"artifact {path} has schema_version {version!r}; this build "
-            f"understands version {ARTIFACT_SCHEMA_VERSION} — refusing to "
-            f"guess at a different layout"
+            f"understands versions "
+            f"{sorted(_READABLE_SCHEMA_VERSIONS)} — refusing to guess at a "
+            f"different layout"
         )
     for key in ("experiment", "table"):
         if key not in doc:
@@ -148,7 +162,11 @@ def diff_artifacts(
     exp = old.get("experiment")
     old_rows: List[Dict[str, Any]] = list(old["table"].get("rows", []))
     new_rows: List[Dict[str, Any]] = list(new["table"].get("rows", []))
+    # The union of both column sets (new order first): a column dropped by
+    # the newer run still diffs (as value -> None) instead of vanishing.
     columns = list(new["table"].get("columns", []))
+    columns += [c for c in old["table"].get("columns", [])
+                if c not in columns]
 
     lines = [
         f"# diff: {exp} — {old.get('created_at', '?')} → "
@@ -202,10 +220,6 @@ def _is_number(value: Any) -> bool:
     return isinstance(value, (int, float)) and not isinstance(value, bool)
 
 
-def _jsonable_deep(value: Any) -> Any:
-    """Like harness._jsonable but recursing into containers (grid tuples)."""
-    if isinstance(value, (list, tuple)):
-        return [_jsonable_deep(v) for v in value]
-    if isinstance(value, dict):
-        return {str(k): _jsonable_deep(v) for k, v in value.items()}
-    return _jsonable(value)
+# The recursive coercion (grid tuples, metric dicts) is the shared utils
+# helper; the local alias keeps this module's call sites readable.
+_jsonable_deep = jsonable_deep

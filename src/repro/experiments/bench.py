@@ -43,6 +43,15 @@ Three sections:
     reference implementation of the pre-optimization scan (two Python
     lists + ``np.stack``, one edge at a time), asserted output-identical.
 
+``solver_facade``
+    One representative solver per execution model (offline, coreset,
+    mapreduce, streaming) run through the unified :mod:`repro.solve`
+    facade on the smallest scenario, timed via ``SolveResult`` —
+    ``wall_time_s`` for the end-to-end solve plus each solver's own
+    ``stats`` — with every certificate's ``verified`` flag asserted.
+    This keeps the facade's overhead and verification contract on the
+    same regression radar as the substrate itself.
+
 Wall-clock numbers describe the machine the bench ran on; only the
 ``identical`` columns and the relative orderings are claims.
 """
@@ -69,7 +78,17 @@ __all__ = [
     "run_substrate_bench",
 ]
 
-BENCH_SCHEMA_VERSION = 1
+BENCH_SCHEMA_VERSION = 2
+
+#: One solver per execution model, timed through the facade in the
+#: ``solver_facade`` section (matching side; the vertex-cover solvers
+#: share the same engines).
+_FACADE_SOLVERS = (
+    "matching.maximum",
+    "matching.coreset",
+    "matching.mapreduce",
+    "matching.streaming_greedy",
+)
 
 #: Scenario sizes mirror the experiment grids: e1-small is E1's lower grid
 #: cell, e8-mid is the E8 MapReduce workload at reduced n, e21 is exactly
@@ -337,6 +356,55 @@ def _run_matching_scan(mode: str) -> List[Dict[str, Any]]:
 
 
 # --------------------------------------------------------------------- #
+# solver facade
+# --------------------------------------------------------------------- #
+def _run_solver_facade(
+    scenario: Dict[str, Any], repeats_override: Optional[int]
+) -> List[Dict[str, Any]]:
+    """Time one solver per model through ``repro.solve`` on one scenario.
+
+    Per-solver wall clock comes from ``SolveResult.wall_time_s`` (the
+    facade's own timing of the adapter), averaged over the scenario's
+    repeat count; ``stats`` keys are recorded so consumers can see which
+    metrics each model reports without running anything.
+    """
+    from repro.solve import RunContext, get_solver, solve
+
+    graph = _build_workload(scenario).graph
+    repeats = repeats_override or scenario["repeats"]
+    rows: List[Dict[str, Any]] = []
+    for name in _FACADE_SOLVERS:
+        spec = get_solver(name)
+        ctx = RunContext(seed=7, k=scenario["k"])
+        walls = []
+        reference = None
+        identical = True
+        verified = True
+        for _ in range(repeats):
+            res = solve(graph, name, ctx)
+            walls.append(res.wall_time_s)
+            verified = verified and res.verified
+            if reference is None:
+                reference = res.certificate
+            else:
+                identical = identical and np.array_equal(
+                    reference, res.certificate
+                )
+        last = res
+        rows.append(dict(
+            scenario=scenario["name"],
+            solver=name,
+            model=spec.model,
+            value=float(last.value),
+            wall_s=round(float(np.mean(walls)), 6),
+            stats_keys=sorted(last.stats),
+            verified=bool(verified),
+            identical=bool(identical),
+        ))
+    return rows
+
+
+# --------------------------------------------------------------------- #
 # driver
 # --------------------------------------------------------------------- #
 def run_substrate_bench(
@@ -356,9 +424,11 @@ def run_substrate_bench(
     pool_rows = _run_pool_lifecycle(scenarios, workers, repeats)
     transfer_rows = _run_piece_transfer(scenarios, workers, repeats)
     scan_rows = _run_matching_scan(mode)
+    facade_rows = _run_solver_facade(scenarios[0], repeats)
 
     largest = scenarios[-1]["name"]
-    checks = _evaluate_checks(pool_rows, transfer_rows, scan_rows, largest)
+    checks = _evaluate_checks(pool_rows, transfer_rows, scan_rows, largest,
+                              facade_rows)
 
     doc: Dict[str, Any] = {
         "schema_version": BENCH_SCHEMA_VERSION,
@@ -378,6 +448,7 @@ def run_substrate_bench(
         "pool_lifecycle": pool_rows,
         "piece_transfer": transfer_rows,
         "matching_scan": scan_rows,
+        "solver_facade": facade_rows,
         "checks": checks,
     }
     if out is not None:
@@ -390,6 +461,7 @@ def _evaluate_checks(
     transfer_rows: List[Dict[str, Any]],
     scan_rows: List[Dict[str, Any]],
     largest_scenario: str,
+    facade_rows: List[Dict[str, Any]],
 ) -> Dict[str, Any]:
     """The assertable facts: each maps to one acceptance claim."""
     per = {
@@ -418,8 +490,12 @@ def _evaluate_checks(
             all(r["identical"] for r in pool_rows)
             and all(r["identical"] for r in transfer_rows)
             and all(r["identical"] for r in scan_rows)
+            and all(r["identical"] for r in facade_rows)
         ),
         "scan_min_speedup": min(r["speedup"] for r in scan_rows),
+        "solver_facade_all_verified": bool(
+            all(r["verified"] for r in facade_rows)
+        ),
     }
 
 
@@ -446,6 +522,14 @@ def _format_summary(doc: Dict[str, Any]) -> str:
         lines.append(
             f"  n={r['n']:>7d} m={r['m']:>8d}  baseline {r['baseline_s']:.4f}s"
             f"  optimized {r['optimized_s']:.4f}s  x{r['speedup']:.3g}"
+            f"{'' if r['identical'] else '  OUTPUT MISMATCH'}"
+        )
+    lines.append("solver_facade (one solver per model, repro.solve):")
+    for r in doc["solver_facade"]:
+        lines.append(
+            f"  {r['scenario']:>10s}  {r['solver']:<28s}"
+            f"{r['wall_s']:>10.4f}s  value {r['value']:g}"
+            f"{'' if r['verified'] else '  NOT VERIFIED'}"
             f"{'' if r['identical'] else '  OUTPUT MISMATCH'}"
         )
     lines.append("checks:")
@@ -497,7 +581,8 @@ def run_from_args(args: argparse.Namespace) -> int:
         checks = doc["checks"]
         failed = [
             key for key in ("persistent_pool_faster_than_cold",
-                            "all_outputs_identical")
+                            "all_outputs_identical",
+                            "solver_facade_all_verified")
             if not checks[key]
         ]
         # The shared-transfer claim is asserted on full runs; quick sizes

@@ -11,8 +11,9 @@ from __future__ import annotations
 
 import json
 import os
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict
+from typing import Any, Callable, Dict, Iterator, List, Optional
 
 import numpy as np
 
@@ -22,19 +23,30 @@ from repro.dist.executor import (
     ExecutorSpec,
     resolve_executor,
 )
+from repro.utils.jsonable import jsonable
 from repro.utils.rng import RandomState, spawn_seeds
 
-__all__ = ["ExperimentTable", "run_trials"]
+__all__ = ["ExperimentTable", "collect_trial_metrics", "run_trials"]
 
 
 @dataclass
 class ExperimentTable:
-    """A named table of result rows."""
+    """A named table of result rows.
+
+    ``trial_metrics`` optionally carries the *per-trial* metric lists the
+    aggregated rows were computed from — one entry per :func:`run_trials`
+    invocation, in build order (for the standard one-``run_trials``-per-row
+    experiments this aligns 1:1 with ``rows``).  It is populated by
+    :meth:`repro.experiments.registry.ExperimentSpec.run` via
+    :func:`collect_trial_metrics` and serialized into run artifacts so
+    variance across trials stays plottable after the run.
+    """
 
     name: str
     description: str
     columns: list[str]
     rows: list[dict[str, Any]] = field(default_factory=list)
+    trial_metrics: list[dict[str, list[float]]] = field(default_factory=list)
 
     def add_row(self, **values: Any) -> None:
         missing = [c for c in self.columns if c not in values]
@@ -87,17 +99,9 @@ class ExperimentTable:
         return self.format()
 
 
-def _jsonable(value: Any) -> Any:
-    """Coerce numpy scalars/arrays to plain python for json.dumps."""
-    if isinstance(value, np.bool_):
-        return bool(value)
-    if isinstance(value, np.integer):
-        return int(value)
-    if isinstance(value, np.floating):
-        return float(value)
-    if isinstance(value, np.ndarray):
-        return value.tolist()
-    return value
+# The old private name, kept because artifacts.py (and tests) import it
+# from here; the implementation is the shared utils helper.
+_jsonable = jsonable
 
 
 @dataclass(frozen=True)
@@ -127,6 +131,33 @@ class _SerialEnginesTrial:
                 os.environ.pop(EXECUTOR_ENV, None)
             else:
                 os.environ[EXECUTOR_ENV] = previous
+
+
+# Active per-trial metric sink (see collect_trial_metrics).  Deliberately a
+# plain module global: experiment builds are single-threaded orchestration
+# (the parallelism lives *inside* run_trials), so no thread-local is needed.
+_trial_sink: Optional[List[Dict[str, List[float]]]] = None
+
+
+@contextmanager
+def collect_trial_metrics() -> Iterator[List[Dict[str, List[float]]]]:
+    """Capture the raw per-trial metrics of every :func:`run_trials` call
+    made inside the ``with`` block.
+
+    Yields a list that accumulates one ``{metric: [v_trial0, v_trial1,
+    ...]}`` dict per ``run_trials`` invocation, in call order.  Nesting is
+    supported (the inner sink shadows the outer one); the previous sink is
+    restored on exit.  This is how ``ExperimentSpec.run`` surfaces
+    per-trial (not just aggregated) numbers in run artifacts without every
+    table builder having to thread a collector through.
+    """
+    global _trial_sink
+    previous = _trial_sink
+    _trial_sink = sink = []
+    try:
+        yield sink
+    finally:
+        _trial_sink = previous
 
 
 def run_trials(
@@ -175,5 +206,9 @@ def run_trials(
     for out in outputs[1:]:
         if out.keys() != keys:
             raise ValueError("trials returned inconsistent metric sets")
+    if _trial_sink is not None:
+        _trial_sink.append(
+            {k: [float(out[k]) for out in outputs] for k in keys}
+        )
     return {k: np.asarray([out[k] for out in outputs], dtype=np.float64)
             for k in keys}

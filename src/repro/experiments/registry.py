@@ -153,14 +153,33 @@ class ExperimentSpec:
         can compare runs across commits.  The created path is attached to
         the returned table as ``table.artifact_path``.
         """
+        from repro.dist.executor import Executor, resolve_executor
+        from repro.experiments.harness import collect_trial_metrics
+
         params = self.resolve_params(overrides)
         effective_seed = self.seed if seed is None else seed
-        table = self.build(
-            self,
-            seed=effective_seed,
-            executor=executor,
-            **params,
-        )
+        # Resolve the executor once for the whole table: multi-cell grids
+        # then amortize a single worker pool across every run_trials call
+        # (docs/PARALLELISM.md §6) instead of paying pool start-up per
+        # cell.  Ownership follows the substrate rule — a spec resolved
+        # here (by name or from $REPRO_EXECUTOR) is closed here; a
+        # caller-passed Executor instance stays open.
+        backend = resolve_executor(executor)
+        try:
+            with collect_trial_metrics() as trial_log:
+                table = self.build(
+                    self,
+                    seed=effective_seed,
+                    executor=backend,
+                    **params,
+                )
+        finally:
+            if not isinstance(executor, Executor):
+                backend.close()
+        # The raw per-trial numbers behind the aggregated rows: one entry
+        # per run_trials call, in build order.  Run artifacts serialize
+        # them so variance plots don't require re-running the sweep.
+        table.trial_metrics = trial_log
         if archive_dir:
             from repro.experiments.artifacts import save_run_artifact
 

@@ -14,6 +14,14 @@ aggregate the metrics into table rows live in
 :mod:`repro.experiments.tables`; heavyweight library imports stay inside
 ``__call__`` so importing this module (or unpickling a trial in a worker)
 stays cheap.
+
+Trials whose body is "run one registered algorithm, measure it" (E1, E3,
+E8, E9, E10) resolve that algorithm from the :mod:`repro.solve` registry
+by name and read their metrics from ``SolveResult.stats``, rather than
+importing protocol factories directly — the same inversion the experiment
+registry applied to experiments.  Trials that orchestrate *several*
+interacting algorithms or instrument internals (adversarial orders, trace
+objects, ablation grids) keep calling the library directly.
 """
 
 from __future__ import annotations
@@ -48,27 +56,23 @@ class E1Trial(Trial):
     general_graphs: bool = False
 
     def __call__(self, seed: RandomState) -> Dict[str, float]:
-        from repro.core.protocols import matching_coreset_protocol
-        from repro.dist.coordinator import run_simultaneous
         from repro.graph.generators import gnp, planted_matching_gnp
-        from repro.graph.partition import random_k_partition
         from repro.matching.api import matching_number
+        from repro.solve import RunContext, solve
 
-        g_rng, p_rng, r_rng = spawn_generators(seed, 3)
-        protocol = matching_coreset_protocol(combiner="exact")
+        g_rng, s_rng = spawn_generators(seed, 2)
         if self.general_graphs:
             graph = gnp(self.n, 3.0 / self.n, g_rng)
         else:
             graph, _ = planted_matching_gnp(
                 self.n // 2, self.n // 2, p=3.0 / self.n, rng=g_rng
             )
-        part = random_k_partition(graph, self.k, p_rng)
-        res = run_simultaneous(protocol, part, r_rng)
+        res = solve(graph, "matching.coreset",
+                    RunContext(seed=s_rng, k=self.k), combiner="exact")
         opt = matching_number(graph)
-        out = int(res.output.shape[0])
         return {
-            "ratio": opt / max(1, out),
-            "coreset_edges": res.ledger.total_edges() / self.k,
+            "ratio": opt / max(1, int(res.value)),
+            "coreset_edges": res.stats["total_edges"] / self.k,
         }
 
 
@@ -116,14 +120,11 @@ class E3Trial(Trial):
     k: int
 
     def __call__(self, seed: RandomState) -> Dict[str, float]:
-        from repro.core.protocols import vertex_cover_coreset_protocol
-        from repro.cover import is_vertex_cover, konig_cover
-        from repro.dist.coordinator import run_simultaneous
+        from repro.cover import konig_cover
         from repro.graph.generators import skewed_bipartite
-        from repro.graph.partition import random_k_partition
+        from repro.solve import RunContext, solve
 
-        g_rng, p_rng, r_rng = spawn_generators(seed, 3)
-        protocol = vertex_cover_coreset_protocol(k=self.k)
+        g_rng, s_rng = spawn_generators(seed, 2)
         half = self.n // 2
         graph = skewed_bipartite(
             half, half,
@@ -132,15 +133,14 @@ class E3Trial(Trial):
             leaf_p=2.0 / half,
             rng=g_rng,
         )
-        part = random_k_partition(graph, self.k, p_rng)
-        res = run_simultaneous(protocol, part, r_rng)
+        res = solve(graph, "vertex_cover.coreset",
+                    RunContext(seed=s_rng, k=self.k))
         opt = int(konig_cover(graph).shape[0])
-        feasible = is_vertex_cover(graph, res.output)
         return {
-            "ratio": res.output.shape[0] / max(1, opt),
-            "residual": res.ledger.total_edges() / self.k,
-            "fixed": res.ledger.total_fixed_vertices() / self.k,
-            "feasible": float(feasible),
+            "ratio": res.value / max(1, opt),
+            "residual": res.stats["total_edges"] / self.k,
+            "fixed": res.stats["total_fixed_vertices"] / self.k,
+            "feasible": float(res.verified),
         }
 
 
@@ -284,38 +284,34 @@ class E8Trial(Trial):
     memory_cap_edges: int
 
     def __call__(self, seed: RandomState) -> Dict[str, float]:
-        from repro.baselines.filtering import filtering_matching
-        from repro.core.mapreduce_algos import mapreduce_matching
         from repro.graph.generators import planted_matching_gnp
         from repro.matching.api import matching_number
+        from repro.solve import RunContext, solve
 
         g_rng, mr_rng, mr2_rng, f_rng = spawn_generators(seed, 4)
         graph, _ = planted_matching_gnp(
             self.n // 2, self.n // 2, p=self.avg_degree / self.n, rng=g_rng
         )
         opt = matching_number(graph)
-        coreset = mapreduce_matching(
-            graph, rng=mr_rng, memory_cap_edges=self.memory_cap_edges
-        )
-        coreset1 = mapreduce_matching(
-            graph, rng=mr2_rng, memory_cap_edges=self.memory_cap_edges,
-            assume_random_input=True,
-        )
+        coreset = solve(graph, "matching.mapreduce", RunContext(seed=mr_rng),
+                        memory_cap_edges=self.memory_cap_edges)
+        coreset1 = solve(graph, "matching.mapreduce", RunContext(seed=mr2_rng),
+                         memory_cap_edges=self.memory_cap_edges,
+                         assume_random_input=True)
         # Filtering must iterate: give it the same memory budget but note
         # it only ever uses the central machine.
-        filt = filtering_matching(
-            graph, memory_edges=max(64, graph.n_edges // 8), rng=f_rng
-        )
+        filt = solve(graph, "matching.filtering", RunContext(seed=f_rng),
+                     memory_edges=max(64, graph.n_edges // 8))
         return {
-            "c_rounds": coreset.job.n_rounds,
-            "c_ratio": opt / max(1, coreset.matching.shape[0]),
-            "c_peak": coreset.job.peak_machine_edges,
-            "c1_rounds": coreset1.job.n_rounds,
-            "c1_ratio": opt / max(1, coreset1.matching.shape[0]),
-            "c1_peak": coreset1.job.peak_machine_edges,
-            "f_rounds": filt.n_rounds,
-            "f_ratio": opt / max(1, filt.matching_size),
-            "f_peak": filt.peak_central_edges,
+            "c_rounds": coreset.stats["n_rounds"],
+            "c_ratio": opt / max(1, int(coreset.value)),
+            "c_peak": coreset.stats["peak_machine_edges"],
+            "c1_rounds": coreset1.stats["n_rounds"],
+            "c1_ratio": opt / max(1, int(coreset1.value)),
+            "c1_peak": coreset1.stats["peak_machine_edges"],
+            "f_rounds": filt.stats["n_rounds"],
+            "f_ratio": opt / max(1, int(filt.value)),
+            "f_peak": filt.stats["peak_central_edges"],
         }
 
 
@@ -331,21 +327,18 @@ class E9Trial(Trial):
     alpha: float
 
     def __call__(self, seed: RandomState) -> Dict[str, float]:
-        from repro.core.protocols import subsampled_matching_protocol
-        from repro.dist.coordinator import run_simultaneous
-        from repro.graph.partition import random_k_partition
         from repro.lowerbounds.dmatching import sample_dmatching
         from repro.matching.api import matching_number
+        from repro.solve import RunContext, solve
 
-        g_rng, p_rng, r_rng = spawn_generators(seed, 3)
-        protocol = subsampled_matching_protocol(self.alpha)
+        g_rng, s_rng = spawn_generators(seed, 2)
         inst = sample_dmatching(self.n, self.alpha, self.k, g_rng)
-        part = random_k_partition(inst.graph, self.k, p_rng)
-        res = run_simultaneous(protocol, part, r_rng)
+        res = solve(inst.graph, "matching.subsampled_coreset",
+                    RunContext(seed=s_rng, k=self.k), alpha=self.alpha)
         opt = matching_number(inst.graph)
         return {
-            "ratio": opt / max(1, res.output.shape[0]),
-            "bits": res.total_bits,
+            "ratio": opt / max(1, int(res.value)),
+            "bits": res.stats["total_bits"],
         }
 
 
@@ -361,14 +354,11 @@ class E10Trial(Trial):
     alpha: float
 
     def __call__(self, seed: RandomState) -> Dict[str, float]:
-        from repro.core.protocols import grouped_vertex_cover_protocol
-        from repro.cover import is_vertex_cover, konig_cover
-        from repro.dist.coordinator import run_simultaneous
+        from repro.cover import konig_cover
         from repro.graph.generators import skewed_bipartite
-        from repro.graph.partition import random_k_partition
+        from repro.solve import RunContext, solve
 
-        g_rng, p_rng, r_rng = spawn_generators(seed, 3)
-        protocol = grouped_vertex_cover_protocol(k=self.k, alpha=self.alpha)
+        g_rng, s_rng = spawn_generators(seed, 2)
         half = self.n // 2
         # Dense enough that the coreset's Õ(n'·log n') message bound is
         # what limits communication (otherwise every protocol just
@@ -377,13 +367,13 @@ class E10Trial(Trial):
             half, half, hub_count=half // 50, hub_degree=half // 10,
             leaf_p=16.0 / half, rng=g_rng,
         )
-        part = random_k_partition(graph, self.k, p_rng)
-        res = run_simultaneous(protocol, part, r_rng)
+        res = solve(graph, "vertex_cover.grouped_coreset",
+                    RunContext(seed=s_rng, k=self.k), alpha=self.alpha)
         opt = int(konig_cover(graph).shape[0])
         return {
-            "ratio": res.output.shape[0] / max(1, opt),
-            "feasible": float(is_vertex_cover(graph, res.output)),
-            "bits": res.total_bits,
+            "ratio": res.value / max(1, opt),
+            "feasible": float(res.verified),
+            "bits": res.stats["total_bits"],
         }
 
 

@@ -4,6 +4,13 @@
 to the blossom algorithm otherwise; the coreset code calls only this
 function, which is exactly the paper's "ALG outputs an arbitrary maximum
 matching" black box.
+
+.. deprecated::
+    As an *entry point* this module is superseded by the unified solver
+    facade: ``repro.solve.solve(graph, "matching.maximum", ctx)`` (see
+    ``docs/SOLVER_API.md``).  The functions here remain the algorithm
+    implementations the facade adapters call, and existing imports keep
+    working unchanged.
 """
 
 from __future__ import annotations
@@ -17,7 +24,7 @@ from repro.graph.edgelist import Graph
 from repro.matching.augmenting import augmenting_path_matching
 from repro.matching.blossom import blossom_maximum_matching
 from repro.matching.hopcroft_karp import hopcroft_karp
-from repro.matching.maximal import greedy_maximal_matching
+from repro.matching.maximal import OrderPolicy, greedy_maximal_matching
 from repro.utils.rng import RandomState
 
 __all__ = ["maximum_matching", "maximal_matching", "matching_number"]
@@ -50,11 +57,17 @@ def maximum_matching(graph: Graph, algorithm: Algorithm = "auto") -> np.ndarray:
 
 
 def maximal_matching(
-    graph: Graph, rng: RandomState = None, order: str = "random"
+    graph: Graph, rng: RandomState = None, order: OrderPolicy = "random"
 ) -> np.ndarray:
     """Compute a (greedy) maximal matching; see
-    :func:`repro.matching.maximal.greedy_maximal_matching`."""
-    return greedy_maximal_matching(graph, order=order, rng=rng)  # type: ignore[arg-type]
+    :func:`repro.matching.maximal.greedy_maximal_matching`.
+
+    ``rng`` is the explicit :data:`~repro.utils.rng.RandomState` union
+    (``Optional`` included), and ``order`` the
+    :data:`~repro.matching.maximal.OrderPolicy` literal — both forwarded
+    unchanged, so no call-site casts are needed.
+    """
+    return greedy_maximal_matching(graph, order=order, rng=rng)
 
 
 def matching_number(graph: Graph, algorithm: Algorithm = "auto") -> int:

@@ -1,0 +1,158 @@
+"""Graph inputs for ``repro solve``: files or named generator specs.
+
+The CLI's positional ``GRAPH`` argument accepts either
+
+* a **path** — ``.npz`` written by :func:`repro.graph.io.save_npz`, or the
+  human-readable edge-list text format; or
+* a **generator spec** — ``name`` or ``name:key=value,key=value``, e.g.
+  ``planted:n=2000`` or ``skewed:n=4000,leaf_p=0.004`` — mapping onto the
+  library's workload generators with the same defaults the experiment
+  suite uses.  Generation consumes the spec's own RNG stream, so a seeded
+  ``repro solve`` run is reproducible end to end.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Callable, Dict
+
+import numpy as np
+
+from repro.utils.rng import RandomState, as_generator
+
+__all__ = ["GENERATOR_SPECS", "load_graph", "parse_scalar"]
+
+
+def _require_n(n, minimum: int = 4) -> int:
+    """Validate a spec's vertex count before it reaches any arithmetic."""
+    n = int(n)
+    if n < minimum:
+        raise ValueError(f"graph spec needs n >= {minimum}, got {n}")
+    return n
+
+
+def _gen_planted(rng, n: int = 2000, p: float | None = None):
+    """Bipartite planted-matching G(n/2, n/2, p) — the E1 workload."""
+    from repro.graph.generators import planted_matching_gnp
+
+    n = _require_n(n)
+    half = n // 2
+    graph, _ = planted_matching_gnp(
+        half, half, p=(3.0 / n if p is None else p), rng=rng
+    )
+    return graph
+
+
+def _gen_gnp(rng, n: int = 2000, p: float | None = None):
+    """General (non-bipartite) G(n, p)."""
+    from repro.graph.generators import gnp
+
+    n = _require_n(n)
+    return gnp(n, 3.0 / n if p is None else p, rng)
+
+
+def _gen_bipartite(rng, n: int = 2000, p: float | None = None):
+    """Plain bipartite G(n/2, n/2, p)."""
+    from repro.graph.generators import bipartite_gnp
+
+    n = _require_n(n)
+    half = n // 2
+    return bipartite_gnp(half, half, 3.0 / n if p is None else p, rng)
+
+
+def _gen_skewed(rng, n: int = 2000, leaf_p: float | None = None):
+    """Skewed-degree bipartite workload — the E3 vertex-cover shape."""
+    from repro.graph.generators import skewed_bipartite
+
+    half = max(4, _require_n(n) // 2)
+    return skewed_bipartite(
+        half, half,
+        hub_count=max(4, half // 50),
+        hub_degree=max(8, half // 10),
+        leaf_p=(2.0 / half if leaf_p is None else leaf_p),
+        rng=rng,
+    )
+
+
+def _gen_weighted(rng, n: int = 2000, p: float | None = None,
+                  spread: float = 100.0):
+    """Bipartite G(n/2, n/2, p) with log-uniform edge weights in
+    [1, spread] — the E12 weighted-matching workload."""
+    import math
+
+    from repro.graph.generators import bipartite_gnp
+    from repro.graph.weights import WeightedGraph
+
+    n = _require_n(n)
+    half = n // 2
+    base = bipartite_gnp(half, half, 4.0 / n if p is None else p, rng)
+    weights = np.exp(rng.uniform(0, math.log(spread), size=base.n_edges))
+    return WeightedGraph(base.n_vertices, base.edges, weights, validated=True)
+
+
+GENERATOR_SPECS: Dict[str, Callable[..., Any]] = {
+    "planted": _gen_planted,
+    "gnp": _gen_gnp,
+    "bipartite": _gen_bipartite,
+    "skewed": _gen_skewed,
+    "weighted": _gen_weighted,
+}
+
+
+def parse_scalar(text: str) -> Any:
+    """Best-effort typing of a command-line scalar.
+
+    The one grammar shared by ``repro solve --param KEY=VALUE`` and
+    generator-spec arguments: bool words, ``none``/``null``, int, float,
+    falling back to the raw string.
+    """
+    lowered = text.lower()
+    if lowered in {"true", "yes", "on"}:
+        return True
+    if lowered in {"false", "no", "off"}:
+        return False
+    if lowered in {"none", "null"}:
+        return None
+    for parse in (int, float):
+        try:
+            return parse(text)
+        except ValueError:
+            pass
+    return text
+
+
+def load_graph(spec: str, rng: RandomState = None):
+    """Resolve a CLI ``GRAPH`` argument into a graph object.
+
+    Existing paths load (``.npz`` by suffix, edge-list text otherwise);
+    anything else must be a ``name[:k=v,...]`` generator spec.
+    """
+    path = Path(spec)
+    if path.exists():
+        from repro.graph.io import load_npz, loads_edgelist
+
+        if path.suffix == ".npz":
+            return load_npz(path)
+        return loads_edgelist(path.read_text())
+
+    name, _, arg_text = spec.partition(":")
+    name = name.strip().lower()
+    if name not in GENERATOR_SPECS:
+        raise ValueError(
+            f"graph spec {spec!r} is neither an existing file nor a known "
+            f"generator; generators: {', '.join(sorted(GENERATOR_SPECS))} "
+            f"(e.g. planted:n=2000)"
+        )
+    kwargs: Dict[str, Any] = {}
+    if arg_text.strip():
+        for item in arg_text.split(","):
+            key, sep, value = item.partition("=")
+            if not sep or not key.strip():
+                raise ValueError(
+                    f"graph spec argument {item!r} is not KEY=VALUE"
+                )
+            kwargs[key.strip()] = parse_scalar(value.strip())
+    try:
+        return GENERATOR_SPECS[name](as_generator(rng), **kwargs)
+    except TypeError as exc:
+        raise ValueError(f"graph spec {spec!r}: {exc}") from exc

@@ -18,6 +18,13 @@ stream.  This subpackage makes the connection executable:
 Experiment E16 measures the greedy ratio under both orders and the
 two-phase gain — the streaming shadow of the paper's random-vs-adversarial
 partitioning story.
+
+.. deprecated::
+    As *entry points* the matchers are superseded by the unified solver
+    facade — ``repro.solve.solve(graph, "matching.streaming_greedy",
+    ctx)`` / ``"matching.streaming_two_phase"`` (see
+    ``docs/SOLVER_API.md``); the classes stay as the implementations the
+    facade adapters drive.
 """
 
 from repro.streaming.matcher import (

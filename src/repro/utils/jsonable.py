@@ -1,0 +1,38 @@
+"""One JSON-coercion rule for the whole library.
+
+Numpy scalars and arrays appear in experiment rows, run artifacts, and
+solver results alike; this module is the single place that maps them (and
+containers of them) onto plain python for ``json.dumps``.  The experiment
+harness, the artifact writer, and the solver facade all delegate here, so
+a future type addition lands everywhere at once.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+__all__ = ["jsonable", "jsonable_deep"]
+
+
+def jsonable(value: Any) -> Any:
+    """Coerce one numpy scalar/array to plain python; pass the rest through."""
+    if isinstance(value, np.bool_):
+        return bool(value)
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    return value
+
+
+def jsonable_deep(value: Any) -> Any:
+    """:func:`jsonable`, recursing into lists/tuples/dicts."""
+    if isinstance(value, (list, tuple)):
+        return [jsonable_deep(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): jsonable_deep(v) for k, v in value.items()}
+    return jsonable(value)

@@ -11,13 +11,23 @@ streams.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence, Union
 
 import numpy as np
 
-RandomState = int | None | np.random.Generator | np.random.SeedSequence
+#: An *explicit* source of randomness: a seed integer, a generator, or a
+#: seed sequence.  Functions that require the caller to supply randomness
+#: (no entropy default) annotate with this.
+Seedable = Union[int, np.random.Generator, np.random.SeedSequence]
 
-__all__ = ["RandomState", "as_generator", "spawn_generators", "spawn_seeds"]
+#: The library-wide randomness parameter type: any :data:`Seedable`, or
+#: ``None`` for fresh OS entropy.  The ``Optional`` is spelled out so
+#: every ``rng: RandomState = None`` default type-checks without
+#: per-call-site ignores.
+RandomState = Optional[Seedable]
+
+__all__ = ["RandomState", "Seedable", "as_generator", "spawn_generators",
+           "spawn_seeds"]
 
 
 def as_generator(seed: RandomState = None) -> np.random.Generator:

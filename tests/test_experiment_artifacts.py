@@ -118,6 +118,123 @@ class TestRegistryHook:
         assert not hasattr(table, "artifact_path")
 
 
+def _metric_trial(seed):
+    return {"v": float(np.random.default_rng(seed).random())}
+
+
+def _failing_trial(seed):
+    raise RuntimeError("boom")
+
+
+class TestPerTrialMetrics:
+    def test_sink_captures_each_run_trials_call(self):
+        from repro.experiments.harness import (
+            collect_trial_metrics,
+            run_trials,
+        )
+
+        with collect_trial_metrics() as sink:
+            first = run_trials(_metric_trial, 3, seed=0)
+            run_trials(_metric_trial, 2, seed=1)
+        assert len(sink) == 2
+        assert sink[0]["v"] == first["v"].tolist()
+        assert len(sink[1]["v"]) == 2
+        # Outside the block nothing is captured.
+        run_trials(_metric_trial, 2, seed=2)
+        assert len(sink) == 2
+
+    def test_sink_restored_after_exception(self):
+        from repro.experiments import harness
+        from repro.experiments.harness import (
+            collect_trial_metrics,
+            run_trials,
+        )
+
+        with pytest.raises(RuntimeError, match="boom"):
+            with collect_trial_metrics():
+                run_trials(_failing_trial, 1, seed=0)
+        assert harness._trial_sink is None
+
+    def test_nested_sinks_shadow(self):
+        from repro.experiments.harness import (
+            collect_trial_metrics,
+            run_trials,
+        )
+
+        with collect_trial_metrics() as outer:
+            run_trials(_metric_trial, 1, seed=0)
+            with collect_trial_metrics() as inner:
+                run_trials(_metric_trial, 1, seed=1)
+            run_trials(_metric_trial, 1, seed=2)
+        assert len(inner) == 1
+        assert len(outer) == 2
+
+    def test_spec_run_attaches_and_artifact_serializes(self, tmp_path):
+        from repro.experiments.registry import get_experiment
+
+        table = get_experiment("e1").run(
+            n_values=(200, 400), k_values=(2,), n_trials=3,
+            archive_dir=tmp_path,
+        )
+        # One run_trials call per grid cell, aligned with the rows.
+        assert len(table.trial_metrics) == len(table.rows) == 2
+        for row, metrics in zip(table.rows, table.trial_metrics):
+            assert len(metrics["ratio"]) == 3
+            assert row["ratio_mean"] == pytest.approx(
+                float(np.mean(metrics["ratio"]))
+            )
+        doc = load_artifact(table.artifact_path)
+        assert doc["schema_version"] == ARTIFACT_SCHEMA_VERSION
+        assert doc["per_trial"] == table.trial_metrics
+
+    def test_v1_artifact_without_per_trial_still_loads(self, tmp_path):
+        path = save_run_artifact(
+            _table(), experiment="e1", params={}, seed=1,
+            directory=tmp_path,
+        )
+        doc = json.loads(path.read_text())
+        doc["schema_version"] = 1
+        del doc["per_trial"]
+        path.write_text(json.dumps(doc))
+        loaded = load_artifact(path)
+        assert loaded["schema_version"] == 1
+        assert "per_trial" not in loaded
+        # And v1-vs-v2 runs of the same experiment still diff.
+        other = save_run_artifact(
+            _table(ratio=2.0), experiment="e1", params={}, seed=2,
+            directory=tmp_path,
+        )
+        assert "ratio" in diff_artifacts(loaded, load_artifact(other))
+
+    def test_diff_reports_columns_dropped_by_new_run(self, tmp_path):
+        old = save_run_artifact(
+            _table(), experiment="e1", params={}, seed=1,
+            directory=tmp_path,
+        )
+        new_table = ExperimentTable(
+            name="T", description="d", columns=["graph", "n"])
+        new_table.add_row(graph="a", n=100)
+        new_table.add_row(graph="a2", n=200)
+        new = save_run_artifact(
+            new_table, experiment="e1", params={}, seed=2,
+            directory=tmp_path,
+        )
+        text = diff_artifacts(load_artifact(old), load_artifact(new))
+        # "ratio" exists only in the old run; the diff must surface it.
+        assert "ratio" in text
+
+    def test_unknown_schema_version_rejected(self, tmp_path):
+        path = save_run_artifact(
+            _table(), experiment="e1", params={}, seed=1,
+            directory=tmp_path,
+        )
+        doc = json.loads(path.read_text())
+        doc["schema_version"] = 99
+        path.write_text(json.dumps(doc))
+        with pytest.raises(ArtifactError, match="schema_version"):
+            load_artifact(path)
+
+
 class TestReportIntegration:
     def test_collect_and_render(self, tmp_path):
         from repro.experiments.report import collect_artifacts, render_report

@@ -1,0 +1,133 @@
+"""The ``repro solve`` subcommand: listing, running, JSON output, errors."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_list_enumerates_at_least_ten(self, capsys):
+        assert main(["solve", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "matching.coreset" in out
+        assert "vertex_cover.coreset" in out
+        count = int(out.strip().splitlines()[-1].split()[0])
+        assert count >= 10
+
+    def test_list_filters_by_problem(self, capsys):
+        assert main(["solve", "--list", "--problem", "matching"]) == 0
+        out = capsys.readouterr().out
+        assert "matching.mapreduce" in out
+        assert "vertex_cover" not in out
+
+
+class TestRun:
+    def test_short_solver_name_with_problem(self, capsys):
+        code = main(["solve", "planted:n=300", "--problem", "matching",
+                     "--solver", "coreset", "--k", "4", "--seed", "0"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "solver: matching.coreset" in out
+        assert "verified: True" in out
+
+    def test_json_output_parses_and_verifies(self, capsys):
+        code = main(["solve", "planted:n=300", "--solver",
+                     "vertex_cover.coreset", "--k", "4", "--seed", "1",
+                     "--json", "-"])
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["solver"] == "vertex_cover.coreset"
+        assert doc["verified"] is True
+        assert doc["problem"] == "vertex_cover"
+        assert doc["graph"]["n_vertices"] == 300
+        assert doc["solver_meta"]["model"] == "coreset"
+        assert "certificate" not in doc
+
+    def test_json_certificate_flag(self, capsys):
+        code = main(["solve", "planted:n=200", "--solver",
+                     "matching.maximum", "--seed", "0", "--certificate",
+                     "--json", "-"])
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert len(doc["certificate"]) == doc["size"]
+
+    def test_seeded_runs_reproduce(self, capsys):
+        argv = ["solve", "planted:n=300", "--solver", "matching.coreset",
+                "--k", "4", "--seed", "9", "--json", "-",
+                "--certificate"]
+        assert main(argv) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert main(argv) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert first["certificate"] == second["certificate"]
+
+    def test_param_override(self, capsys):
+        code = main(["solve", "planted:n=300", "--solver",
+                     "matching.subsampled_coreset", "--k", "4",
+                     "--param", "alpha=8", "--json", "-"])
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["stats"]["alpha"] == 8
+
+    def test_graph_file_input(self, tmp_path, capsys):
+        from repro.graph.generators import bipartite_gnp
+        from repro.graph.io import save_npz
+
+        path = tmp_path / "g.npz"
+        save_npz(path, bipartite_gnp(60, 60, 0.05,
+                                     rng=np.random.default_rng(0)))
+        code = main(["solve", str(path), "--solver", "vertex_cover.konig"])
+        assert code == 0
+        assert "verified: True" in capsys.readouterr().out
+
+
+class TestErrors:
+    def test_missing_arguments(self, capsys):
+        assert main(["solve"]) == 2
+        assert "GRAPH and --solver" in capsys.readouterr().err
+
+    def test_unknown_solver(self, capsys):
+        assert main(["solve", "planted:n=100", "--solver", "nope"]) == 2
+        assert "unknown solver" in capsys.readouterr().err
+
+    def test_problem_solver_mismatch(self, capsys):
+        assert main(["solve", "planted:n=100", "--problem", "vertex_cover",
+                     "--solver", "matching.maximum"]) == 2
+        assert "solves matching" in capsys.readouterr().err
+
+    def test_missing_k_is_a_clean_error(self, capsys):
+        assert main(["solve", "planted:n=100", "--solver",
+                     "matching.coreset"]) == 2
+        assert "RunContext.k" in capsys.readouterr().err
+
+    def test_bad_graph_spec(self, capsys):
+        assert main(["solve", "bogus:n=10", "--solver",
+                     "matching.maximum"]) == 2
+        assert "neither an existing file" in capsys.readouterr().err
+
+    def test_bad_param_syntax(self, capsys):
+        assert main(["solve", "planted:n=100", "--solver",
+                     "matching.maximum", "--param", "oops"]) == 2
+        assert "KEY=VALUE" in capsys.readouterr().err
+
+    def test_ambiguous_short_name(self, capsys):
+        assert main(["solve", "planted:n=100", "--solver", "coreset"]) == 2
+        assert "ambiguous" in capsys.readouterr().err
+
+    def test_invalid_k_is_a_clean_error(self, capsys):
+        assert main(["solve", "planted:n=100", "--solver",
+                     "matching.coreset", "--k", "0"]) == 2
+        assert "k must be" in capsys.readouterr().err
+
+    def test_negative_seed_is_a_clean_error(self, capsys):
+        assert main(["solve", "planted:n=100", "--solver",
+                     "matching.maximum", "--seed", "-1"]) == 2
+        assert capsys.readouterr().err.startswith("solve: ")
+
+    def test_degenerate_graph_spec_is_a_clean_error(self, capsys):
+        assert main(["solve", "planted:n=0", "--solver",
+                     "matching.maximum"]) == 2
+        assert "n >=" in capsys.readouterr().err
