@@ -13,6 +13,7 @@
     python -m repro bench [--quick --check --out BENCH_substrate.json]
     python -m repro report [--results benchmarks/results -o report.md]
     python -m repro report --diff OLD.json NEW.json
+    python -m repro worker --connect HOST:PORT [--tag NAME]
 
 The CLI is a thin shell over the declarative experiment registry
 (:mod:`repro.experiments.registry`) so that every table a benchmark can
@@ -23,7 +24,7 @@ tuples) and machine-readable output (``--json PATH`` writes a JSON
 document, ``--json -`` prints it to stdout instead of the text table).
 
 ``--executor`` / ``--workers`` select the execution backend (`serial`,
-`threads`, `processes`); they work by setting ``REPRO_EXECUTOR`` /
+`threads`, `processes`, `remote`); they work by setting ``REPRO_EXECUTOR`` /
 ``REPRO_WORKERS`` for the run, which is where the trial harness
 (``run_trials``) and the distributed engines (``run_simultaneous``,
 ``MapReduceSimulator``) resolve their defaults, so every experiment picks
@@ -144,12 +145,27 @@ def build_parser() -> argparse.ArgumentParser:
                         "`repro experiment ... --archive`) instead of "
                         "rendering the report")
 
+    w = sub.add_parser(
+        "worker",
+        help="join a remote-executor coordinator as a worker process",
+        description="Connect to a RemoteExecutor coordinator (a run "
+                    "started with --executor remote) and execute tasks "
+                    "until it shuts down.  Run one per core, on this "
+                    "host or any host that can reach the coordinator's "
+                    "bind address ($REPRO_REMOTE_BIND).",
+    )
+    w.add_argument("--connect", required=True, metavar="HOST:PORT",
+                   help="the coordinator's address")
+    w.add_argument("--tag", default=None,
+                   help="optional label reported in the hello frame "
+                        "(useful to tell hosts apart in diagnostics)")
+
     return parser
 
 
 def _add_executor_flags(sub: argparse.ArgumentParser) -> None:
     sub.add_argument(
-        "--executor", choices=["serial", "threads", "processes"],
+        "--executor", choices=["serial", "threads", "processes", "remote"],
         default=None,
         help="execution backend for trial fan-out and the distributed "
              "engines (default: $REPRO_EXECUTOR or serial); outputs are "
@@ -157,7 +173,7 @@ def _add_executor_flags(sub: argparse.ArgumentParser) -> None:
     )
     sub.add_argument(
         "--workers", type=int, default=None,
-        help="worker count for threads/processes "
+        help="worker count for threads/processes/remote "
              "(default: $REPRO_WORKERS or the cpu count)",
     )
 
@@ -366,6 +382,18 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         return 2
 
 
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from repro.dist.remote import worker_main
+
+    try:
+        return worker_main(args.connect, tag=args.tag)
+    except ValueError as exc:  # malformed --connect address
+        print(f"worker: {exc}", file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:
+        return 130
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.experiments.artifacts import ArtifactError
     from repro.experiments.report import (
@@ -408,6 +436,7 @@ _COMMANDS = {
     "list-experiments": _cmd_list,
     "bench": _cmd_bench,
     "report": _cmd_report,
+    "worker": _cmd_worker,
 }
 
 

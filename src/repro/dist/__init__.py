@@ -25,12 +25,17 @@ substrate, independent of any particular coreset:
   :class:`~repro.dist.mapreduce.MapReduceSimulator` with per-machine memory
   caps, for the paper's 2-round MPC corollaries.
 * :mod:`repro.dist.executor` — pluggable execution backends (``serial``,
-  ``threads``, ``processes``) for the per-machine work of both engines,
-  with persistent worker pools amortized across rounds and trials.
+  ``threads``, ``processes``, ``remote``) for the per-machine work of both
+  engines, with persistent worker pools amortized across rounds and trials.
 * :mod:`repro.dist.shm` — zero-copy piece transfer: the
   :class:`~repro.dist.shm.SharedEdgeStore` places edge arrays in shared
   memory once and ships lightweight handles to workers instead of
   pickling arrays per task (``transfer="shared"``).
+* :mod:`repro.dist.remote` — the socket coordinator behind
+  ``executor="remote"``: ``repro worker`` processes joined over
+  length-prefixed RPC, with per-task timeouts, bounded retry, heartbeats,
+  and the content-addressed :class:`~repro.dist.remote.RemotePieceCache`
+  (the remote analogue of ``transfer="shared"``).
 
 Machines are independent in the model, and the engines preserve that
 independence in the code, so the k per-machine computations can genuinely
@@ -83,6 +88,12 @@ from repro.dist.mapreduce import (
     RoundRecord,
 )
 from repro.dist.message import Message
+from repro.dist.remote import (
+    RemoteDegradedWarning,
+    RemoteExecutor,
+    RemotePieceCache,
+    RemoteTaskError,
+)
 from repro.dist.shm import (
     EdgeHandle,
     SharedEdgeStore,
@@ -106,6 +117,10 @@ __all__ = [
     "Message",
     "ProcessExecutor",
     "ProtocolResult",
+    "RemoteDegradedWarning",
+    "RemoteExecutor",
+    "RemotePieceCache",
+    "RemoteTaskError",
     "RoundRecord",
     "SerialExecutor",
     "SharedEdgeStore",

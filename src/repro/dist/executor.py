@@ -33,6 +33,12 @@ Backends
     route/compute function — must be **picklable**: defined at module
     level, never a closure or a lambda.  Unpicklable tasks raise
     :class:`UnpicklableTaskError`.
+``remote``
+    :class:`~repro.dist.remote.RemoteExecutor`: a socket coordinator plus
+    ``repro worker`` processes (local subprocesses by default, other
+    hosts by design), with per-task timeouts, bounded retry, heartbeats,
+    and a content-addressed piece cache.  Registered lazily here so this
+    module never imports the socket machinery it does not need.
 
 Lifecycle
 ---------
@@ -217,6 +223,10 @@ class ThreadExecutor(Executor):
         super().__init__()
         self.max_workers = _default_workers(max_workers)
         self._pool: Optional[ThreadPoolExecutor] = None
+        #: How many pools this executor has created over its lifetime.
+        #: Stays at 1 across barriers unless a pool was discarded —
+        #: the observable half of the persistence contract (§6).
+        self.pools_created = 0
 
     def map(self, fn: Callable[[Any], Any], tasks: Iterable[Any]) -> List[Any]:
         self._ensure_open()
@@ -229,6 +239,7 @@ class ThreadExecutor(Executor):
     def _ensure_pool(self) -> ThreadPoolExecutor:
         if self._pool is None:
             self._pool = ThreadPoolExecutor(max_workers=self.max_workers)
+            self.pools_created += 1
         return self._pool
 
     def close(self) -> None:
@@ -266,6 +277,11 @@ class ProcessExecutor(Executor):
         super().__init__()
         self.max_workers = _default_workers(max_workers)
         self._pool: Optional[ProcessPoolExecutor] = None
+        #: How many pools this executor has created over its lifetime.
+        #: Stays at 1 across barriers unless a broken pool was discarded
+        #: (then the next map() bumps it) — the observable half of the
+        #: persistence and discard/replace contracts (§6).
+        self.pools_created = 0
 
     def map(self, fn: Callable[[Any], Any], tasks: Iterable[Any]) -> List[Any]:
         self._ensure_open()
@@ -306,6 +322,7 @@ class ProcessExecutor(Executor):
     def _ensure_pool(self) -> ProcessPoolExecutor:
         if self._pool is None:
             self._pool = ProcessPoolExecutor(max_workers=self.max_workers)
+            self.pools_created += 1
         return self._pool
 
     def _discard_pool(self) -> None:
@@ -341,13 +358,7 @@ class ProcessExecutor(Executor):
 
     @staticmethod
     def _advice(what: str, exc: Exception) -> str:
-        return (
-            f"the 'processes' executor cannot ship {what} to a worker: "
-            f"it is not picklable. Summarizers, route functions, and "
-            f"compute functions must be defined at module level (closures "
-            f"and lambdas cannot be pickled); alternatively use the "
-            f"'threads' or 'serial' backend. Underlying error: {exc}"
-        )
+        return _pickle_advice(what, exc)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         state = "closed" if self._closed else (
@@ -359,10 +370,35 @@ class ProcessExecutor(Executor):
 #: from ``$REPRO_EXECUTOR``, default serial), a backend name, or an instance.
 ExecutorSpec = Union[None, str, Executor]
 
+def _pickle_advice(what: str, exc: Exception) -> str:
+    """The shared diagnosis for work that cannot cross a process boundary.
+
+    Used by both the ``processes`` backend and the ``remote`` backend so
+    the advice (and its wording) never drifts between them.
+    """
+    return (
+        f"the executor cannot ship {what} to a worker: it is not "
+        f"picklable. Summarizers, route functions, and compute functions "
+        f"must be defined at module level (closures and lambdas cannot be "
+        f"pickled); alternatively use the 'threads' or 'serial' backend. "
+        f"Underlying error: {exc}"
+    )
+
+
+def _make_remote(max_workers: Optional[int] = None) -> Executor:
+    # Imported lazily: the remote backend pulls in sockets, subprocess
+    # management, and the piece cache, none of which the in-process
+    # backends need, and repro.dist.remote imports *this* module.
+    from repro.dist.remote import RemoteExecutor
+
+    return RemoteExecutor(max_workers=max_workers)
+
+
 _BACKENDS = {
     "serial": SerialExecutor,
     "threads": ThreadExecutor,
     "processes": ProcessExecutor,
+    "remote": _make_remote,
 }
 
 _ALIASES = {
@@ -419,9 +455,16 @@ def validate_workers(workers: int) -> int:
 
     Every consumer — backend constructors, ``$REPRO_WORKERS`` resolution,
     and the CLI's ``--workers`` flag — funnels through here, so the error
-    message (and the rule) can never drift between layers.
+    message (and the rule) can never drift between layers.  The message
+    always names the offending value, including when ``int()`` itself
+    rejects it (``None``, ``"four"``, ...).
     """
-    workers = int(workers)
+    try:
+        workers = int(workers)
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"worker count must be an int >= 1, got {workers!r}"
+        ) from None
     if workers < 1:
         raise ValueError(f"worker count must be >= 1, got {workers}")
     return workers

@@ -10,7 +10,7 @@ compare against.  ``--check`` turns the two load-bearing claims into hard
 assertions (exit code 1 on regression), which is what the
 ``substrate-perf`` CI job runs.
 
-Three sections:
+The sections:
 
 ``pool_lifecycle``
     Per-barrier *substrate overhead* of R back-to-back
@@ -52,6 +52,16 @@ Three sections:
     This keeps the facade's overhead and verification contract on the
     same regression radar as the substrate itself.
 
+``remote_exec``
+    The ``remote`` backend (socket coordinator + ``repro worker``
+    subprocesses, :mod:`repro.dist.remote`) on the smallest scenario:
+    per-barrier seconds over a persistent two-worker fleet with the fleet
+    spawn paid untimed, the bit-identical-to-serial flag, and the
+    :class:`~repro.dist.remote.RemotePieceCache` counters — which let the
+    artifact *prove* the serialize-once/fetch-and-pin claim (stored bytes
+    constant across barriers, shipped bytes bounded by pieces × workers)
+    rather than assert it in prose.
+
 Wall-clock numbers describe the machine the bench ran on; only the
 ``identical`` columns and the relative orderings are claims.
 """
@@ -78,7 +88,7 @@ __all__ = [
     "run_substrate_bench",
 ]
 
-BENCH_SCHEMA_VERSION = 2
+BENCH_SCHEMA_VERSION = 3
 
 #: One solver per execution model, timed through the facade in the
 #: ``solver_facade`` section (matching side; the vertex-cover solvers
@@ -301,6 +311,54 @@ def _run_piece_transfer(
 
 
 # --------------------------------------------------------------------- #
+# the remote backend
+# --------------------------------------------------------------------- #
+def _run_remote_exec(
+    scenario: Dict[str, Any], workers: int, repeats_override: Optional[int]
+) -> List[Dict[str, Any]]:
+    """Steady-state remote barriers on the smallest scenario.
+
+    The fleet (listener + two local ``repro worker`` subprocesses) is
+    spawned and fed one untimed warmup barrier — which is also where the
+    piece cache serializes each piece once and the workers fetch-and-pin
+    them — so the timed rounds measure the steady state a sweep actually
+    runs in: digest-only task payloads over a warm socket fleet.
+    """
+    from repro.dist.coordinator import run_simultaneous
+    from repro.dist.remote import RemoteExecutor
+
+    proto = _probe_protocol()
+    part = _build_workload(scenario)
+    repeats = repeats_override or scenario["repeats"]
+    seed = 44
+
+    def run(executor):
+        return run_simultaneous(proto, part, seed, executor=executor)
+
+    reference = run("serial").output
+    serial_total = _time_rounds(lambda: run("serial"), repeats)
+
+    fleet = min(workers, 2)
+    with RemoteExecutor(max_workers=fleet, connect_timeout=60,
+                        cache_min_bytes=0) as ex:
+        run(ex)  # fleet spawn + piece fetch-and-pin paid here, untimed
+        total = _time_rounds(lambda: run(ex), repeats)
+        identical = bool(np.array_equal(run(ex).output, reference))
+        cache = ex.piece_cache.stats()
+    return [dict(
+        scenario=scenario["name"],
+        variant="remote-persistent",
+        workers=fleet,
+        rounds=repeats,
+        total_s=round(total, 6),
+        per_round_s=round(total / repeats, 6),
+        serial_per_round_s=round(serial_total / repeats, 6),
+        identical=identical,
+        piece_cache=cache,
+    )]
+
+
+# --------------------------------------------------------------------- #
 # the greedy-scan microbenchmark
 # --------------------------------------------------------------------- #
 def _baseline_scan(n_vertices: int, eu: np.ndarray, ev: np.ndarray) -> np.ndarray:
@@ -425,10 +483,11 @@ def run_substrate_bench(
     transfer_rows = _run_piece_transfer(scenarios, workers, repeats)
     scan_rows = _run_matching_scan(mode)
     facade_rows = _run_solver_facade(scenarios[0], repeats)
+    remote_rows = _run_remote_exec(scenarios[0], workers, repeats)
 
     largest = scenarios[-1]["name"]
     checks = _evaluate_checks(pool_rows, transfer_rows, scan_rows, largest,
-                              facade_rows)
+                              facade_rows, remote_rows)
 
     doc: Dict[str, Any] = {
         "schema_version": BENCH_SCHEMA_VERSION,
@@ -449,6 +508,7 @@ def run_substrate_bench(
         "piece_transfer": transfer_rows,
         "matching_scan": scan_rows,
         "solver_facade": facade_rows,
+        "remote_exec": remote_rows,
         "checks": checks,
     }
     if out is not None:
@@ -462,6 +522,7 @@ def _evaluate_checks(
     scan_rows: List[Dict[str, Any]],
     largest_scenario: str,
     facade_rows: List[Dict[str, Any]],
+    remote_rows: List[Dict[str, Any]],
 ) -> Dict[str, Any]:
     """The assertable facts: each maps to one acceptance claim."""
     per = {
@@ -482,6 +543,14 @@ def _evaluate_checks(
         shared[(largest_scenario, "shared-persistent")]
         < shared[(largest_scenario, "pickle")]
     )
+    # Serialize-once, fetch-and-pin: across every barrier of the run each
+    # piece was stored exactly once, and shipped at most once per worker.
+    cache_bounded = all(
+        r["piece_cache"]["bytes_shipped"]
+        <= r["workers"] * r["piece_cache"]["bytes_stored"]
+        and r["piece_cache"]["store_hits"] > 0  # later barriers deduped
+        for r in remote_rows
+    )
     return {
         "persistent_pool_faster_than_cold": bool(persistent_faster),
         "shared_transfer_lower_overhead_at_largest": bool(
@@ -491,11 +560,16 @@ def _evaluate_checks(
             and all(r["identical"] for r in transfer_rows)
             and all(r["identical"] for r in scan_rows)
             and all(r["identical"] for r in facade_rows)
+            and all(r["identical"] for r in remote_rows)
         ),
         "scan_min_speedup": min(r["speedup"] for r in scan_rows),
         "solver_facade_all_verified": bool(
             all(r["verified"] for r in facade_rows)
         ),
+        "remote_outputs_identical": bool(
+            all(r["identical"] for r in remote_rows)
+        ),
+        "remote_cache_ships_each_piece_once_per_worker": bool(cache_bounded),
     }
 
 
@@ -530,6 +604,18 @@ def _format_summary(doc: Dict[str, Any]) -> str:
             f"  {r['scenario']:>10s}  {r['solver']:<28s}"
             f"{r['wall_s']:>10.4f}s  value {r['value']:g}"
             f"{'' if r['verified'] else '  NOT VERIFIED'}"
+            f"{'' if r['identical'] else '  OUTPUT MISMATCH'}"
+        )
+    lines.append("remote_exec (socket fleet, steady-state barriers):")
+    for r in doc["remote_exec"]:
+        cache = r["piece_cache"]
+        lines.append(
+            f"  {r['scenario']:>10s}  {r['variant']:<22s}"
+            f"{r['per_round_s']:>10.4f}s  serial "
+            f"{r['serial_per_round_s']:.4f}s  workers={r['workers']}  "
+            f"cache {cache['pieces_stored']}p/"
+            f"{cache['bytes_stored']}B stored, "
+            f"{cache['bytes_shipped']}B shipped"
             f"{'' if r['identical'] else '  OUTPUT MISMATCH'}"
         )
     lines.append("checks:")
@@ -582,7 +668,9 @@ def run_from_args(args: argparse.Namespace) -> int:
         failed = [
             key for key in ("persistent_pool_faster_than_cold",
                             "all_outputs_identical",
-                            "solver_facade_all_verified")
+                            "solver_facade_all_verified",
+                            "remote_outputs_identical",
+                            "remote_cache_ships_each_piece_once_per_worker")
             if not checks[key]
         ]
         # The shared-transfer claim is asserted on full runs; quick sizes

@@ -1,0 +1,102 @@
+"""Fault-injection helpers for the remote-executor chaos tests.
+
+The worker loop in :mod:`repro.dist.remote` carries env-triggered hooks
+(``REPRO_CHAOS_KILL`` / ``REPRO_CHAOS_HANG`` / ``REPRO_CHAOS_SLOW_MS``)
+checked once per task.  This module is the test-side driver: it arms those
+variables in the *coordinator's* environment — locally-spawned workers
+inherit it — scoped to a ``with`` block so no chaos leaks into later
+tests.
+
+The latch is what makes the injected faults precise instead of chaotic:
+``REPRO_CHAOS_LATCH`` points at a path workers claim with
+``O_CREAT | O_EXCL``, so exactly one process fires the fault exactly once
+— "kill one worker mid-round" means one kill, with every replacement
+running clean.  Pass ``latch=False`` to make *every* worker misbehave
+(the retry-exhaustion tests).
+
+Also home to the module-level task functions the remote tests map: a
+remote worker *imports* its task function (pickle-by-reference, like
+spawn-based multiprocessing), so tasks must live in a module both sides
+can import — this one.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+__all__ = ["chaos", "boom", "sleep_ms", "square", "worker_pid"]
+
+
+@contextmanager
+def chaos(
+    tmp_path,
+    *,
+    kill: bool = False,
+    hang: bool = False,
+    slow_ms: Optional[int] = None,
+    after: int = 1,
+    latch: bool = True,
+    hang_s: Optional[float] = None,
+    exit_code: Optional[int] = None,
+) -> Iterator[None]:
+    """Arm the worker chaos hooks for the duration of the block.
+
+    Parameters mirror the env protocol: ``kill`` makes the armed worker
+    ``os._exit`` (``exit_code``, default 17) before executing its
+    ``after``-th task; ``hang`` makes it sleep ``hang_s`` seconds
+    (default: effectively forever) instead; ``slow_ms`` merely delays it.
+    With ``latch=True`` (the default) the fault fires in exactly one
+    worker process, once; the latch file lives under ``tmp_path``.
+    """
+    previous = {
+        key: os.environ.get(key)
+        for key in (
+            "REPRO_CHAOS_KILL", "REPRO_CHAOS_HANG", "REPRO_CHAOS_SLOW_MS",
+            "REPRO_CHAOS_AFTER", "REPRO_CHAOS_LATCH", "REPRO_CHAOS_HANG_S",
+            "REPRO_CHAOS_EXIT",
+        )
+    }
+
+    def _set(key: str, value: Optional[str]) -> None:
+        if value is None:
+            os.environ.pop(key, None)
+        else:
+            os.environ[key] = value
+
+    _set("REPRO_CHAOS_KILL", "1" if kill else None)
+    _set("REPRO_CHAOS_HANG", "1" if hang else None)
+    _set("REPRO_CHAOS_SLOW_MS", str(slow_ms) if slow_ms else None)
+    _set("REPRO_CHAOS_AFTER", str(after))
+    _set("REPRO_CHAOS_LATCH",
+         str(tmp_path / "chaos.latch") if latch else None)
+    _set("REPRO_CHAOS_HANG_S", str(hang_s) if hang_s is not None else None)
+    _set("REPRO_CHAOS_EXIT",
+         str(exit_code) if exit_code is not None else None)
+    try:
+        yield
+    finally:
+        for key, value in previous.items():
+            _set(key, value)
+
+
+# --------------------------------------------------------------------- #
+# picklable-by-reference task functions
+# --------------------------------------------------------------------- #
+def square(x):
+    return x * x
+
+
+def worker_pid(_):
+    return os.getpid()
+
+
+def boom(x):
+    raise ValueError(f"task exploded on purpose: {x}")
+
+
+def sleep_ms(ms):
+    time.sleep(ms / 1000.0)
+    return ms

@@ -24,6 +24,19 @@ def tiny_graph():
     return Graph(6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)])
 
 
+@pytest.fixture(scope="session")
+def remote_executor():
+    """One RemoteExecutor (2 local workers) shared by the sunny-day remote
+    tests, so each test doesn't pay the worker spawn-and-connect cost.
+
+    Fault-injection tests build their own executors — chaos must never
+    touch a shared pool."""
+    from repro.dist.remote import RemoteExecutor
+
+    with RemoteExecutor(max_workers=2, connect_timeout=60) as ex:
+        yield ex
+
+
 @pytest.fixture
 def tiny_bipartite():
     """K_{3,3} minus one edge; MM = 3."""

@@ -123,6 +123,113 @@ class TestExperimentDeterminism:
         np.testing.assert_array_equal(a.matching, b.matching)
 
 
+class TestExecutorTortureSuite:
+    """serial ≡ threads ≡ processes ≡ remote, bit for bit.
+
+    The cross-backend contract (docs/PARALLELISM.md §§1, 7) exercised the
+    expensive way: whole experiment tables (E1, E8) and whole `repro
+    solve` runs compared across every backend — including the remote
+    executor, whose workers are separate processes joined over sockets —
+    plus the two zero-copy transfer strategies (`shared` locally, the
+    RemotePieceCache remotely) against plain pickle.
+    """
+
+    OTHER_BACKENDS = ["threads", "processes", "remote"]
+
+    def _resolve(self, backend):
+        if backend == "remote":
+            from repro.dist.remote import RemoteExecutor
+
+            return RemoteExecutor(max_workers=2, connect_timeout=60)
+        return backend
+
+    @pytest.mark.parametrize("backend", OTHER_BACKENDS)
+    def test_e1_table_identical_across_backends(self, backend):
+        from repro.experiments.registry import get_experiment
+
+        spec = get_experiment("e1")
+        kw = dict(seed=5, n_values=(600,), k_values=(4,), n_trials=2)
+        baseline = spec.run(executor="serial", **kw)
+        ex = self._resolve(backend)
+        try:
+            other = spec.run(executor=ex, **kw)
+        finally:
+            if backend == "remote":
+                ex.close()
+        assert tables_equal(baseline, other)
+
+    @pytest.mark.parametrize("backend", OTHER_BACKENDS)
+    def test_e8_table_identical_across_backends(self, backend):
+        from repro.experiments.registry import get_experiment
+
+        spec = get_experiment("e8")
+        kw = dict(seed=7, n=400, n_trials=2)
+        baseline = spec.run(executor="serial", **kw)
+        ex = self._resolve(backend)
+        try:
+            other = spec.run(executor=ex, **kw)
+        finally:
+            if backend == "remote":
+                ex.close()
+        assert tables_equal(baseline, other)
+
+    def test_repro_solve_identical_across_backends(self, tmp_path,
+                                                   monkeypatch):
+        import json
+
+        from repro.cli import main
+
+        # The CLI exports --executor/--workers into the environment;
+        # registering the vars with monkeypatch first guarantees those
+        # writes are undone at teardown.
+        monkeypatch.setenv("REPRO_EXECUTOR", "serial")
+        monkeypatch.setenv("REPRO_WORKERS", "2")
+
+        def solve_with(backend, spec="planted:n=800"):
+            out = tmp_path / f"{backend}.json"
+            rc = main(["solve", spec, "--problem", "matching",
+                       "--solver", "coreset", "--k", "4", "--seed", "3",
+                       "--executor", backend, "--workers", "2",
+                       "--json", str(out)])
+            assert rc == 0
+            doc = json.loads(out.read_text())
+            doc.pop("wall_time_s")  # the only non-deterministic field
+            return doc
+
+        baseline = solve_with("serial")
+        for backend in self.OTHER_BACKENDS:
+            assert solve_with(backend) == baseline, backend
+
+    def test_shared_local_vs_remote_cache_transfer(self):
+        from repro.core.protocols import matching_coreset_protocol
+        from repro.dist.coordinator import run_simultaneous
+        from repro.dist.executor import ProcessExecutor
+        from repro.dist.remote import RemoteExecutor
+        from repro.graph.generators import planted_matching_gnp
+        from repro.graph.partition import random_k_partition
+
+        graph, _ = planted_matching_gnp(800, 800, p=3.0 / 1600, rng=0)
+        part = random_k_partition(graph, k=4, rng=1)
+        proto = matching_coreset_protocol()
+
+        serial = run_simultaneous(proto, part, rng=2)
+        with ProcessExecutor(max_workers=2) as px:
+            shared = run_simultaneous(proto, part, rng=2, executor=px,
+                                      transfer="shared")
+        with RemoteExecutor(max_workers=2, connect_timeout=60,
+                            cache_min_bytes=0) as rx:
+            cached = run_simultaneous(proto, part, rng=2, executor=rx)
+            assert rx.piece_cache.stats()["pieces_stored"] > 0
+
+        np.testing.assert_array_equal(serial.output, shared.output)
+        np.testing.assert_array_equal(serial.output, cached.output)
+        assert serial.total_bits == shared.total_bits == cached.total_bits
+        for a, b, c in zip(serial.messages, shared.messages,
+                           cached.messages):
+            np.testing.assert_array_equal(a.edges, b.edges)
+            np.testing.assert_array_equal(a.edges, c.edges)
+
+
 class TestStreamDeterminism:
     def test_orders_reproducible(self):
         from repro.graph.generators import bipartite_gnp

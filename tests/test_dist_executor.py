@@ -99,7 +99,8 @@ class TestResolveExecutor:
         assert validate_workers(3) == 3
 
     def test_available_backends(self):
-        assert available_backends() == ("serial", "threads", "processes")
+        assert available_backends() == ("serial", "threads", "processes",
+                                        "remote")
 
 
 # --------------------------------------------------------------------- #

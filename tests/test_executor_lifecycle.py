@@ -25,10 +25,25 @@ from repro.dist.executor import (
     resolve_executor,
 )
 from repro.dist.mapreduce import MapReduceSimulator
+from repro.dist.remote import RemoteExecutor
 from repro.graph.generators import bipartite_gnp, gnp
 from repro.graph.partition import random_k_partition
 
 ALL_EXECUTORS = [SerialExecutor, ThreadExecutor, ProcessExecutor]
+
+
+def _remote():
+    return RemoteExecutor(max_workers=2, connect_timeout=60)
+
+
+#: One factory per backend, remote included: the shared lifecycle contract
+#: is asserted against all four through the same parametrized tests.
+LIFECYCLE_FACTORIES = [
+    pytest.param(SerialExecutor, id="serial"),
+    pytest.param(lambda: ThreadExecutor(max_workers=2), id="threads"),
+    pytest.param(lambda: ProcessExecutor(max_workers=2), id="processes"),
+    pytest.param(_remote, id="remote"),
+]
 
 
 def _square(x):
@@ -83,6 +98,78 @@ class TestCloseSemantics:
         with pytest.raises(ExecutorClosedError):
             with ex:
                 pass  # pragma: no cover - must not be reached
+
+
+# --------------------------------------------------------------------- #
+# the shared lifecycle contract, all four backends (remote included)
+# --------------------------------------------------------------------- #
+class TestLifecycleContract:
+    """PR 4's contract, asserted uniformly: double close is a no-op,
+    submit-after-close raises, the context manager closes, and a fresh
+    executor has created zero pools."""
+
+    @pytest.mark.parametrize("factory", LIFECYCLE_FACTORIES)
+    def test_double_close_is_a_noop(self, factory):
+        ex = factory()
+        ex.map(_square, [1, 2, 3])
+        ex.close()
+        ex.close()
+        ex.close()  # any number of closes: still just closed
+        assert ex.closed
+
+    @pytest.mark.parametrize("factory", LIFECYCLE_FACTORIES)
+    def test_submit_after_close_raises(self, factory):
+        ex = factory()
+        ex.close()
+        with pytest.raises(ExecutorClosedError, match="closed"):
+            ex.map(_square, [1])
+        with pytest.raises(ExecutorClosedError):
+            ex.map(_square, [])  # even an empty barrier is refused
+
+    @pytest.mark.parametrize("factory", LIFECYCLE_FACTORIES)
+    def test_close_without_any_map_is_fine(self, factory):
+        ex = factory()
+        ex.close()
+        assert ex.closed
+
+    @pytest.mark.parametrize("factory", LIFECYCLE_FACTORIES)
+    def test_context_manager_closes(self, factory):
+        with factory() as ex:
+            assert ex.map(_square, [2, 3]) == [4, 9]
+        assert ex.closed
+
+    @pytest.mark.parametrize("factory", LIFECYCLE_FACTORIES[1:])
+    def test_pool_counter_starts_at_zero_and_sticks_at_one(self, factory):
+        ex = factory()
+        try:
+            assert ex.pools_created == 0  # lazy: no pool before first map
+            ex.map(_square, range(4))
+            assert ex.pools_created == 1
+            ex.map(_square, range(4))
+            ex.map(_square, range(4))
+            assert ex.pools_created == 1  # persistent, not per-barrier
+        finally:
+            ex.close()
+
+
+# --------------------------------------------------------------------- #
+# pool-replacement counters (the observable half of discard/replace)
+# --------------------------------------------------------------------- #
+class TestPoolReplacementCounter:
+    def test_process_counter_increments_on_replacement(self):
+        with ProcessExecutor(max_workers=2) as ex:
+            ex.map(_square, range(4))
+            assert ex.pools_created == 1
+            with pytest.raises(WorkerPoolBrokenError):
+                ex.map(_crash, [True, False, True, False])
+            assert ex.pools_created == 1  # discard alone creates nothing
+            assert ex.map(_square, [1, 2, 3]) == [1, 4, 9]
+            assert ex.pools_created == 2  # the replacement pool
+
+    def test_singleton_maps_never_bump_the_counter(self):
+        with ProcessExecutor(max_workers=2) as ex:
+            ex.map(_square, [5])
+            assert ex.pools_created == 0
 
 
 # --------------------------------------------------------------------- #
