@@ -145,6 +145,10 @@ REMOTE_CACHE_MIN_ENV = "REPRO_REMOTE_CACHE_MIN"
 
 _PICKLE_PROTOCOL = pickle.HIGHEST_PROTOCOL
 _RECV_CHUNK = 1 << 20
+#: Default for ``$REPRO_REMOTE_CONNECT_TIMEOUT`` — shared by the
+#: coordinator's wait-for-workers window and the worker's connect-retry
+#: grace so the two sides of the startup race actually mirror.
+_DEFAULT_CONNECT_TIMEOUT = 20.0
 
 
 class RemoteTaskError(ExecutorError):
@@ -346,9 +350,14 @@ class _WorkerConn:
     """Coordinator-side record of one connected worker."""
 
     def __init__(self, sock: socket.socket, info: dict,
-                 proc: Optional[subprocess.Popen]) -> None:
+                 proc: Optional[subprocess.Popen],
+                 reader: Optional[_FrameReader] = None) -> None:
         self.sock = sock
-        self.reader = _FrameReader(sock)
+        # Reuse the reader that consumed the hello frame: any bytes it
+        # recv'd past the hello (an early heartbeat coalesced into the
+        # same chunk) are buffered there, and dropping them would desync
+        # the length-prefixed stream permanently.
+        self.reader = reader if reader is not None else _FrameReader(sock)
         self.info = info
         self.proc = proc
         self.send_lock = threading.Lock()
@@ -436,7 +445,8 @@ class _RemotePool:
         """Read the hello frame and register the worker."""
         try:
             conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-            hello = _FrameReader(conn).recv(timeout=10.0)
+            reader = _FrameReader(conn)
+            hello = reader.recv(timeout=10.0)
             if hello is None or hello[0] != "hello":
                 conn.close()
                 return
@@ -450,7 +460,7 @@ class _RemotePool:
             if candidate.pid == pid:
                 proc = candidate
                 break
-        worker = _WorkerConn(conn, info, proc)
+        worker = _WorkerConn(conn, info, proc, reader=reader)
         with self._cond:
             if self._stopping:
                 conn.close()
@@ -550,13 +560,23 @@ class _RemotePool:
                 current = None
                 index, gen, payload = self._take_task(worker)
                 current = (index, gen)
+                # An idle worker's heartbeats queue unread while this
+                # thread sits in _take_task (nothing reads the socket),
+                # so silence is measured from dispatch, not from the last
+                # frame read — otherwise any idle gap longer than the
+                # heartbeat window falsely retires a live worker.
+                worker.last_seen = time.monotonic()
                 _send_frame(worker.sock, ("task", (gen, index), payload),
                             worker.send_lock)
                 self._await_result(worker, index, gen)
                 worker.tasks_done += 1
         except _PoolStopped:
             pass
-        except (_WorkerGone, ConnectionError, OSError) as exc:
+        except Exception as exc:
+            # Not just (_WorkerGone, ConnectionError, OSError): a corrupt
+            # frame (pickle.UnpicklingError) or any other surprise must
+            # still retire the worker and requeue its in-flight task, or
+            # the barrier blocks forever with no task_timeout set.
             self._retire_worker(worker, current, exc)
 
     def _take_task(self, worker: _WorkerConn) -> Tuple[int, int, bytes]:
@@ -805,7 +825,8 @@ class RemoteExecutor(Executor):
         self.retries = int(retries)
         if connect_timeout is None:
             connect_timeout = float(
-                os.environ.get(REMOTE_CONNECT_TIMEOUT_ENV, 20.0)
+                os.environ.get(REMOTE_CONNECT_TIMEOUT_ENV,
+                               _DEFAULT_CONNECT_TIMEOUT)
             )
         self.connect_timeout = float(connect_timeout)
         if heartbeat_interval is None:
@@ -1008,7 +1029,8 @@ def worker_main(connect: str, tag: Optional[str] = None) -> int:
     # starts both concurrently), so a refused connection is retried for a
     # grace window rather than failing on the first attempt.  The window
     # mirrors the coordinator's wait-for-workers knob.
-    grace = float(os.environ.get(REMOTE_CONNECT_TIMEOUT_ENV, 10.0))
+    grace = float(os.environ.get(REMOTE_CONNECT_TIMEOUT_ENV,
+                                 _DEFAULT_CONNECT_TIMEOUT))
     deadline = time.monotonic() + grace
     while True:
         try:

@@ -88,6 +88,25 @@ class TestMap:
             assert ex._pool is pool
             assert ex.pools_created == 1
 
+    def test_idle_gap_does_not_retire_workers(self):
+        # Regression: an idle worker's heartbeats queue unread while its
+        # handler thread waits for work, so silence must be measured from
+        # task dispatch — an idle gap longer than the heartbeat window
+        # between barriers must not falsely retire live workers.
+        import time
+
+        with _executor() as ex:
+            assert ex.map(square, range(4)) == [x * x for x in range(4)]
+            pool = ex._pool
+            before = list(pool._workers)
+            ex.heartbeat_window = 1.0  # shrink so the test stays fast
+            time.sleep(2.0)  # idle strictly longer than the window
+            assert ex.map(square, range(4)) == [x * x for x in range(4)]
+            # A false retirement would drop (and kill) the original
+            # _WorkerConn objects and respawn replacements.
+            assert list(pool._workers) == before
+            assert ex.pools_created == 1
+
 
 # --------------------------------------------------------------------- #
 # the piece cache
