@@ -13,6 +13,7 @@
     python -m repro bench [--quick --check --out BENCH_substrate.json]
     python -m repro report [--results benchmarks/results -o report.md]
     python -m repro report --diff OLD.json NEW.json
+    python -m repro serve --port 8080 --graph demo=planted:n=4000
     python -m repro worker --connect HOST:PORT [--tag NAME]
 
 The CLI is a thin shell over the declarative experiment registry
@@ -145,6 +146,41 @@ def build_parser() -> argparse.ArgumentParser:
                         "`repro experiment ... --archive`) instead of "
                         "rendering the report")
 
+    v = sub.add_parser(
+        "serve",
+        help="run the matching-as-a-service HTTP server (repro.serve)",
+        description="Serve the solver registry over HTTP: graphs load "
+                    "once and stay pinned, a persistent executor pool "
+                    "stays warm, concurrent POST /solve requests "
+                    "micro-batch into single barriers, and solvers "
+                    "resolve by capability (problem/model/guarantee). "
+                    "See docs/SERVING.md.",
+    )
+    v.add_argument("--host", default="127.0.0.1",
+                   help="bind address (default 127.0.0.1)")
+    v.add_argument("--port", type=int, default=8080,
+                   help="bind port (default 8080; 0 picks a free port)")
+    v.add_argument("--graph", action="append", default=[], dest="graphs",
+                   metavar="ID=SPEC",
+                   help="preload a graph under ID from a file or generator "
+                        "spec (repeatable), e.g. --graph "
+                        "demo=planted:n=4000; more can be added at "
+                        "runtime via POST /graphs")
+    v.add_argument("--seed", type=int, default=0,
+                   help="generation seed for preloaded generator specs")
+    v.add_argument("--batch-window-ms", type=float, default=5.0,
+                   help="micro-batch window: concurrent requests for one "
+                        "graph arriving within this window share one "
+                        "executor barrier (default 5)")
+    v.add_argument("--max-batch", type=int, default=32,
+                   help="flush a batch early at this many requests "
+                        "(default 32)")
+    v.add_argument("--pin", choices=["auto", "always", "never"],
+                   default="auto",
+                   help="shared-memory graph pinning: auto pins exactly "
+                        "when the pool is a process pool")
+    _add_executor_flags(v)
+
     w = sub.add_parser(
         "worker",
         help="join a remote-executor coordinator as a worker process",
@@ -226,6 +262,8 @@ def _cmd_solve(args: argparse.Namespace) -> int:
                 flags.append("weighted")
             if spec.uses_k:
                 flags.append("uses-k")
+            if spec.baseline:
+                flags.append("baseline")
             flag_text = f" [{', '.join(flags)}]" if flags else ""
             print(f"{spec.name:32s} {spec.problem:12s} {spec.model:10s} "
                   f"{spec.guarantee}{flag_text}")
@@ -382,6 +420,37 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         return 2
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import ServeConfig, serve_main
+
+    preload = []
+    for item in args.graphs:
+        graph_id, sep, source = item.partition("=")
+        graph_id = graph_id.strip()
+        if not sep or not graph_id or not source.strip():
+            print(f"--graph expects ID=SPEC, got {item!r}", file=sys.stderr)
+            return 2
+        preload.append((graph_id, source.strip()))
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        executor=args.executor,
+        workers=args.workers,
+        batch_window_ms=args.batch_window_ms,
+        max_batch=args.max_batch,
+        pin=args.pin,
+        preload=tuple(preload),
+        seed=args.seed,
+    )
+    try:
+        return serve_main(config)
+    except (ValueError, OSError) as exc:  # bad flag combo or bind failure
+        print(f"serve: {exc}", file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:
+        return 130
+
+
 def _cmd_worker(args: argparse.Namespace) -> int:
     from repro.dist.remote import worker_main
 
@@ -436,6 +505,7 @@ _COMMANDS = {
     "list-experiments": _cmd_list,
     "bench": _cmd_bench,
     "report": _cmd_report,
+    "serve": _cmd_serve,
     "worker": _cmd_worker,
 }
 

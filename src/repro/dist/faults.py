@@ -1,0 +1,70 @@
+"""Env-triggered fault injection shared by every worker loop.
+
+The chaos hooks started life inside :mod:`repro.dist.remote` (PR 6): a
+``repro worker`` process checks a handful of ``REPRO_CHAOS_*`` variables
+once per task and misbehaves on cue — exit hard, hang, or stall — so the
+fault-injection suite (``tests/chaos.py``) can prove the coordinator's
+failure paths with *real* process deaths instead of mocks.  The serving
+layer (:mod:`repro.serve`) runs its solve tasks on pool workers that need
+exactly the same hooks, so they live here, importable without dragging in
+the remote executor's socket machinery.
+
+Protocol (all read from ``os.environ`` at task time, so pool workers
+inherit whatever the test armed before the pool was spawned):
+
+``REPRO_CHAOS_KILL``
+    ``os._exit(REPRO_CHAOS_EXIT or 17)`` before executing the task.
+``REPRO_CHAOS_HANG``
+    sleep ``REPRO_CHAOS_HANG_S`` (default: effectively forever) instead.
+``REPRO_CHAOS_SLOW_MS``
+    merely delay the task by that many milliseconds.
+``REPRO_CHAOS_AFTER``
+    arm the hook from the Nth task this worker executes (default 1).
+``REPRO_CHAOS_LATCH``
+    a path claimed with ``O_CREAT | O_EXCL``: exactly one process fires
+    the fault, exactly once; everyone else runs clean.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+__all__ = ["claim_latch", "maybe_chaos"]
+
+_CHAOS_VARS = ("REPRO_CHAOS_KILL", "REPRO_CHAOS_HANG", "REPRO_CHAOS_SLOW_MS")
+
+
+def claim_latch(path: str) -> bool:
+    """Atomically claim the chaos latch; only the claimant misbehaves."""
+    try:
+        fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except FileExistsError:
+        return False
+    os.write(fd, str(os.getpid()).encode())
+    os.close(fd)
+    return True
+
+
+def maybe_chaos(task_seq: int) -> None:
+    """Env-triggered fault injection, run before each task executes.
+
+    ``task_seq`` is 1-based: the caller counts the tasks *this process*
+    has been handed.  With none of the chaos variables set this is three
+    dict lookups — cheap enough to sit on every task path unconditionally.
+    """
+    env = os.environ
+    if not any(v in env for v in _CHAOS_VARS):
+        return
+    if task_seq < int(env.get("REPRO_CHAOS_AFTER", "1")):
+        return
+    latch = env.get("REPRO_CHAOS_LATCH")
+    if latch is not None and not claim_latch(latch):
+        return
+    slow = env.get("REPRO_CHAOS_SLOW_MS")
+    if slow:
+        time.sleep(int(slow) / 1000.0)
+    if env.get("REPRO_CHAOS_HANG"):
+        time.sleep(float(env.get("REPRO_CHAOS_HANG_S", "3600")))
+    if env.get("REPRO_CHAOS_KILL"):
+        os._exit(int(env.get("REPRO_CHAOS_EXIT", "17")))

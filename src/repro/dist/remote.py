@@ -976,43 +976,11 @@ def _parse_address(text: str) -> Tuple[str, int]:
 # --------------------------------------------------------------------- #
 # fault injection (the chaos hooks tests/chaos.py drives)
 # --------------------------------------------------------------------- #
-_CHAOS_VARS = ("REPRO_CHAOS_KILL", "REPRO_CHAOS_HANG", "REPRO_CHAOS_SLOW_MS")
-
-
-def _claim_latch(path: str) -> bool:
-    """Atomically claim the chaos latch; only the claimant misbehaves."""
-    try:
-        fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
-    except FileExistsError:
-        return False
-    os.write(fd, str(os.getpid()).encode())
-    os.close(fd)
-    return True
-
-
-def _maybe_chaos(task_seq: int) -> None:
-    """Env-triggered fault injection, run before each task executes.
-
-    ``REPRO_CHAOS_AFTER`` (default 1) arms the hook from the Nth task this
-    worker receives; ``REPRO_CHAOS_LATCH`` (a path) scopes the fault to
-    exactly one claimant process.  With none of the chaos variables set
-    this is three dict lookups.
-    """
-    env = os.environ
-    if not any(v in env for v in _CHAOS_VARS):
-        return
-    if task_seq < int(env.get("REPRO_CHAOS_AFTER", "1")):
-        return
-    latch = env.get("REPRO_CHAOS_LATCH")
-    if latch is not None and not _claim_latch(latch):
-        return
-    slow = env.get("REPRO_CHAOS_SLOW_MS")
-    if slow:
-        time.sleep(int(slow) / 1000.0)
-    if env.get("REPRO_CHAOS_HANG"):
-        time.sleep(float(env.get("REPRO_CHAOS_HANG_S", "3600")))
-    if env.get("REPRO_CHAOS_KILL"):
-        os._exit(int(env.get("REPRO_CHAOS_EXIT", "17")))
+# The hooks themselves moved to repro.dist.faults so the serving layer's
+# pool workers can share them without importing the socket machinery;
+# the aliases keep this module's historical surface intact.
+from repro.dist.faults import claim_latch as _claim_latch  # noqa: E402,F401
+from repro.dist.faults import maybe_chaos as _maybe_chaos  # noqa: E402
 
 
 # --------------------------------------------------------------------- #

@@ -1,0 +1,51 @@
+"""``repro.serve`` — the library's solvers behind a long-lived HTTP API.
+
+``repro solve`` pays its full cost on every invocation: import, graph
+load, pool start-up, partition pack.  This package keeps all of that
+warm in one process — graphs pinned in a :class:`~repro.serve.store.
+GraphStore`, a persistent executor pool, concurrent requests micro-
+batched into single barriers (:mod:`repro.serve.batcher`) — behind a
+small stdlib-asyncio HTTP server (:mod:`repro.serve.app`).  Requests
+name a solver explicitly or resolve one by capability
+(:mod:`repro.solve.capabilities`); results are byte-identical per seed
+to one-shot ``repro solve`` runs, which the serving test suite
+(``tests/test_serve_api.py``) asserts end to end.
+
+See ``docs/SERVING.md`` for the API reference and the determinism and
+fault-tolerance contracts.
+"""
+
+from repro.serve.app import ReproServer, ServeConfig, serve_main
+from repro.serve.batcher import MicroBatcher
+from repro.serve.client import ServeClient, ServeClientError
+from repro.serve.protocol import (
+    BadRequest,
+    Conflict,
+    NotFound,
+    PoolBroken,
+    ServeError,
+    SolveFailed,
+    UnresolvableCapability,
+)
+from repro.serve.store import GraphStore, PinnedGraph
+from repro.serve.tasks import SolveTask, run_solve_task
+
+__all__ = [
+    "BadRequest",
+    "Conflict",
+    "GraphStore",
+    "MicroBatcher",
+    "NotFound",
+    "PinnedGraph",
+    "PoolBroken",
+    "ReproServer",
+    "ServeClient",
+    "ServeClientError",
+    "ServeConfig",
+    "ServeError",
+    "SolveFailed",
+    "SolveTask",
+    "UnresolvableCapability",
+    "run_solve_task",
+    "serve_main",
+]

@@ -1,0 +1,577 @@
+"""``repro serve`` — matching-as-a-service over the solver registry.
+
+A deliberately small asyncio HTTP/1.1 server (stdlib only, no framework)
+that turns the library's one-shot ``repro solve`` pipeline into a
+long-lived service:
+
+* **graphs load once** — at startup (``--graph id=SPEC``) or at runtime
+  (``POST /graphs``) — and stay pinned in a :class:`~repro.serve.store.
+  GraphStore`; with a process pool the edges sit in shared memory and
+  requests ship only handles;
+* **the executor pool is warm** — one persistent backend for the server's
+  lifetime, so no request pays pool start-up;
+* **requests resolve solvers by capability** — ``{"problem":
+  "matching", "model": "coreset"}`` picks the best registered
+  :class:`~repro.solve.registry.SolverSpec` for that graph via
+  :func:`~repro.solve.capabilities.resolve_capability`, or name one
+  explicitly with ``{"solver": ...}``;
+* **concurrent requests micro-batch** — same graph, one executor barrier
+  (:mod:`repro.serve.batcher`), byte-identical results to serial solves;
+* **``POST /compare``** runs several solvers side by side on one graph in
+  a single batch.
+
+Routes
+------
+======  ==================  =============================================
+GET     /healthz            liveness + graph count
+GET     /stats              server / batcher / store / executor counters
+GET     /solvers            registry capabilities (+ resolution order
+                            with ``?problem=``)
+GET     /graphs             registered graph infos
+POST    /graphs             register ``{"id", "source", "seed"}``
+GET     /graphs/<id>        one graph's info
+DELETE  /graphs/<id>        unregister (refcounted; never yanks in-flight)
+POST    /solve              one solve (see ``parse_solve_request``)
+POST    /compare            side-by-side solvers on one graph
+======  ==================  =============================================
+
+Errors are always JSON ``{"error": {"code", "message", ...}}`` with the
+taxonomy of :mod:`repro.serve.protocol`; a crashed worker pool costs the
+in-flight batch a 500 ``worker_pool_broken`` and nothing else — the next
+request gets a fresh pool (``tests/test_serve_faults.py``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import os
+import signal
+import time
+from dataclasses import dataclass, replace
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qs
+
+from repro.dist.executor import (
+    EXECUTOR_ENV,
+    ProcessExecutor,
+    resolve_executor,
+)
+from repro.graph.bipartite import BipartiteGraph
+from repro.graph.weights import WeightedGraph
+from repro.serve.batcher import MicroBatcher
+from repro.serve.protocol import (
+    BadRequest,
+    CompareRequest,
+    NotFound,
+    ServeError,
+    SolveRequest,
+    UnresolvableCapability,
+    parse_compare_request,
+    parse_graph_request,
+    parse_solve_request,
+)
+from repro.serve.store import GraphStore, PinnedGraph
+from repro.serve.tasks import SolveTask, warm_worker
+from repro.solve.capabilities import (
+    CapabilityResolutionError,
+    rank_candidates,
+)
+from repro.solve.registry import (
+    SolverSpec,
+    UnknownSolverError,
+    all_solvers,
+    get_solver,
+)
+
+__all__ = ["ReproServer", "ServeConfig", "serve_main"]
+
+_REASONS = {
+    200: "OK", 201: "Created", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 409: "Conflict", 413: "Payload Too Large",
+    422: "Unprocessable Entity", 500: "Internal Server Error",
+}
+
+
+class _MethodNotAllowed(ServeError):
+    status = 405
+    code = "method_not_allowed"
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Everything ``repro serve`` needs to boot.
+
+    ``executor=None`` resolves ``$REPRO_EXECUTOR`` and falls back to
+    ``"threads"`` — serving wants a warm in-process pool by default, not
+    the library-wide serial default.  ``pin`` controls shared-memory graph
+    pinning: ``"auto"`` pins exactly when the pool is a process pool,
+    ``"always"``/``"never"`` force it.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    executor: Optional[str] = None
+    workers: Optional[int] = None
+    batch_window_ms: float = 5.0
+    max_batch: int = 32
+    max_body_bytes: int = 8 * 1024 * 1024
+    pin: str = "auto"
+    preload: Tuple[Tuple[str, str], ...] = ()
+    seed: int = 0
+
+
+class ReproServer:
+    """The serving facade: graph store + warm pool + micro-batcher + HTTP."""
+
+    def __init__(self, config: Optional[ServeConfig] = None,
+                 **overrides: Any) -> None:
+        self.config = config if config is not None else ServeConfig(**overrides)
+        cfg = self.config
+        if cfg.pin not in ("auto", "always", "never"):
+            raise ValueError(
+                f"pin must be auto/always/never, got {cfg.pin!r}"
+            )
+        self.executor_name = (
+            cfg.executor or os.environ.get(EXECUTOR_ENV) or "threads"
+        )
+        self.executor = resolve_executor(self.executor_name,
+                                         workers=cfg.workers)
+        # Handles (shared segments) ship to process pools; in-process pools
+        # share the graph object itself and additionally reuse pinned
+        # partition views across requests with the same (k, seed).
+        self.ship_handles = (
+            cfg.pin == "always"
+            or (cfg.pin == "auto"
+                and isinstance(self.executor, ProcessExecutor))
+        )
+        # Warm the pool now: the lazy backends run single-task barriers
+        # inline until a pool exists, and a serving process must never
+        # execute solver code (or chaos hooks) in its own process.
+        self.executor.map(warm_worker, [0, 1])
+        self.store = GraphStore(pin_shared=self.ship_handles)
+        self.batcher = MicroBatcher(
+            self.executor,
+            window_s=cfg.batch_window_ms / 1000.0,
+            max_batch=cfg.max_batch,
+        )
+        self._server: Optional[asyncio.AbstractServer] = None
+        self.host = cfg.host
+        self.port = cfg.port
+        self._started = time.monotonic()
+        self.requests_total = 0
+        self.errors_total = 0
+        self.route_counts: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_client, self.host, self.config.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def aclose(self) -> None:
+        """Stop accepting, drain in-flight batches, release everything."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.batcher.drain()
+        self.executor.close()
+        self.store.close()
+
+    async def __aenter__(self) -> "ReproServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info: Any) -> None:
+        await self.aclose()
+
+    def add_graph(self, graph_id: str, source: str = "<direct>",
+                  seed: int = 0, graph: Any = None) -> PinnedGraph:
+        """Synchronous registration for preload paths and tests."""
+        return self.store.register(graph_id, source, seed=seed, graph=graph)
+
+    # ------------------------------------------------------------------ #
+    # HTTP plumbing
+    # ------------------------------------------------------------------ #
+    async def _handle_client(self, reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                request_line = await reader.readline()
+                if not request_line:
+                    return
+                parts = request_line.decode("latin-1").split()
+                if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+                    self._write(writer, 400, BadRequest(
+                        "malformed request line").to_doc(), False)
+                    await writer.drain()
+                    return
+                method, raw_path, _version = parts
+                headers: Dict[str, str] = {}
+                while True:
+                    line = await reader.readline()
+                    if line in (b"\r\n", b"\n", b""):
+                        break
+                    name, _, value = line.decode("latin-1").partition(":")
+                    headers[name.strip().lower()] = value.strip()
+                try:
+                    length = int(headers.get("content-length", "0"))
+                except ValueError:
+                    length = -1
+                if length < 0 or length > self.config.max_body_bytes:
+                    self._write(writer, 413, BadRequest(
+                        "invalid or oversized content-length",
+                        limit=self.config.max_body_bytes).to_doc(), False)
+                    await writer.drain()
+                    return
+                body = await reader.readexactly(length) if length else b""
+                keep = headers.get("connection", "").lower() != "close"
+                status, doc = await self._route(method.upper(), raw_path,
+                                                body)
+                self._write(writer, status, doc, keep)
+                await writer.drain()
+                if not keep:
+                    return
+        except (asyncio.IncompleteReadError, ConnectionResetError,
+                BrokenPipeError):
+            pass  # client went away mid-request; nothing to answer
+        finally:
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    @staticmethod
+    def _write(writer: asyncio.StreamWriter, status: int,
+               doc: Any, keep_alive: bool) -> None:
+        body = json.dumps(doc).encode("utf-8")
+        head = (
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Error')}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            f"\r\n"
+        )
+        writer.write(head.encode("latin-1") + body)
+
+    async def _route(self, method: str, raw_path: str,
+                     body: bytes) -> Tuple[int, Any]:
+        self.requests_total += 1
+        path, _, query_text = raw_path.partition("?")
+        self.route_counts[f"{method} {path}"] = (
+            self.route_counts.get(f"{method} {path}", 0) + 1
+        )
+        try:
+            return await self._dispatch(method, path, query_text, body)
+        except ServeError as exc:
+            self.errors_total += 1
+            return exc.status, exc.to_doc()
+        except Exception as exc:  # noqa: BLE001 - the server must not die
+            self.errors_total += 1
+            return 500, ServeError(
+                f"internal error: {type(exc).__name__}: {exc}"
+            ).to_doc()
+
+    @staticmethod
+    def _json_body(body: bytes) -> Any:
+        if not body:
+            raise BadRequest("request body is empty; expected JSON")
+        try:
+            return json.loads(body)
+        except ValueError as exc:
+            raise BadRequest(f"request body is not valid JSON: {exc}")
+
+    async def _dispatch(self, method: str, path: str, query_text: str,
+                        body: bytes) -> Tuple[int, Any]:
+        query = {k: v[-1] for k, v in parse_qs(query_text).items()}
+        if path == "/healthz":
+            self._need(method, "GET", path)
+            return 200, {"ok": True, "graphs": len(self.store.ids())}
+        if path == "/stats":
+            self._need(method, "GET", path)
+            return 200, self._stats_doc()
+        if path == "/solvers":
+            self._need(method, "GET", path)
+            return 200, self._solvers_doc(query)
+        if path == "/graphs":
+            if method == "GET":
+                return 200, {"graphs": self.store.infos()}
+            self._need(method, "POST", path)
+            req = parse_graph_request(self._json_body(body))
+            loop = asyncio.get_running_loop()
+            try:
+                pg = await loop.run_in_executor(
+                    None, lambda: self.store.register(
+                        req.graph_id, req.source, seed=req.seed)
+                )
+            except (ValueError, OSError) as exc:
+                # load_graph rejected the spec (unknown generator, bad
+                # KEY=VALUE, unreadable file) — the caller's fault, not ours.
+                raise BadRequest(str(exc), source=req.source)
+            return 201, pg.info()
+        if path.startswith("/graphs/"):
+            graph_id = path[len("/graphs/"):]
+            if method == "GET":
+                return 200, self.store.get(graph_id).info()
+            self._need(method, "DELETE", path)
+            return 200, {"unregistered": self.store.unregister(graph_id)}
+        if path == "/solve":
+            self._need(method, "POST", path)
+            req = parse_solve_request(self._json_body(body))
+            return 200, await self._do_solve(req)
+        if path == "/compare":
+            self._need(method, "POST", path)
+            req = parse_compare_request(self._json_body(body))
+            return 200, await self._do_compare(req)
+        raise NotFound(f"no route {path!r}")
+
+    @staticmethod
+    def _need(method: str, expected: str, path: str) -> None:
+        if method != expected:
+            raise _MethodNotAllowed(
+                f"{method} is not allowed for {path} (use {expected})",
+                allowed=expected,
+            )
+
+    # ------------------------------------------------------------------ #
+    # documents
+    # ------------------------------------------------------------------ #
+    def _stats_doc(self) -> Dict[str, Any]:
+        return {
+            "server": {
+                "uptime_s": round(time.monotonic() - self._started, 3),
+                "requests_total": self.requests_total,
+                "errors_total": self.errors_total,
+                "routes": dict(self.route_counts),
+            },
+            "executor": {
+                "backend": self.executor_name,
+                "workers": self.config.workers,
+                "ship_handles": self.ship_handles,
+            },
+            "batcher": self.batcher.stats(),
+            "store": self.store.stats(),
+        }
+
+    def _solvers_doc(self, query: Dict[str, str]) -> Dict[str, Any]:
+        doc: Dict[str, Any] = {
+            "solvers": [s.capabilities() for s in all_solvers()],
+        }
+        problem = query.get("problem")
+        if problem:
+            try:
+                ranked = rank_candidates(
+                    problem,
+                    model=query.get("model") or None,
+                    guarantee=query.get("guarantee") or None,
+                )
+                doc["resolution_order"] = [s.name for s in ranked]
+            except CapabilityResolutionError as exc:
+                raise UnresolvableCapability(str(exc),
+                                             query=exc.query.to_dict())
+        return doc
+
+    # ------------------------------------------------------------------ #
+    # solving
+    # ------------------------------------------------------------------ #
+    def _resolve_spec(self, req: SolveRequest, graph: Any) -> SolverSpec:
+        if req.solver is not None:
+            try:
+                return get_solver(req.solver)
+            except UnknownSolverError as exc:
+                raise NotFound(str(exc), solver=req.solver)
+        try:
+            return rank_candidates(
+                req.problem,
+                model=req.model,
+                guarantee=req.guarantee,
+                weighted=req.weighted,
+                graph=graph,
+                has_k=req.k is not None,
+            )[0]
+        except CapabilityResolutionError as exc:
+            raise UnresolvableCapability(
+                str(exc), query=exc.query.to_dict(),
+                candidates=list(exc.candidates),
+            )
+
+    @staticmethod
+    def _precheck(spec: SolverSpec, graph: Any, k: Optional[int],
+                  params: Dict[str, Any]) -> None:
+        """Reject with a 4xx everything the facade would reject with a
+        raise — capability mismatches must never cost a pool round-trip."""
+        if spec.bipartite_only and not isinstance(graph, BipartiteGraph):
+            raise BadRequest(
+                f"solver {spec.name!r} requires a bipartite graph, "
+                f"got {type(graph).__name__}",
+                solver=spec.name,
+            )
+        if spec.weighted and not isinstance(graph, WeightedGraph):
+            raise BadRequest(
+                f"solver {spec.name!r} requires a weighted graph, "
+                f"got {type(graph).__name__}",
+                solver=spec.name,
+            )
+        if spec.model == "coreset" and k is None:
+            raise BadRequest(
+                f"solver {spec.name!r} runs in the k-machine coreset "
+                f"model; the request must set 'k'",
+                solver=spec.name,
+            )
+        unknown = sorted(set(params) - set(spec.params))
+        if unknown:
+            raise BadRequest(
+                f"solver {spec.name!r} has no parameter(s) "
+                f"{', '.join(unknown)}; settable: "
+                f"{', '.join(sorted(spec.params)) or '(none)'}",
+                solver=spec.name,
+            )
+
+    def _make_task(self, pg: PinnedGraph, spec: SolverSpec, seed: int,
+                   k: Optional[int], params: Dict[str, Any], verify: bool,
+                   include_certificate: bool) -> SolveTask:
+        task = SolveTask(
+            graph_id=pg.graph_id, solver=spec.name, seed=seed, k=k,
+            params=params, verify=verify,
+            include_certificate=include_certificate,
+        )
+        if self.ship_handles and pg.handle is not None:
+            return replace(task, handle=pg.handle, weights=pg.weights)
+        return replace(task, graph=pg.graph)
+
+    def _wants_view(self, spec: SolverSpec, task: SolveTask) -> bool:
+        # Partition pinning rides the in-process path only: process workers
+        # rebuild the partition from the seed (bit-identical by contract).
+        return (task.graph is not None and spec.model == "coreset"
+                and "partition" in spec.params and task.k is not None)
+
+    async def _submit(self, pg: PinnedGraph, spec: SolverSpec,
+                      task: SolveTask) -> Dict[str, Any]:
+        loop = asyncio.get_running_loop()
+        leased = False
+        try:
+            if self._wants_view(spec, task):
+                view = await loop.run_in_executor(
+                    None, self.store.lease_view, pg, task.k, task.seed
+                )
+                leased = True
+                task = replace(task, partition=view)
+            payload = await self.batcher.submit(pg.graph_id, task)
+            pg.solves += 1
+            return payload
+        finally:
+            if leased:
+                self.store.release_view(pg, task.k, task.seed)
+
+    async def _do_solve(self, req: SolveRequest) -> Dict[str, Any]:
+        pg = self.store.acquire(req.graph_id)
+        try:
+            spec = self._resolve_spec(req, pg.graph)
+            self._precheck(spec, pg.graph, req.k, req.params)
+            task = self._make_task(pg, spec, req.seed, req.k, req.params,
+                                   req.verify, req.include_certificate)
+            payload = await self._submit(pg, spec, task)
+        finally:
+            self.store.release(pg)
+        doc = {
+            "graph": req.graph_id,
+            "solver": spec.name,
+            "seed": req.seed,
+            "k": req.k,
+            "batch_size": payload.get("batch_size", 1),
+        }
+        if not payload["ok"]:
+            from repro.serve.protocol import SolveFailed
+
+            err = payload["error"]
+            raise SolveFailed(err.get("message", "solver failed"),
+                              solver=err.get("solver"),
+                              graph=err.get("graph"))
+        doc["result"] = payload["result"]
+        return doc
+
+    async def _do_compare(self, req: CompareRequest) -> Dict[str, Any]:
+        pg = self.store.acquire(req.graph_id)
+        try:
+            jobs = []
+            for entry in req.entries:
+                try:
+                    spec = get_solver(entry.solver)
+                except UnknownSolverError as exc:
+                    raise NotFound(str(exc), solver=entry.solver)
+                self._precheck(spec, pg.graph, req.k, entry.params)
+                task = self._make_task(pg, spec, req.seed, req.k,
+                                       entry.params, req.verify, False)
+                jobs.append((entry, spec, task))
+            # One gather → the batcher coalesces all entries for this graph
+            # into a single barrier (they share the key and the window).
+            payloads = await asyncio.gather(
+                *(self._submit(pg, spec, task) for _, spec, task in jobs),
+                return_exceptions=True,
+            )
+        finally:
+            self.store.release(pg)
+        columns = []
+        for (entry, spec, _), payload in zip(jobs, payloads):
+            column: Dict[str, Any] = {
+                "label": entry.label or spec.name,
+                "solver": spec.name,
+                "params": dict(entry.params),
+            }
+            if isinstance(payload, BaseException):
+                if not isinstance(payload, ServeError):
+                    raise payload
+                column["ok"] = False
+                column["error"] = payload.to_doc()["error"]
+            elif payload["ok"]:
+                column["ok"] = True
+                column["result"] = payload["result"]
+            else:
+                column["ok"] = False
+                column["error"] = payload["error"]
+            columns.append(column)
+        values = [c["result"]["value"] for c in columns if c["ok"]]
+        return {
+            "graph": req.graph_id,
+            "seed": req.seed,
+            "k": req.k,
+            "solvers": columns,
+            "summary": {
+                "completed": len(values),
+                "failed": len(columns) - len(values),
+                "best_value": max(values) if values else None,
+            },
+        }
+
+
+# --------------------------------------------------------------------- #
+# process entry point
+# --------------------------------------------------------------------- #
+def serve_main(config: ServeConfig) -> int:
+    """Run the server until SIGTERM/SIGINT; the ``repro serve`` body."""
+
+    async def _run() -> int:
+        server = ReproServer(config)
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(sig, stop.set)
+        await server.start()
+        for graph_id, source in config.preload:
+            pg = server.add_graph(graph_id, source, seed=config.seed)
+            print(f"pinned graph {graph_id!r}: {pg.info()['kind']} "
+                  f"n={pg.graph.n_vertices} m={pg.graph.n_edges}",
+                  flush=True)
+        print(f"repro serve listening on http://{server.host}:{server.port} "
+              f"(executor={server.executor_name}, "
+              f"batch window {config.batch_window_ms:g} ms)", flush=True)
+        await stop.wait()
+        print("repro serve: draining and shutting down", flush=True)
+        await server.aclose()
+        return 0
+
+    return asyncio.run(_run())

@@ -1,0 +1,163 @@
+"""Micro-batching: concurrent requests for one graph share one barrier.
+
+The server's unit of executor work is a *batch*: every ``POST /solve``
+that arrives within ``window_s`` of the first pending request for the
+same graph joins its batch, and the whole batch runs as **one**
+``executor.map(run_solve_task, tasks)`` — one barrier, one pool wake-up,
+one pass over the pinned graph, however many clients are waiting.  A
+batch also flushes early the moment it reaches ``max_batch``, so a
+saturating client never waits out the window.
+
+Each request still gets its own :class:`~repro.serve.tasks.SolveTask`
+(own seed, own solver, own params) and its own result future; batching
+changes *scheduling only*, never results — the facade's per-seed
+determinism contract is what makes that safe, and
+``tests/test_serve_api.py`` asserts byte-identical answers whether a
+request ran alone or inside a 16-wide batch.
+
+Flushes are serialized by an asyncio lock: the repro executors create
+their pools lazily inside ``map``, which is not safe to race from two
+threads, and "one barrier at a time" is exactly the semantics the batch
+stats report.  A broken pool (:class:`~repro.dist.executor.
+WorkerPoolBrokenError`) fails only the in-flight batch — the executor
+has already discarded the pool, so the next batch gets a fresh one.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.dist.executor import Executor, WorkerPoolBrokenError
+from repro.serve.protocol import PoolBroken, SolveFailed
+from repro.serve.tasks import SolveTask, run_solve_task, warm_worker
+
+__all__ = ["MicroBatcher"]
+
+
+class _Bucket:
+    """Requests for one graph key, waiting for the window to close."""
+
+    __slots__ = ("entries", "timer")
+
+    def __init__(self) -> None:
+        self.entries: List[Tuple[SolveTask, asyncio.Future]] = []
+        self.timer: Optional[asyncio.TimerHandle] = None
+
+
+class MicroBatcher:
+    """Coalesces concurrent solve tasks into per-graph executor barriers."""
+
+    def __init__(self, executor: Executor, *, window_s: float = 0.005,
+                 max_batch: int = 32) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        self.executor = executor
+        self.window_s = max(0.0, float(window_s))
+        self.max_batch = max_batch
+        self._pending: Dict[str, _Bucket] = {}
+        self._flush_lock = asyncio.Lock()
+        self._inflight: set = set()
+        # stats
+        self.batches = 0
+        self.requests = 0
+        self.batched_requests = 0  # requests that shared a barrier
+        self.max_batch_seen = 0
+        self.pool_breaks = 0
+
+    # ------------------------------------------------------------------ #
+    async def submit(self, key: str, task: SolveTask) -> Dict[str, Any]:
+        """Enqueue one task; resolves to its payload dict after the batch
+        it joined has run.  Raises :class:`~repro.serve.protocol.PoolBroken`
+        / :class:`~repro.serve.protocol.SolveFailed` if the batch's barrier
+        itself failed."""
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        bucket = self._pending.get(key)
+        if bucket is None:
+            bucket = _Bucket()
+            self._pending[key] = bucket
+            bucket.timer = loop.call_later(
+                self.window_s, self._flush_soon, key
+            )
+        bucket.entries.append((task, future))
+        self.requests += 1
+        if len(bucket.entries) >= self.max_batch:
+            self._flush_soon(key)
+        return await future
+
+    def _flush_soon(self, key: str) -> None:
+        bucket = self._pending.pop(key, None)
+        if bucket is None:  # already flushed (window raced the size cap)
+            return
+        if bucket.timer is not None:
+            bucket.timer.cancel()
+        job = asyncio.get_running_loop().create_task(self._run(bucket))
+        self._inflight.add(job)
+        job.add_done_callback(self._inflight.discard)
+
+    async def _run(self, bucket: _Bucket) -> None:
+        tasks = [task for task, _ in bucket.entries]
+        self.batches += 1
+        self.max_batch_seen = max(self.max_batch_seen, len(tasks))
+        if len(tasks) > 1:
+            self.batched_requests += len(tasks)
+        loop = asyncio.get_running_loop()
+        try:
+            async with self._flush_lock:
+                payloads = await loop.run_in_executor(
+                    None, self.executor.map, run_solve_task, tasks
+                )
+        except WorkerPoolBrokenError as exc:
+            self.pool_breaks += 1
+            # Re-warm immediately: the executor discarded its pool, and
+            # until one exists again a single-task barrier would run
+            # inline in the server process — which must never happen.
+            with contextlib.suppress(Exception):
+                async with self._flush_lock:
+                    await loop.run_in_executor(
+                        None, self.executor.map, warm_worker, [0, 1]
+                    )
+            self._reject(bucket, PoolBroken(
+                f"worker pool died mid-batch: {exc}",
+                batch_size=len(tasks),
+            ))
+            return
+        except Exception as exc:  # noqa: BLE001 - surface as structured 500
+            self._reject(bucket, SolveFailed(
+                f"batch execution failed: {type(exc).__name__}: {exc}",
+                batch_size=len(tasks),
+            ))
+            return
+        for (_, future), payload in zip(bucket.entries, payloads):
+            if not future.cancelled():
+                payload = dict(payload)
+                payload["batch_size"] = len(tasks)
+                future.set_result(payload)
+
+    @staticmethod
+    def _reject(bucket: _Bucket, error: Exception) -> None:
+        for _, future in bucket.entries:
+            if not future.cancelled():
+                future.set_exception(error)
+
+    # ------------------------------------------------------------------ #
+    async def drain(self) -> None:
+        """Flush everything pending and wait for in-flight barriers."""
+        for key in list(self._pending):
+            self._flush_soon(key)
+        while self._inflight:
+            await asyncio.gather(*list(self._inflight),
+                                 return_exceptions=True)
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "requests": self.requests,
+            "batches": self.batches,
+            "batched_requests": self.batched_requests,
+            "max_batch_seen": self.max_batch_seen,
+            "pool_breaks": self.pool_breaks,
+            "window_ms": self.window_s * 1000.0,
+            "max_batch": self.max_batch,
+        }

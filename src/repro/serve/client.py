@@ -1,0 +1,172 @@
+"""A minimal asyncio client for the ``repro serve`` HTTP API.
+
+Stdlib-only, like the server: one connection per request
+(``Connection: close``), JSON in, JSON out.  This is the client the
+concurrency tests, the CI smoke job, and ``examples/ad_exchange_matching``
+all drive — keeping their request-building in one place so "what a
+request looks like" is defined exactly once outside the server.
+
+Errors follow the server's taxonomy: any non-2xx response raises
+:class:`ServeClientError` carrying the status and the parsed
+``{"error": {...}}`` document, so a test can assert
+``exc.code == "worker_pool_broken"`` instead of string-matching bodies.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = ["ServeClient", "ServeClientError"]
+
+
+class ServeClientError(RuntimeError):
+    """A non-2xx response from the server."""
+
+    def __init__(self, status: int, doc: Any) -> None:
+        error = (doc or {}).get("error", {}) if isinstance(doc, dict) else {}
+        super().__init__(
+            f"server returned {status}: "
+            f"{error.get('message', 'no error document')}"
+        )
+        self.status = status
+        self.doc = doc
+        self.code = error.get("code", "unknown")
+
+
+class ServeClient:
+    """Talk to one ``repro serve`` instance."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8080,
+                 timeout: float = 120.0) -> None:
+        self.host = host
+        self.port = int(port)
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------ #
+    # transport
+    # ------------------------------------------------------------------ #
+    async def request(self, method: str, path: str,
+                      doc: Any = None) -> Tuple[int, Any]:
+        """One HTTP exchange; returns ``(status, parsed_json_or_None)``.
+
+        The response is read by ``Content-Length``, never until EOF: a
+        server that forks worker processes mid-connection (pool
+        replacement after a crash) leaves duplicate connection fds in the
+        children, so EOF may arrive arbitrarily late even though the
+        response is complete on the wire.
+        """
+        body = b"" if doc is None else json.dumps(doc).encode("utf-8")
+        reader, writer = await asyncio.open_connection(self.host, self.port)
+        try:
+            head = (
+                f"{method} {path} HTTP/1.1\r\n"
+                f"Host: {self.host}:{self.port}\r\n"
+                f"Connection: close\r\n"
+                f"Content-Type: application/json\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                f"\r\n"
+            )
+            writer.write(head.encode("latin-1") + body)
+            await writer.drain()
+            status, parsed = await asyncio.wait_for(
+                self._read_response(reader), timeout=self.timeout
+            )
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+        return status, parsed
+
+    @staticmethod
+    async def _read_response(
+        reader: asyncio.StreamReader,
+    ) -> Tuple[int, Any]:
+        try:
+            header_blob = await reader.readuntil(b"\r\n\r\n")
+        except asyncio.IncompleteReadError as exc:
+            raise ServeClientError(0, {"error": {
+                "code": "bad_response",
+                "message": f"connection closed mid-headers: "
+                           f"{exc.partial[:200]!r}",
+            }})
+        lines = header_blob.split(b"\r\n")
+        status_line = lines[0].split()
+        if len(status_line) < 2 or not status_line[0].startswith(b"HTTP/"):
+            raise ServeClientError(0, {"error": {
+                "code": "bad_response",
+                "message": f"unparseable response: {header_blob[:200]!r}",
+            }})
+        status = int(status_line[1])
+        length = 0
+        for line in lines[1:]:
+            name, _, value = line.partition(b":")
+            if name.strip().lower() == b"content-length":
+                length = int(value.strip())
+        payload = await reader.readexactly(length) if length else b""
+        return status, json.loads(payload) if payload else None
+
+    async def call(self, method: str, path: str, doc: Any = None) -> Any:
+        """Like :meth:`request`, raising :class:`ServeClientError` on 4xx/5xx."""
+        status, parsed = await self.request(method, path, doc)
+        if status >= 400:
+            raise ServeClientError(status, parsed)
+        return parsed
+
+    # ------------------------------------------------------------------ #
+    # endpoints
+    # ------------------------------------------------------------------ #
+    async def healthz(self) -> Dict[str, Any]:
+        return await self.call("GET", "/healthz")
+
+    async def stats(self) -> Dict[str, Any]:
+        return await self.call("GET", "/stats")
+
+    async def solvers(self, problem: Optional[str] = None,
+                      model: Optional[str] = None) -> Dict[str, Any]:
+        query = "&".join(
+            f"{k}={v}" for k, v in (("problem", problem), ("model", model))
+            if v
+        )
+        return await self.call("GET", "/solvers" + (f"?{query}" if query
+                                                    else ""))
+
+    async def graphs(self) -> List[Dict[str, Any]]:
+        return (await self.call("GET", "/graphs"))["graphs"]
+
+    async def register_graph(self, graph_id: str, source: str,
+                             seed: int = 0) -> Dict[str, Any]:
+        return await self.call("POST", "/graphs", {
+            "id": graph_id, "source": source, "seed": seed,
+        })
+
+    async def unregister_graph(self, graph_id: str) -> Dict[str, Any]:
+        return await self.call("DELETE", f"/graphs/{graph_id}")
+
+    async def solve(self, graph_id: str, **fields: Any) -> Dict[str, Any]:
+        """``POST /solve``; fields mirror the request schema
+        (``solver=`` or ``problem=``/``model=``/..., plus ``seed``, ``k``,
+        ``params``, ``verify``, ``certificate``)."""
+        return await self.call("POST", "/solve",
+                               {"graph": graph_id, **fields})
+
+    async def compare(self, graph_id: str, solvers: List[Any],
+                      **fields: Any) -> Dict[str, Any]:
+        return await self.call("POST", "/compare", {
+            "graph": graph_id, "solvers": solvers, **fields,
+        })
+
+    # ------------------------------------------------------------------ #
+    async def wait_ready(self, timeout: float = 15.0) -> Dict[str, Any]:
+        """Poll ``/healthz`` until the server answers (startup races)."""
+        deadline = asyncio.get_running_loop().time() + timeout
+        while True:
+            try:
+                return await self.healthz()
+            except (ConnectionError, OSError, ServeClientError):
+                if asyncio.get_running_loop().time() > deadline:
+                    raise
+                await asyncio.sleep(0.05)

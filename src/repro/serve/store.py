@@ -1,0 +1,306 @@
+"""The server's resident graph store: load once, pin, serve forever.
+
+A :class:`GraphStore` owns every graph the server can solve over.  Each
+graph is loaded once (at startup via ``--graph`` or at runtime via
+``POST /graphs``) and *pinned*: when the worker pool runs in separate
+processes, the edge array is packed into one shared-memory segment up
+front, so each request ships a tiny :class:`~repro.dist.shm.EdgeHandle`
+instead of re-pickling the edges — the serving-layer analogue of
+``SharedPartitionView``'s pay-once contract.
+
+On top of the graphs sits a small LRU of **partition views**: coreset
+solvers derive their k-partition from ``(seed, k)``, so for in-process
+pools the store builds ``random_k_partition`` once per ``(graph, k,
+seed)``, wraps it in a :class:`~repro.dist.shm.SharedPartitionView`, and
+hands the same view to every request that repeats the triple — which is
+exactly what a micro-batch of identical requests does.  The partition rng
+is re-derived from ``RunContext(seed, k).generators(2)[0]`` (the stream
+the adapter itself would draw), so a cached view is bit-identical to the
+partition an unpinned solve would have built.
+
+Unpinning is refcounted and never yanks memory from under a request:
+``unregister`` retires the graph immediately (new requests 404) but
+defers closing segments until every in-flight lease is released — and
+POSIX keeps existing mappings valid past unlink anyway, so even a racing
+worker cannot fault.  ``tests/test_serve_faults.py`` hammers exactly
+this path.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.dist.shm import EdgeHandle, SharedEdgeStore, SharedPartitionView
+from repro.graph.bipartite import BipartiteGraph
+from repro.graph.weights import WeightedGraph
+from repro.serve.protocol import Conflict, NotFound
+
+__all__ = ["GraphStore", "PinnedGraph"]
+
+
+@dataclass
+class _CachedView:
+    """One partition view plus its lease count."""
+
+    view: SharedPartitionView
+    refs: int = 0
+    retired: bool = False
+
+
+@dataclass
+class PinnedGraph:
+    """A registered graph, its shared-segment pin, and its view cache."""
+
+    graph_id: str
+    source: str
+    seed: int
+    graph: Any
+    store: Optional[SharedEdgeStore] = None
+    handle: Optional[EdgeHandle] = None
+    weights: Optional[np.ndarray] = None
+    refs: int = 0
+    retired: bool = False
+    solves: int = 0
+    views: "OrderedDict[Tuple[int, int], _CachedView]" = field(
+        default_factory=OrderedDict
+    )
+
+    def info(self) -> Dict[str, Any]:
+        g = self.graph
+        return {
+            "id": self.graph_id,
+            "source": self.source,
+            "seed": self.seed,
+            "kind": type(g).__name__,
+            "n_vertices": int(g.n_vertices),
+            "n_edges": int(g.n_edges),
+            "bipartite": isinstance(g, BipartiteGraph),
+            "weighted": isinstance(g, WeightedGraph),
+            "pinned_shared": self.handle is not None,
+            "in_flight": self.refs,
+            "partition_views": len(self.views),
+            "solves": self.solves,
+        }
+
+
+class GraphStore:
+    """Thread-safe registry of pinned graphs and cached partition views.
+
+    ``pin_shared=True`` (process pools) packs each registered graph's
+    edges into a shared segment at registration; ``False`` (in-process
+    pools) skips the copy and shares the object directly.
+    ``max_views_per_graph`` bounds the per-graph partition-view LRU.
+    """
+
+    def __init__(self, pin_shared: bool = False,
+                 max_views_per_graph: int = 4) -> None:
+        if max_views_per_graph < 1:
+            raise ValueError("max_views_per_graph must be >= 1")
+        self.pin_shared = pin_shared
+        self.max_views_per_graph = max_views_per_graph
+        self._graphs: Dict[str, PinnedGraph] = {}
+        self._lock = threading.RLock()
+        self.views_created = 0
+        self.view_hits = 0
+
+    # ------------------------------------------------------------------ #
+    # registration
+    # ------------------------------------------------------------------ #
+    def register(self, graph_id: str, source: str, seed: int = 0,
+                 graph: Any = None) -> PinnedGraph:
+        """Load (if needed), pin, and register a graph under ``graph_id``.
+
+        The load and the segment pack run outside the store lock, so a
+        slow registration never stalls in-flight solves; only the final
+        insert is serialized (and re-checks for an id conflict).
+        """
+        with self._lock:
+            if graph_id in self._graphs:
+                raise Conflict(f"graph id {graph_id!r} is already registered",
+                               graph=graph_id)
+        if graph is None:
+            from repro.solve.graphs import load_graph
+
+            graph = load_graph(source, rng=int(seed))
+        store = handle = weights = None
+        if self.pin_shared:
+            store = SharedEdgeStore()
+            if isinstance(graph, WeightedGraph):
+                # Edges pin in the segment; weights are not edge-shaped, so
+                # they ride the task payload (one pickle per task — small
+                # next to re-pickling edges *and* weights every request).
+                handle = store.put_edges(graph.edges, graph.n_vertices)
+                weights = graph.weights
+            else:
+                handle = store.put_graph(graph)
+        pg = PinnedGraph(graph_id=graph_id, source=source, seed=int(seed),
+                         graph=graph, store=store, handle=handle,
+                         weights=weights)
+        with self._lock:
+            if graph_id in self._graphs:
+                if store is not None:
+                    store.close()
+                raise Conflict(f"graph id {graph_id!r} is already registered",
+                               graph=graph_id)
+            self._graphs[graph_id] = pg
+        return pg
+
+    def unregister(self, graph_id: str) -> Dict[str, Any]:
+        """Retire a graph: 404 for new requests, segments freed once the
+        last in-flight lease drains (existing mappings stay valid)."""
+        with self._lock:
+            pg = self._graphs.pop(graph_id, None)
+            if pg is None:
+                raise NotFound(f"no graph registered as {graph_id!r}",
+                               graph=graph_id)
+            pg.retired = True
+            info = pg.info()
+            for key in list(pg.views):
+                cv = pg.views[key]
+                if cv.refs == 0:
+                    del pg.views[key]
+                    cv.view.close()
+                else:
+                    cv.retired = True
+            if pg.refs == 0:
+                self._finalize(pg)
+        return info
+
+    def _finalize(self, pg: PinnedGraph) -> None:
+        if pg.store is not None:
+            pg.store.close()
+            pg.store = None
+
+    # ------------------------------------------------------------------ #
+    # lookup and leases
+    # ------------------------------------------------------------------ #
+    def get(self, graph_id: str) -> PinnedGraph:
+        with self._lock:
+            pg = self._graphs.get(graph_id)
+            if pg is None:
+                raise NotFound(f"no graph registered as {graph_id!r}",
+                               graph=graph_id)
+            return pg
+
+    def acquire(self, graph_id: str) -> PinnedGraph:
+        """Lease a graph for one request; pair with :meth:`release`."""
+        with self._lock:
+            pg = self.get(graph_id)
+            pg.refs += 1
+            return pg
+
+    def release(self, pg: PinnedGraph) -> None:
+        with self._lock:
+            pg.refs -= 1
+            if pg.retired and pg.refs == 0:
+                self._finalize(pg)
+
+    def ids(self) -> List[str]:
+        with self._lock:
+            return list(self._graphs)
+
+    def infos(self) -> List[Dict[str, Any]]:
+        with self._lock:
+            return [pg.info() for pg in self._graphs.values()]
+
+    # ------------------------------------------------------------------ #
+    # partition views
+    # ------------------------------------------------------------------ #
+    def lease_view(self, pg: PinnedGraph, k: int,
+                   seed: int) -> SharedPartitionView:
+        """The pinned partition view for ``(pg, k, seed)``, building it on
+        first use; pair with :meth:`release_view`.
+
+        The partition is derived exactly as the coreset adapters derive it
+        — stream 0 of ``RunContext(seed, k).generators(2)`` feeding
+        ``random_k_partition`` — so handing the view into the solver's
+        ``partition=`` seat is bit-identical to letting it partition
+        itself (``tests/test_serve_api.py`` proves this end to end).
+        """
+        key = (int(k), int(seed))
+        with self._lock:
+            cv = pg.views.get(key)
+            if cv is not None:
+                pg.views.move_to_end(key)
+                cv.refs += 1
+                self.view_hits += 1
+                return cv.view
+        # Build outside the lock: partitioning is O(m) and must not stall
+        # unrelated requests.
+        from repro.graph.partition import random_k_partition
+        from repro.solve.context import RunContext
+
+        rng = RunContext(seed=seed, k=k).generators(2)[0]
+        view = SharedPartitionView(random_k_partition(pg.graph, k, rng))
+        with self._lock:
+            cv = pg.views.get(key)
+            if cv is not None:  # lost a build race; use the winner's view
+                view.close()
+                pg.views.move_to_end(key)
+                cv.refs += 1
+                self.view_hits += 1
+                return cv.view
+            if pg.retired:
+                view.close()
+                raise NotFound(
+                    f"graph {pg.graph_id!r} was unregistered",
+                    graph=pg.graph_id,
+                )
+            pg.views[key] = _CachedView(view=view, refs=1)
+            self.views_created += 1
+            self._evict_views(pg)
+            return view
+
+    def release_view(self, pg: PinnedGraph, k: int, seed: int) -> None:
+        key = (int(k), int(seed))
+        with self._lock:
+            cv = pg.views.get(key)
+            if cv is None:
+                return
+            cv.refs -= 1
+            if cv.retired and cv.refs == 0:
+                del pg.views[key]
+                cv.view.close()
+
+    def _evict_views(self, pg: PinnedGraph) -> None:
+        # Oldest unleased views go first; leased ones are skipped (they
+        # will be considered again on the next insert).
+        excess = len(pg.views) - self.max_views_per_graph
+        if excess <= 0:
+            return
+        for key in list(pg.views):
+            if excess <= 0:
+                break
+            cv = pg.views[key]
+            if cv.refs == 0:
+                del pg.views[key]
+                cv.view.close()
+                excess -= 1
+
+    # ------------------------------------------------------------------ #
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "graphs": len(self._graphs),
+                "partition_views": sum(len(pg.views)
+                                       for pg in self._graphs.values()),
+                "views_created": self.views_created,
+                "view_hits": self.view_hits,
+            }
+
+    def close(self) -> None:
+        """Force-release everything (shutdown path; in-flight mappings
+        survive the unlink by POSIX semantics)."""
+        with self._lock:
+            graphs, self._graphs = list(self._graphs.values()), {}
+            for pg in graphs:
+                pg.retired = True
+                for cv in pg.views.values():
+                    cv.view.close()
+                pg.views.clear()
+                self._finalize(pg)

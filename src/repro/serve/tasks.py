@@ -1,0 +1,125 @@
+"""The picklable unit of server work: one solve, shipped to the pool.
+
+A :class:`SolveTask` is what crosses the executor boundary.  In-process
+backends (serial/threads) carry the graph object itself — and, for coreset
+solvers, the pinned :class:`~repro.dist.shm.SharedPartitionView` — by
+reference.  The ``processes`` backend instead ships a lightweight
+:class:`~repro.dist.shm.EdgeHandle` into the worker, which maps the pinned
+segment zero-copy (plus the weights array for weighted graphs, whose
+weights live outside the edge segment).
+
+:func:`run_solve_task` never raises: a solver failure becomes a structured
+``{"ok": False, "error": ...}`` payload, so the only thing that can fail a
+batch is the pool itself dying (which the executor surfaces as
+:class:`~repro.dist.executor.WorkerPoolBrokenError` and the server turns
+into a 500 ``worker_pool_broken``).  The same chaos hooks the remote
+workers use (:mod:`repro.dist.faults`) run before each task, so the fault
+suite can kill/hang/slow a serve worker with the standard env knobs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from repro.dist.faults import maybe_chaos
+from repro.dist.shm import EdgeHandle, open_graph
+
+__all__ = ["SolveTask", "run_solve_task", "warm_worker"]
+
+
+def warm_worker(i: int) -> int:
+    """The server's pool warm-up task (a picklable no-op).
+
+    Mapping this over two tasks at boot forces the lazy backends to
+    actually spawn their pool: without it, a single-task barrier runs
+    *inline in the calling process* (the executors' documented
+    short-circuit), which for a serving process would mean a chaos-killed
+    task takes the whole server down instead of one worker.  Deliberately
+    skips the chaos hooks — faults are for solve tasks, not boot.
+    """
+    return i
+
+
+@dataclass(frozen=True)
+class SolveTask:
+    """One fully-resolved solve: solver name, seed/k, graph transport.
+
+    Exactly one of ``graph`` (in-process reference) or ``handle`` (shared
+    segment, for process workers) is set.  ``partition`` rides only on the
+    in-process path — the server's pinned partition view for coreset
+    solvers; process workers rebuild partitions from the seed instead,
+    which is bit-identical by the facade's determinism contract.
+    """
+
+    graph_id: str
+    solver: str
+    seed: int
+    k: Optional[int]
+    params: Dict[str, Any]
+    verify: bool = True
+    include_certificate: bool = False
+    graph: Any = None
+    handle: Optional[EdgeHandle] = None
+    weights: Optional[np.ndarray] = None
+    partition: Any = None
+
+
+# Per-process task counter driving the chaos hooks ($REPRO_CHAOS_AFTER
+# counts tasks in *this* worker, exactly like the remote worker loop).
+_TASK_SEQ = 0
+
+
+def run_solve_task(task: SolveTask) -> Dict[str, Any]:
+    """Execute one task; always returns a JSON-ready payload dict.
+
+    ``{"ok": True, "result": {...}}`` on success, ``{"ok": False,
+    "error": {...}}`` when the solver (not the pool) failed.  The inner
+    solve is forced onto the serial executor: the server's pool *is* the
+    parallelism, and nesting pools inside pool workers would deadlock the
+    one-CPU case and oversubscribe every other.
+    """
+    global _TASK_SEQ
+    _TASK_SEQ += 1
+    maybe_chaos(_TASK_SEQ)
+
+    from repro.solve import RunContext, solve
+
+    attachment = None
+    try:
+        graph = task.graph
+        if graph is None:
+            if task.handle is None:
+                raise ValueError("task carries neither a graph nor a handle")
+            graph, attachment = open_graph(task.handle)
+            if task.weights is not None:
+                from repro.graph.weights import WeightedGraph
+
+                graph = WeightedGraph(graph.n_vertices, graph.edges,
+                                      task.weights, validated=True)
+        ctx = RunContext(seed=task.seed, k=task.k, executor="serial")
+        params = dict(task.params)
+        if task.partition is not None:
+            params["partition"] = task.partition
+        result = solve(graph, task.solver, ctx, verify=task.verify, **params)
+        return {
+            "ok": True,
+            "result": result.to_dict(
+                include_certificate=task.include_certificate
+            ),
+        }
+    except Exception as exc:  # noqa: BLE001 - the contract: never raise
+        return {
+            "ok": False,
+            "error": {
+                "code": "solve_failed",
+                "message": f"{type(exc).__name__}: {exc}",
+                "solver": task.solver,
+                "graph": task.graph_id,
+            },
+        }
+    finally:
+        if attachment is not None:
+            attachment.release()

@@ -22,6 +22,9 @@ Surface:
 * :func:`solver` / :func:`get_solver` / :func:`all_solvers` /
   :func:`solvers_for` — the capability-tagged registry
   (``repro solve --list`` on the command line);
+* :func:`resolve_capability` / :func:`rank_candidates` — capability-driven
+  selection: state problem/model/guarantee and get the best registered
+  solver deterministically (the ``repro serve`` front door);
 * :func:`load_graph` — file-or-generator-spec graph inputs for the CLI.
 
 The per-module entry points (``repro.matching.api``, ``repro.cover``,
@@ -31,6 +34,12 @@ implementations and keep working, but new call sites should go through
 this facade — see ``docs/SOLVER_API.md``.
 """
 
+from repro.solve.capabilities import (
+    CapabilityQuery,
+    CapabilityResolutionError,
+    rank_candidates,
+    resolve_capability,
+)
 from repro.solve.context import RunContext
 from repro.solve.graphs import load_graph
 from repro.solve.registry import (
@@ -48,6 +57,8 @@ from repro.solve.registry import (
 from repro.solve.result import SolveResult
 
 __all__ = [
+    "CapabilityQuery",
+    "CapabilityResolutionError",
     "DuplicateSolverError",
     "RunContext",
     "SolveResult",
@@ -57,6 +68,8 @@ __all__ = [
     "all_solvers",
     "get_solver",
     "load_graph",
+    "rank_candidates",
+    "resolve_capability",
     "solve",
     "solver",
     "solver_ids",

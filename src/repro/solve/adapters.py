@@ -45,16 +45,40 @@ Adapted = Tuple[Certificate, Stats]
 # --------------------------------------------------------------------- #
 # shared helpers
 # --------------------------------------------------------------------- #
-def _run_protocol(protocol, graph, ctx: RunContext, k: int) -> Adapted:
+def _run_protocol(protocol, graph, ctx: RunContext, k: int,
+                  partition=None) -> Adapted:
     """Partition + run one simultaneous protocol (the coreset-model core).
 
-    Streams: ``(partition_rng, run_rng) = ctx.generators(2)``.
+    Streams: ``(partition_rng, run_rng) = ctx.generators(2)`` — *both*
+    drawn even when ``partition`` is supplied, so a pre-built partition
+    (e.g. a pinned :class:`~repro.dist.shm.SharedPartitionView` the
+    serving layer reuses across requests) leaves ``run_rng`` untouched:
+    supplying the partition ``random_k_partition`` *would* have built is
+    bit-identical to letting this function build it.
     """
     from repro.dist.coordinator import run_simultaneous
     from repro.graph.partition import random_k_partition
 
     partition_rng, run_rng = ctx.generators(2)
-    partition = random_k_partition(graph, k, partition_rng)
+    if partition is None:
+        partition = random_k_partition(graph, k, partition_rng)
+    else:
+        if not (hasattr(partition, "piece") and hasattr(partition, "k")):
+            raise ValueError(
+                f"partition= must be a partitioned graph (piece()/k), "
+                f"got {type(partition).__name__}"
+            )
+        if partition.k != k:
+            raise ValueError(
+                f"partition has k={partition.k}, context asks k={k}"
+            )
+        if partition.graph is not graph and (
+            partition.graph.n_vertices != graph.n_vertices
+            or partition.graph.n_edges != graph.n_edges
+        ):
+            raise ValueError(
+                "partition= was built over a different graph"
+            )
     with ctx.executor_scope() as backend:
         res = run_simultaneous(
             protocol, partition, run_rng,
@@ -150,17 +174,18 @@ def _greedy_maximal(graph, ctx: RunContext, order: str) -> Adapted:
     uses_k=True,
     description="Theorem 1 randomized composable coreset: each machine "
                 "sends a maximum matching of its piece (Õ(nk) bits total)",
-    params={"combiner": "exact", "algorithm": "auto"},
+    params={"combiner": "exact", "algorithm": "auto", "partition": None},
 )
 def _matching_coreset(graph, ctx: RunContext, combiner: str,
-                      algorithm: str) -> Adapted:
+                      algorithm: str, partition=None) -> Adapted:
     """Streams: 2 — see :func:`_run_protocol`."""
     from repro.core.protocols import matching_coreset_protocol
 
     protocol = matching_coreset_protocol(combiner=combiner,
                                          algorithm=algorithm)
     return _run_protocol(protocol, graph, ctx,
-                         ctx.require_k("matching.coreset"))
+                         ctx.require_k("matching.coreset"),
+                         partition=partition)
 
 
 @solver(
@@ -169,17 +194,19 @@ def _matching_coreset(graph, ctx: RunContext, combiner: str,
     uses_k=True,
     description="Remark 5.2 subsampled coreset: Õ(nk/α²) bits for an "
                 "O(α)-approximation",
-    params={"alpha": 4.0, "combiner": "exact", "algorithm": "auto"},
+    params={"alpha": 4.0, "combiner": "exact", "algorithm": "auto",
+            "partition": None},
 )
 def _subsampled_coreset(graph, ctx: RunContext, alpha: float, combiner: str,
-                        algorithm: str) -> Adapted:
+                        algorithm: str, partition=None) -> Adapted:
     """Streams: 2 — see :func:`_run_protocol`."""
     from repro.core.protocols import subsampled_matching_protocol
 
     protocol = subsampled_matching_protocol(alpha, combiner=combiner,
                                             algorithm=algorithm)
     certificate, stats = _run_protocol(
-        protocol, graph, ctx, ctx.require_k("matching.subsampled_coreset")
+        protocol, graph, ctx, ctx.require_k("matching.subsampled_coreset"),
+        partition=partition,
     )
     stats["alpha"] = alpha
     return certificate, stats
@@ -188,16 +215,19 @@ def _subsampled_coreset(graph, ctx: RunContext, alpha: float, combiner: str,
 @solver(
     "matching.send_everything",
     problem="matching", model="coreset", guarantee="exact",
-    uses_k=True,
+    uses_k=True, baseline=True,
     description="Naive baseline: every machine ships its whole piece "
                 "(Θ(m) bits — the upper reference line)",
+    params={"partition": None},
 )
-def _send_everything_matching(graph, ctx: RunContext) -> Adapted:
+def _send_everything_matching(graph, ctx: RunContext,
+                              partition=None) -> Adapted:
     """Streams: 2 — see :func:`_run_protocol`."""
     from repro.baselines.naive import send_everything_protocol
 
     return _run_protocol(send_everything_protocol("matching"), graph, ctx,
-                         ctx.require_k("matching.send_everything"))
+                         ctx.require_k("matching.send_everything"),
+                         partition=partition)
 
 
 @solver(
@@ -268,6 +298,7 @@ def _mapreduce_matching(graph, ctx: RunContext, memory_cap_edges,
 @solver(
     "matching.filtering",
     problem="matching", model="mapreduce", guarantee="2-approx",
+    baseline=True,
     description="Filtering baseline [46]: iterated sample-and-filter on "
                 "one central machine (O(log n) rounds)",
     params={"memory_edges": None, "max_rounds": 100},
@@ -433,17 +464,17 @@ def _lp_cover(graph, ctx: RunContext, threshold: float) -> Adapted:
     uses_k=True,
     description="Theorem 2 randomized composable coreset: peeled vertices "
                 "+ sparse residual per machine (Õ(nk) bits total)",
-    params={"combiner": "auto", "log_slack": 4.0},
+    params={"combiner": "auto", "log_slack": 4.0, "partition": None},
 )
 def _vc_coreset(graph, ctx: RunContext, combiner: str,
-                log_slack: float) -> Adapted:
+                log_slack: float, partition=None) -> Adapted:
     """Streams: 2 — see :func:`_run_protocol`."""
     from repro.core.protocols import vertex_cover_coreset_protocol
 
     k = ctx.require_k("vertex_cover.coreset")
     protocol = vertex_cover_coreset_protocol(k=k, combiner=combiner,
                                              log_slack=log_slack)
-    return _run_protocol(protocol, graph, ctx, k)
+    return _run_protocol(protocol, graph, ctx, k, partition=partition)
 
 
 @solver(
@@ -452,10 +483,11 @@ def _vc_coreset(graph, ctx: RunContext, combiner: str,
     uses_k=True,
     description="Remark 5.8 grouped coreset: super-vertices of size "
                 "Θ(α/log n), Õ(nk/α) bits total",
-    params={"alpha": 4.0, "combiner": "two_approx", "log_slack": 4.0},
+    params={"alpha": 4.0, "combiner": "two_approx", "log_slack": 4.0,
+            "partition": None},
 )
 def _grouped_vc_coreset(graph, ctx: RunContext, alpha: float, combiner: str,
-                        log_slack: float) -> Adapted:
+                        log_slack: float, partition=None) -> Adapted:
     """Streams: 2 — see :func:`_run_protocol`."""
     from repro.core.protocols import grouped_vertex_cover_protocol
 
@@ -463,7 +495,8 @@ def _grouped_vc_coreset(graph, ctx: RunContext, alpha: float, combiner: str,
     protocol = grouped_vertex_cover_protocol(k=k, alpha=alpha,
                                              combiner=combiner,
                                              log_slack=log_slack)
-    certificate, stats = _run_protocol(protocol, graph, ctx, k)
+    certificate, stats = _run_protocol(protocol, graph, ctx, k,
+                                       partition=partition)
     stats["alpha"] = alpha
     return certificate, stats
 
@@ -471,16 +504,19 @@ def _grouped_vc_coreset(graph, ctx: RunContext, alpha: float, combiner: str,
 @solver(
     "vertex_cover.send_everything",
     problem="vertex_cover", model="coreset", guarantee="exact-bipartite",
-    uses_k=True,
+    uses_k=True, baseline=True,
     description="Naive baseline: ship every piece whole, solve centrally "
                 "(König on bipartite inputs, 2-approx otherwise)",
+    params={"partition": None},
 )
-def _send_everything_cover(graph, ctx: RunContext) -> Adapted:
+def _send_everything_cover(graph, ctx: RunContext,
+                           partition=None) -> Adapted:
     """Streams: 2 — see :func:`_run_protocol`."""
     from repro.baselines.naive import send_everything_protocol
 
     return _run_protocol(send_everything_protocol("vertex_cover"), graph,
-                         ctx, ctx.require_k("vertex_cover.send_everything"))
+                         ctx, ctx.require_k("vertex_cover.send_everything"),
+                         partition=partition)
 
 
 @solver(

@@ -89,6 +89,12 @@ class SolverSpec:
     bipartite_only: bool = False
     weighted: bool = False
     uses_k: bool = False
+    #: Reference/baseline algorithms (the ``repro.baselines`` family):
+    #: kept in the registry for experiments and explicit requests, but
+    #: capability-driven selection prefers any non-baseline candidate —
+    #: "ship every edge" must never win a best-solver query just because
+    #: shipping everything is exact.
+    baseline: bool = False
     params: Mapping[str, Any] = field(default_factory=dict)
     #: What ``SolveResult.value`` reports: ``"size"`` counts certificate
     #: rows; ``"weight"`` reads the adapter's mandatory ``stats["weight"]``
@@ -106,6 +112,7 @@ class SolverSpec:
             "bipartite_only": self.bipartite_only,
             "weighted": self.weighted,
             "uses_k": self.uses_k,
+            "baseline": self.baseline,
             "objective": self.objective,
             "params": dict(self.params),
             "description": self.description,
@@ -131,6 +138,7 @@ def solver(
     bipartite_only: bool = False,
     weighted: bool = False,
     uses_k: bool = False,
+    baseline: bool = False,
     params: Mapping[str, Any] | None = None,
     objective: str = "size",
 ) -> Callable[[AdapterFn], AdapterFn]:
@@ -161,6 +169,7 @@ def solver(
             bipartite_only=bipartite_only,
             weighted=weighted,
             uses_k=uses_k,
+            baseline=baseline,
             params=dict(params or {}),
             objective=objective,
         )

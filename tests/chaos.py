@@ -22,12 +22,21 @@ can import — this one.
 
 from __future__ import annotations
 
+import asyncio
 import os
 import time
-from contextlib import contextmanager
-from typing import Iterator, Optional
+from contextlib import asynccontextmanager, contextmanager
+from typing import Any, AsyncIterator, Iterator, Optional, Tuple
 
-__all__ = ["chaos", "boom", "sleep_ms", "square", "worker_pid"]
+__all__ = [
+    "chaos",
+    "boom",
+    "run_async",
+    "serve_harness",
+    "sleep_ms",
+    "square",
+    "worker_pid",
+]
 
 
 @contextmanager
@@ -80,6 +89,44 @@ def chaos(
     finally:
         for key, value in previous.items():
             _set(key, value)
+
+
+# --------------------------------------------------------------------- #
+# the serving test harness
+# --------------------------------------------------------------------- #
+def run_async(coro):
+    """Drive one async test body (no pytest-asyncio in this toolchain)."""
+    return asyncio.run(coro)
+
+
+@asynccontextmanager
+async def serve_harness(
+    *, graphs: Tuple[Tuple[str, str, int], ...] = (), **config: Any
+) -> AsyncIterator[Tuple[Any, Any]]:
+    """Boot a :class:`~repro.serve.ReproServer` on an ephemeral port.
+
+    Yields ``(server, client)`` and tears the server down afterwards.
+    ``graphs`` preloads ``(graph_id, source_spec, seed)`` triples;
+    ``config`` keywords go straight into
+    :class:`~repro.serve.ServeConfig` (``port`` defaults to 0 → the OS
+    picks a free port, so parallel test runs never collide).
+
+    Order matters for chaos tests: the worker pool spawns inside this
+    context manager's first line, so arm :func:`chaos` *around* the
+    harness — pool workers inherit the armed environment — and keep the
+    block open through recovery assertions (replacement workers carry
+    the armed env too; only the claimed latch keeps them clean).
+    """
+    from repro.serve import ReproServer, ServeClient, ServeConfig
+
+    server = ReproServer(ServeConfig(**config))
+    await server.start()
+    try:
+        for graph_id, source, seed in graphs:
+            server.add_graph(graph_id, source, seed=seed)
+        yield server, ServeClient(port=server.port)
+    finally:
+        await server.aclose()
 
 
 # --------------------------------------------------------------------- #

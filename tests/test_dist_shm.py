@@ -272,6 +272,33 @@ class TestEngineDeterminism:
                 np.testing.assert_array_equal(
                     reference.machine_edges(i), sim.machine_edges(i))
 
+    def test_pinned_view_reused_across_solvers(self):
+        """The serving pattern: pin one partition, feed it to *different*
+        solvers sequentially via ``solve(..., partition=view)``.  Each run
+        is bit-identical to its unpinned counterpart, and the whole view
+        holds exactly one shared segment (pieces are slices of one pack,
+        not per-piece copies)."""
+        from repro.solve import RunContext, solve
+
+        g = bipartite_gnp(50, 50, 0.1, 3)
+        seed, k = 6, 4
+        ctx = RunContext(seed=seed, k=k)
+        part = random_k_partition(g, k, ctx.generators(2)[0])
+        unpinned = [
+            solve(g, name, ctx)
+            for name in ("matching.coreset", "vertex_cover.coreset")
+        ]
+        with SharedPartitionView(part) as view:
+            for name, want in zip(
+                ("matching.coreset", "vertex_cover.coreset"), unpinned,
+            ):
+                got = solve(g, name, ctx, partition=view)
+                assert got.value == want.value
+                np.testing.assert_array_equal(got.certificate,
+                                              want.certificate)
+                assert got.stats == want.stats
+            assert len(view.store._segments) == 1
+
     def test_mapreduce_shared_echo_compute(self):
         """A compute fn returning its (mapped, read-only) input verbatim
         must still work — the worker leaves that attachment to process

@@ -1,0 +1,224 @@
+"""Capability-driven solver resolution (:mod:`repro.solve.capabilities`).
+
+Three layers:
+
+* **round-trip** — every registered solver's own capability tuple
+  resolves to a spec with the same tuple, and that spec actually solves
+  and verifies a small graph suited to its capabilities;
+* **properties** (hypothesis) — for arbitrary queries over the registry's
+  vocabulary, resolution is deterministic, every hard constraint in the
+  query holds on the result, the winner is the head of
+  :func:`rank_candidates`, and no better-ranked candidate exists;
+* **failure shape** — impossible queries raise the typed
+  :class:`CapabilityResolutionError` (a ``SolverCapabilityError``), never
+  ``KeyError``, carrying the query and the constraint that emptied the
+  pool.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.graph.bipartite import BipartiteGraph
+from repro.graph.weights import WeightedGraph
+from repro.solve import (
+    CapabilityResolutionError,
+    RunContext,
+    SolverCapabilityError,
+    all_solvers,
+    rank_candidates,
+    resolve_capability,
+    solve,
+)
+from repro.solve.capabilities import GUARANTEE_ORDER, guarantee_rank
+from repro.solve.graphs import load_graph
+from repro.solve.registry import MODELS, PROBLEMS
+
+SETTINGS = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+ALL_SPECS = all_solvers()
+ALL_GUARANTEES = sorted({s.guarantee for s in ALL_SPECS})
+
+
+def _graph_for(spec):
+    """A small graph satisfying the spec's input capabilities."""
+    if spec.weighted:
+        return load_graph("weighted:n=60", rng=5)
+    # Bipartite satisfies bipartite-only solvers and every general solver.
+    return load_graph("planted:n=60", rng=5)
+
+
+# --------------------------------------------------------------------- #
+# round-trip: each solver is reachable through its own capabilities
+# --------------------------------------------------------------------- #
+@pytest.mark.parametrize("spec", ALL_SPECS, ids=lambda s: s.name)
+def test_own_capability_tuple_resolves_and_solves(spec):
+    graph = _graph_for(spec)
+    resolved = resolve_capability(
+        spec.problem,
+        model=spec.model,
+        guarantee=spec.guarantee,
+        weighted=spec.weighted,
+        graph=graph,
+    )
+    # The resolved solver may be a better-registered sibling, but its
+    # capability tuple must match the query exactly.
+    assert resolved.problem == spec.problem
+    assert resolved.model == spec.model
+    assert resolved.guarantee == spec.guarantee
+    assert resolved.weighted == spec.weighted
+
+    result = solve(graph, resolved.name, RunContext(seed=0, k=2))
+    assert result.verified, (
+        f"{resolved.name} produced an unverifiable certificate"
+    )
+    assert result.solver == resolved.name
+
+
+def test_every_solver_is_some_querys_best_or_shadowed():
+    # Sanity on the ranking itself: head of rank_candidates for a spec's
+    # full tuple either *is* the spec or ties it on the whole sort key
+    # (registration order breaks the tie deterministically).
+    for spec in ALL_SPECS:
+        ranked = rank_candidates(
+            spec.problem, model=spec.model, guarantee=spec.guarantee,
+            weighted=spec.weighted,
+        )
+        assert spec.name in [s.name for s in ranked]
+
+
+# --------------------------------------------------------------------- #
+# ranking: non-baselines first, then guarantee quality
+# --------------------------------------------------------------------- #
+def test_baselines_never_win_while_a_real_algorithm_matches():
+    for problem in PROBLEMS:
+        best = resolve_capability(problem)
+        assert not best.baseline, (
+            f"{problem}: baseline {best.name} outranked real algorithms"
+        )
+
+
+def test_best_guarantee_wins_among_non_baselines():
+    spec = resolve_capability("matching", model="coreset")
+    assert spec.name == "matching.coreset"
+    spec = resolve_capability("vertex_cover", model="coreset")
+    ranked = rank_candidates("vertex_cover", model="coreset")
+    non_base = [s for s in ranked if not s.baseline]
+    assert spec.name == non_base[0].name
+    assert all(
+        guarantee_rank(spec.guarantee) <= guarantee_rank(s.guarantee)
+        for s in non_base
+    )
+
+
+def test_guarantee_order_is_total_and_unknowns_rank_last():
+    ranks = [guarantee_rank(g) for g in GUARANTEE_ORDER]
+    assert ranks == sorted(ranks)
+    assert guarantee_rank("3/7-novel-approx") > guarantee_rank(
+        GUARANTEE_ORDER[-1]
+    )
+
+
+# --------------------------------------------------------------------- #
+# properties over arbitrary queries
+# --------------------------------------------------------------------- #
+query_strategy = st.fixed_dictionaries({
+    "problem": st.sampled_from(PROBLEMS),
+    "model": st.sampled_from([None] + list(MODELS)),
+    "guarantee": st.sampled_from([None] + ALL_GUARANTEES),
+    "weighted": st.sampled_from([None, True, False]),
+    "has_k": st.booleans(),
+})
+
+
+@SETTINGS
+@given(query=query_strategy)
+def test_resolution_is_deterministic_and_constraint_respecting(query):
+    try:
+        first = resolve_capability(**query)
+    except CapabilityResolutionError as exc:
+        # The typed failure: carries the query and a reason, and resolves
+        # identically (to the same failure) on retry.
+        assert exc.query.to_dict()["problem"] == query["problem"]
+        assert exc.reason
+        with pytest.raises(CapabilityResolutionError):
+            resolve_capability(**query)
+        return
+    second = resolve_capability(**query)
+    assert first.name == second.name  # deterministic
+
+    assert first.problem == query["problem"]
+    if query["model"] is not None:
+        assert first.model == query["model"]
+    if query["guarantee"] is not None:
+        assert first.guarantee == query["guarantee"]
+    if query["weighted"] is not None:
+        assert first.weighted == query["weighted"]
+    if not query["has_k"]:
+        assert first.model != "coreset"
+
+    ranked = rank_candidates(**query)
+    assert first.name == ranked[0].name
+    # No candidate outranks the winner on (baseline, guarantee) — i.e.
+    # the ranked list is actually sorted by the documented key.
+    keys = [(s.baseline, guarantee_rank(s.guarantee)) for s in ranked]
+    assert keys == sorted(keys)
+
+
+@SETTINGS
+@given(query=query_strategy, graph_kind=st.sampled_from(
+    ["planted", "gnp", "weighted"]
+))
+def test_graph_aware_resolution_matches_the_input(query, graph_kind):
+    graph = load_graph(f"{graph_kind}:n=40", rng=3)
+    try:
+        spec = resolve_capability(graph=graph, **query)
+    except CapabilityResolutionError:
+        return
+    if spec.bipartite_only:
+        assert isinstance(graph, BipartiteGraph)
+    if spec.weighted:
+        assert isinstance(graph, WeightedGraph)
+
+
+# --------------------------------------------------------------------- #
+# failure shape
+# --------------------------------------------------------------------- #
+@pytest.mark.parametrize("kwargs,reason_part", [
+    (dict(problem="coloring"), "unknown problem"),
+    (dict(problem="matching", model="pram"), "unknown model"),
+    (dict(problem="matching", guarantee="42-approx"), "guarantee"),
+    (dict(problem="vertex_cover", weighted=True), "weighted"),
+    (dict(problem="matching", model="coreset", has_k=False), "machine count"),
+])
+def test_impossible_queries_raise_typed_errors(kwargs, reason_part):
+    with pytest.raises(CapabilityResolutionError) as err:
+        resolve_capability(**kwargs)
+    assert not isinstance(err.value, KeyError)
+    assert isinstance(err.value, SolverCapabilityError)
+    assert reason_part in (err.value.reason + str(err.value))
+
+
+def test_error_carries_closest_candidates():
+    with pytest.raises(CapabilityResolutionError) as err:
+        resolve_capability("matching", model="streaming", guarantee="exact")
+    # The pool died at the guarantee filter; the candidates that survived
+    # up to it are named so callers can suggest alternatives.
+    assert err.value.candidates
+    assert all("." in name for name in err.value.candidates)
+
+
+def test_graph_awareness_drops_wrong_inputs():
+    general = load_graph("gnp:n=40", rng=1)
+    spec = resolve_capability("matching", graph=general)
+    assert not spec.bipartite_only and not spec.weighted
+
+    weighted = load_graph("weighted:n=40", rng=1)
+    spec = resolve_capability("matching", weighted=True, graph=weighted)
+    assert spec.weighted
