@@ -1,0 +1,116 @@
+#!/usr/bin/env python
+"""Quality tracking over a sweep grid: E12's ε×k weighted-matching ratio.
+
+The sweep runner (``repro.sweep``) turns one experiment into a grid of
+content-addressed cells; the trend engine turns accumulated artifacts
+into per-metric series across commits with a regression gate.  This
+example does both end to end:
+
+1. sweep E12 (Crouch–Stubbs weighted matching) over ε × k at toy scale,
+2. print the ε×k ``weight_ratio`` grid straight from the manifest and the
+   per-cell artifacts,
+3. simulate a *second artifact generation* — same grid, a later commit,
+   a degraded ratio — and render the trend report that flags it.
+
+Everything lands in a temp directory; rerun the script and step 1 reports
+every cell as cached (the resume semantics `repro sweep` gives for free).
+
+Run:  python examples/sweep_quality_tracking.py
+"""
+
+import json
+import tempfile
+from pathlib import Path
+
+from repro.sweep import (
+    TrendThresholds,
+    build_series,
+    cell_artifact_path,
+    collect_trend_docs,
+    evaluate_trends,
+    plan_grid,
+    render_trend,
+    run_sweep,
+)
+
+# Axis points: each --set value is its own cell, so this is a 2×2 grid.
+EPSILONS = (0.25, 0.5)
+KS = (2, 4)
+
+
+def sweep_quality_grid(directory: Path):
+    """Steps 1–2: run the ε×k sweep and print the quality surface."""
+    cells = plan_grid(
+        ["e12"],
+        [
+            f"epsilon_values={','.join(str(e) for e in EPSILONS)}",
+            f"k={','.join(str(k) for k in KS)}",
+            "n=400",            # toy scale: the shape, not the paper's table
+            "n_trials=1",
+        ],
+    )
+    print(f"planned {len(cells)} cells:")
+    for cell in cells:
+        print(f"  {cell.describe()}")
+
+    result = run_sweep(cells, directory)
+    print(f"\nsweep: {result.summary()}")
+    print(f"manifest: {result.manifest_path}\n")
+
+    # The quality surface, read back from the content-addressed artifacts.
+    ratios = {}
+    for cell in cells:
+        doc = json.loads(cell_artifact_path(directory, cell).read_text())
+        overrides = dict(cell.overrides)
+        (row,) = doc["table"]["rows"]
+        ratios[(overrides["epsilon_values"][0], overrides["k"])] = \
+            row["weight_ratio"]
+
+    print("weight_ratio (central greedy / protocol; lower is better):")
+    print(f"{'':>10s}" + "".join(f"k={k:<8d}" for k in KS))
+    for eps in EPSILONS:
+        cells_text = "".join(f"{ratios[(eps, k)]:<10.4f}" for k in KS)
+        print(f"  eps={eps:<5g}{cells_text}")
+
+
+def simulate_regression(directory: Path):
+    """Step 3: a later 'commit' with a worse ratio, caught by the gate."""
+    trend_dir = directory / "trend"
+    gen_a = trend_dir / "commit-aaa"
+    gen_b = trend_dir / "commit-bbb"
+    gen_a.mkdir(parents=True)
+    gen_b.mkdir(parents=True)
+
+    for cell_path in sorted((directory / "cells").glob("*.json")):
+        doc = json.loads(cell_path.read_text())
+        doc["git_commit"] = "a" * 40
+        (gen_a / cell_path.name).write_text(json.dumps(doc))
+        # The simulated follow-up commit: every ratio 12% worse (the
+        # default quality tolerance is 5%), timestamps strictly later.
+        worse = json.loads(cell_path.read_text())
+        worse["git_commit"] = "b" * 40
+        worse["created_at"] = "2099-01-01T00:00:00+00:00"
+        for row in worse["table"]["rows"]:
+            row["weight_ratio"] *= 1.12
+        (gen_b / cell_path.name).write_text(json.dumps(worse))
+
+    thresholds = TrendThresholds()
+    series = build_series(collect_trend_docs(trend_dir))
+    flags = evaluate_trends(series, thresholds)
+    print("\n--- simulated second generation (ratio +12%) ---\n")
+    print(render_trend(series, flags, thresholds))
+    assert any(f.kind == "quality" for f in flags), \
+        "the injected quality regression must be flagged"
+    print("\nCI shape: `repro report --trend DIR --check` exits "
+          f"{1 if flags else 0} here.")
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory(prefix="repro-sweep-") as tmp:
+        directory = Path(tmp) / "e12-quality"
+        sweep_quality_grid(directory)
+        simulate_regression(directory)
+
+
+if __name__ == "__main__":
+    main()

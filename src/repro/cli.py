@@ -10,9 +10,12 @@
     python -m repro experiment e21 --executor processes --workers 8
     python -m repro experiment e1 --archive            # JSON run artifact
     python -m repro list-experiments
+    python -m repro sweep e1 e8 --set n_trials=1 --set e1.k_values=4,8 \
+        --seeds 0,1 --dir benchmarks/sweeps/demo --executor processes
     python -m repro bench [--quick --check --out BENCH_substrate.json]
     python -m repro report [--results benchmarks/results -o report.md]
     python -m repro report --diff OLD.json NEW.json
+    python -m repro report --trend benchmarks/sweeps/demo --check
     python -m repro serve --port 8080 --graph demo=planted:n=4000
     python -m repro worker --connect HOST:PORT [--tag NAME]
 
@@ -123,6 +126,41 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list-experiments", help="list available experiment ids")
 
+    sw = sub.add_parser(
+        "sweep",
+        help="cross-product --set axes into a resumable grid of archived "
+             "experiment runs (repro.sweep)",
+        description="Plan and execute an experiment grid: every "
+                    "comma-separated value of a --set axis becomes its own "
+                    "cell, cells are archived as content-addressed run "
+                    "artifacts under DIR/cells plus a manifest at "
+                    "DIR/manifest.json, and a re-invocation skips every "
+                    "cell whose artifact already exists.  A failing cell "
+                    "is recorded and the sweep continues (exit 1 at the "
+                    "end).  See docs/SWEEPS.md.",
+    )
+    sw.add_argument("ids", nargs="+", metavar="EXPERIMENT",
+                    help="experiment id(s) to sweep, e.g. e1 e8")
+    sw.add_argument("--set", action="append", default=[], dest="overrides",
+                    metavar="[EXP.]KEY=V1,V2,...",
+                    help="one grid axis (repeatable): each comma-separated "
+                         "value is its own cell; EXP. scopes the axis to "
+                         "one experiment of a multi-experiment sweep; ';' "
+                         "builds tuple values (n_values=600;1200)")
+    sw.add_argument("--seeds", default=None, metavar="S1,S2,...",
+                    help="comma-separated root seeds — one more axis "
+                         "(default: each spec's registered seed)")
+    sw.add_argument("--dir", default="benchmarks/sweeps", dest="directory",
+                    help="sweep directory: cell artifacts under DIR/cells, "
+                         "manifest at DIR/manifest.json "
+                         "(default %(default)s)")
+    sw.add_argument("--force", action="store_true",
+                    help="re-execute cells whose artifact already exists")
+    sw.add_argument("--dry-run", action="store_true",
+                    help="print the planned cells and exit without "
+                         "executing")
+    _add_executor_flags(sw)
+
     b = sub.add_parser(
         "bench",
         help="time the executor substrate and write BENCH_substrate.json",
@@ -134,8 +172,9 @@ def build_parser() -> argparse.ArgumentParser:
     add_bench_arguments(b)
 
     r = sub.add_parser("report", help="stitch archived benchmark tables "
-                                      "into one markdown report, or diff "
-                                      "two archived run artifacts")
+                                      "into one markdown report, diff two "
+                                      "archived run artifacts, or render "
+                                      "cross-commit trends")
     r.add_argument("--results", default="benchmarks/results",
                    help="directory of archived tables")
     r.add_argument("-o", "--output", default=None,
@@ -145,6 +184,23 @@ def build_parser() -> argparse.ArgumentParser:
                    help="diff two JSON run artifacts (written by "
                         "`repro experiment ... --archive`) instead of "
                         "rendering the report")
+    r.add_argument("--trend", default=None, metavar="DIR",
+                   help="build per-(experiment, metric, commit) series "
+                        "from every run artifact and BENCH_*.json under "
+                        "DIR (recursive) and render the trajectory "
+                        "instead of the report (docs/SWEEPS.md)")
+    r.add_argument("--check", action="store_true",
+                   help="with --trend: exit 1 when the newest commit "
+                        "regresses any perf or quality metric beyond "
+                        "tolerance")
+    r.add_argument("--perf-tol", type=float, default=None, metavar="FRAC",
+                   help="perf tolerance: flag wall-clock metrics more than "
+                        "this fraction slower than the previous commit "
+                        "(default 0.20)")
+    r.add_argument("--quality-tol", type=float, default=None, metavar="FRAC",
+                   help="quality tolerance: flag approximation ratios more "
+                        "than this fraction worse than the previous commit "
+                        "(default 0.05)")
 
     v = sub.add_parser(
         "serve",
@@ -401,6 +457,59 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.sweep import GridError, plan_grid, run_sweep
+
+    _apply_executor_flags(args)
+    seeds = None
+    if args.seeds is not None:
+        try:
+            seeds = [int(s) for s in args.seeds.split(",") if s.strip()]
+        except ValueError:
+            print(f"--seeds expects comma-separated integers, got "
+                  f"{args.seeds!r}", file=sys.stderr)
+            return 2
+        if not seeds:
+            print(f"--seeds lists no seeds: {args.seeds!r}", file=sys.stderr)
+            return 2
+    try:
+        cells = plan_grid(args.ids, args.overrides, seeds)
+    except GridError as exc:
+        print(f"sweep: {exc}", file=sys.stderr)
+        return 2
+
+    if args.dry_run:
+        for cell in cells:
+            print(f"  plan  {cell.describe()}")
+        print(f"{len(cells)} cells planned (dry run, nothing executed)")
+        return 0
+
+    result = run_sweep(
+        cells, args.directory,
+        executor=args.executor,
+        force=args.force,
+        grid_args={
+            "experiments": [e.strip().lower() for e in args.ids],
+            "set": list(args.overrides),
+            "seeds": seeds,
+        },
+    )
+    by_id = {r["cell_id"]: r for r in result.executed + result.skipped}
+    for cell in cells:
+        record = by_id.get(cell.cell_id)
+        if record is None:  # a duplicate cell collapsed into its twin
+            continue
+        status = record["status"]
+        line = (f"  {status:<7s} {record['wall_time_s']:8.2f}s  "
+                f"{cell.describe()}")
+        if status == "failed":
+            line += f"\n          {record['error']}"
+        print(line)
+    print(result.summary())
+    print(f"[manifest: {result.manifest_path}]")
+    return result.exit_code
+
+
 def _cmd_list(args: argparse.Namespace) -> int:
     del args
     from repro.experiments.registry import all_experiments
@@ -486,6 +595,41 @@ def _cmd_report(args: argparse.Namespace) -> int:
             print(text)
         return 0
 
+    if args.trend is not None:
+        import dataclasses
+
+        from repro.sweep.trend import (
+            TrendThresholds,
+            build_series,
+            collect_trend_docs,
+            evaluate_trends,
+            render_trend,
+        )
+
+        thresholds = TrendThresholds()
+        tol_overrides = {
+            key: value for key, value in
+            (("perf_tol", args.perf_tol), ("quality_tol", args.quality_tol))
+            if value is not None
+        }
+        if tol_overrides:
+            thresholds = dataclasses.replace(thresholds, **tol_overrides)
+        try:
+            docs = collect_trend_docs(args.trend)
+        except FileNotFoundError as exc:
+            print(f"--trend: {exc}", file=sys.stderr)
+            return 2
+        series = build_series(docs)
+        flags = evaluate_trends(series, thresholds)
+        text = render_trend(series, flags, thresholds)
+        if args.output:
+            Path(args.output).write_text(text + "\n")
+            print(f"wrote {args.output} ({len(series)} series, "
+                  f"{len(flags)} flagged)")
+        else:
+            print(text)
+        return 1 if (args.check and flags) else 0
+
     results = collect_results(args.results)
     artifacts = collect_artifacts(args.results)
     text = render_report(results, artifacts=artifacts)
@@ -503,6 +647,7 @@ _COMMANDS = {
     "solve": _cmd_solve,
     "experiment": _cmd_experiment,
     "list-experiments": _cmd_list,
+    "sweep": _cmd_sweep,
     "bench": _cmd_bench,
     "report": _cmd_report,
     "serve": _cmd_serve,

@@ -7,16 +7,19 @@ the experiment id, the fully-resolved parameter grid, the seed, and the
 table rows — enough to diff two runs of the same experiment across
 commits (``repro report --diff``) or to re-issue the exact run later.
 
-Schema (``schema_version`` 2)::
+Schema (``schema_version`` 3)::
 
     {
-      "schema_version": 2,
+      "schema_version": 3,
       "kind": "experiment_run",
       "experiment": "e1",
       "title": "E1: matching coreset approximation (Theorem 1)",
       "seed": 11,
       "params": {"n_values": [2000, 6000], ...},
       "created_at": "2026-07-27T12:00:00+00:00",
+      "host": {"python": ..., "platform": ..., "cpu_count": ...},
+      "git_commit": "2161572...",          # null outside a checkout
+      "git_dirty": false,
       "table": {"name": ..., "description": ..., "columns": [...],
                 "rows": [{...}, ...]},
       "per_trial": [{"ratio": [1.02, 1.11, ...], ...}, ...]
@@ -25,7 +28,13 @@ Schema (``schema_version`` 2)::
 ``per_trial`` (added in version 2) carries the raw per-trial metric lists
 behind each aggregated row — one entry per ``run_trials`` call, in build
 order — so variance plots are possible without re-running the sweep.
-Version-1 artifacts (no ``per_trial``) still load.
+Version 3 adds the shared provenance stamp
+(:func:`repro.utils.provenance.provenance_stamp`): ``host`` plus
+``git_commit`` / ``git_dirty``, which is what lets the trend engine
+(:mod:`repro.sweep.trend`) key per-metric series on the commit that
+produced each run.  Version-1 (no ``per_trial``) and version-2 (no
+provenance) artifacts still load; the trend engine files them under
+commit ``"unknown"``.
 
 Artifacts live under ``benchmarks/results/`` next to the text archives,
 named ``<experiment>-run-<UTC timestamp>.json`` so consecutive runs never
@@ -42,6 +51,7 @@ from typing import Any, Dict, List, Mapping, Optional
 
 from repro.experiments.harness import ExperimentTable, _jsonable
 from repro.utils.jsonable import jsonable_deep
+from repro.utils.provenance import provenance_stamp
 
 __all__ = [
     "ARTIFACT_SCHEMA_VERSION",
@@ -52,12 +62,13 @@ __all__ = [
     "save_run_artifact",
 ]
 
-ARTIFACT_SCHEMA_VERSION = 2
+ARTIFACT_SCHEMA_VERSION = 3
 
 #: Older schema versions this build still understands when *loading* (new
 #: artifacts are always written at ARTIFACT_SCHEMA_VERSION).  Version 1
-#: simply lacks the ``per_trial`` section.
-_READABLE_SCHEMA_VERSIONS = frozenset({1, 2})
+#: lacks the ``per_trial`` section; version 2 lacks the provenance fields
+#: (``host``, ``git_commit``, ``git_dirty``).
+_READABLE_SCHEMA_VERSIONS = frozenset({1, 2, 3})
 
 _DEFAULT_DIR = Path("benchmarks") / "results"
 
@@ -81,7 +92,7 @@ def run_artifact_doc(
         "title": table.name,
         "seed": _seed_repr(seed),
         "params": {k: _jsonable_deep(v) for k, v in params.items()},
-        "created_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        **provenance_stamp(),
         "table": table.to_dict(),
         "per_trial": _jsonable_deep(getattr(table, "trial_metrics", []) or []),
     }
@@ -120,9 +131,12 @@ def save_run_artifact(
 def load_artifact(path: str | Path) -> Dict[str, Any]:
     """Load and validate one artifact document."""
     path = Path(path)
+    # ValueError covers both truncated/garbled JSON (JSONDecodeError) and
+    # files that are not UTF-8 text at all (UnicodeDecodeError): any way a
+    # file on disk can be unreadable maps to one typed ArtifactError.
     try:
         doc = json.loads(path.read_text())
-    except (OSError, json.JSONDecodeError) as exc:
+    except (OSError, ValueError) as exc:
         raise ArtifactError(f"cannot read artifact {path}: {exc}") from exc
     if not isinstance(doc, dict):
         raise ArtifactError(f"artifact {path} is not a JSON object")

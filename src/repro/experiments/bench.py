@@ -71,14 +71,14 @@ from __future__ import annotations
 import argparse
 import json
 import os
-import platform
 import sys
 import time
-from datetime import datetime, timezone
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
+
+from repro.utils.provenance import provenance_stamp
 
 __all__ = [
     "BENCH_SCHEMA_VERSION",
@@ -88,7 +88,13 @@ __all__ = [
     "run_substrate_bench",
 ]
 
-BENCH_SCHEMA_VERSION = 3
+#: Version 4 added the shared provenance stamp (``git_commit`` /
+#: ``git_dirty`` next to the existing ``host`` / ``created_at``, all from
+#: :func:`repro.utils.provenance.provenance_stamp`), which is what lets
+#: ``repro report --trend`` place each committed bench file on a
+#: per-commit timeline.  Version-3 files (no git fields) still trend,
+#: under commit ``"unknown"``.
+BENCH_SCHEMA_VERSION = 4
 
 #: One solver per execution model, timed through the facade in the
 #: ``solver_facade`` section (matching side; the vertex-cover solvers
@@ -493,12 +499,7 @@ def run_substrate_bench(
         "schema_version": BENCH_SCHEMA_VERSION,
         "kind": "substrate_bench",
         "mode": mode,
-        "created_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
-        "host": {
-            "python": platform.python_version(),
-            "platform": platform.platform(),
-            "cpu_count": os.cpu_count(),
-        },
+        **provenance_stamp(),
         "workers": workers,
         "scenarios": [
             {k: s[k] for k in ("name", "n", "k", "avg_degree")}

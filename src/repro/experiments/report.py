@@ -72,9 +72,14 @@ def collect_artifacts(results_dir: str | Path) -> list[dict]:
     """Load all structured run artifacts from a results directory.
 
     Artifacts are the JSON siblings of the text archives (see
-    :mod:`repro.experiments.artifacts`); malformed or foreign-schema files
-    are skipped rather than aborting the whole report.
+    :mod:`repro.experiments.artifacts`); a malformed, truncated, or
+    foreign-schema file is skipped with a :class:`UserWarning` naming it
+    rather than aborting the whole report — one corrupt write (a killed
+    sweep cell, a partial download) must not take every other result down
+    with it.
     """
+    import warnings
+
     from repro.experiments.artifacts import ArtifactError, load_artifact
 
     from repro.experiments.registry import experiment_ids
@@ -86,7 +91,9 @@ def collect_artifacts(results_dir: str | Path) -> list[dict]:
     for path in sorted(directory.glob("*.json")):
         try:
             doc = load_artifact(path)
-        except ArtifactError:
+        except ArtifactError as exc:
+            warnings.warn(f"skipping unreadable run artifact: {exc}",
+                          stacklevel=2)
             continue
         doc["_path"] = str(path)
         docs.append(doc)

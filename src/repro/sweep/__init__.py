@@ -1,0 +1,64 @@
+"""Resumable experiment grids and longitudinal trend tracking.
+
+``repro sweep`` turns the declarative experiment registry into a *grid*
+runner: every ``--set KEY=V1,V2,...`` axis is cross-producted into cells
+(:mod:`repro.sweep.grid`), each cell is executed through
+``ExperimentSpec.run(archive_dir=...)`` with process-level fan-out over
+the executor seam and recorded in a schema-versioned manifest
+(:mod:`repro.sweep.runner` / :mod:`repro.sweep.manifest`), and a cell
+whose content-addressed artifact already exists is skipped — so an
+interrupted or extended sweep resumes instead of recomputing.  The trend
+engine (:mod:`repro.sweep.trend`) then reads directories of run artifacts
+and ``BENCH_*.json`` files spanning commits and flags perf slowdowns and
+quality drops against configurable thresholds (``repro report --trend DIR
+--check``).
+
+See ``docs/SWEEPS.md`` for the grid syntax, manifest format, resume
+semantics, and trend thresholds.
+"""
+
+from repro.sweep.grid import GridCell, GridError, cell_id, parse_set_args, plan_grid
+from repro.sweep.manifest import (
+    SWEEP_SCHEMA_VERSION,
+    ManifestError,
+    build_manifest,
+    load_manifest,
+    save_manifest,
+)
+from repro.sweep.runner import SweepResult, cell_artifact_path, run_sweep
+from repro.sweep.trend import (
+    TrendFlag,
+    TrendPoint,
+    TrendSeries,
+    TrendThresholds,
+    build_series,
+    classify_metric,
+    collect_trend_docs,
+    evaluate_trends,
+    render_trend,
+)
+
+__all__ = [
+    "GridCell",
+    "GridError",
+    "ManifestError",
+    "SWEEP_SCHEMA_VERSION",
+    "SweepResult",
+    "TrendFlag",
+    "TrendPoint",
+    "TrendSeries",
+    "TrendThresholds",
+    "build_manifest",
+    "build_series",
+    "cell_artifact_path",
+    "cell_id",
+    "classify_metric",
+    "collect_trend_docs",
+    "evaluate_trends",
+    "load_manifest",
+    "parse_set_args",
+    "plan_grid",
+    "render_trend",
+    "run_sweep",
+    "save_manifest",
+]

@@ -1,0 +1,129 @@
+"""The schema-versioned sweep manifest: one JSON index per sweep directory.
+
+``DIR/manifest.json`` is the sweep's ledger: every cell the directory has
+ever seen — id, experiment, overrides, seed, status (``done`` /
+``skipped`` / ``failed``), artifact path (relative to the sweep
+directory), wall time, and the error text of a failed cell — plus the
+grid that the most recent invocation planned and the shared provenance
+stamp (commit, host, timestamp).  Re-running a sweep *merges*: entries
+for cells outside the current grid are retained, entries for current
+cells are replaced, so the manifest stays a faithful index of the
+``cells/`` directory as a sweep is extended axis by axis across sessions.
+
+Schema (``schema_version`` 1)::
+
+    {
+      "schema_version": 1,
+      "kind": "sweep_manifest",
+      "created_at": ..., "host": {...},
+      "git_commit": ..., "git_dirty": ...,
+      "grid": {"experiments": ["e1", "e8"], "set": [...], "seeds": [...]},
+      "counts": {"done": 4, "skipped": 2, "failed": 1},
+      "cells": [
+        {"cell_id": "a1b2c3d4e5f6", "experiment": "e1",
+         "overrides": {"k_values": [4]}, "seed": 0,
+         "status": "done", "artifact": "cells/e1-a1b2c3d4e5f6.json",
+         "wall_time_s": 1.72, "error": null},
+        ...
+      ]
+    }
+
+As with run artifacts, ``schema_version`` gates forward compatibility:
+loaders reject versions they do not understand rather than guess.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import Counter
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional
+
+from repro.utils.provenance import provenance_stamp
+
+__all__ = [
+    "SWEEP_SCHEMA_VERSION",
+    "ManifestError",
+    "build_manifest",
+    "load_manifest",
+    "save_manifest",
+]
+
+SWEEP_SCHEMA_VERSION = 1
+
+_READABLE_SCHEMA_VERSIONS = frozenset({1})
+
+
+class ManifestError(ValueError):
+    """A sweep manifest is malformed or from an unknown schema version."""
+
+
+def build_manifest(
+    records: List[Dict[str, Any]],
+    *,
+    grid: Mapping[str, Any],
+    previous: Optional[Mapping[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Assemble the manifest document from this invocation's cell records.
+
+    ``records`` carry one dict per planned cell (see
+    :mod:`repro.sweep.runner`); ``previous`` is the directory's prior
+    manifest, whose entries for cells *not* in the current grid are
+    carried forward so the manifest indexes the whole directory, not just
+    the latest invocation.
+    """
+    entries: Dict[str, Dict[str, Any]] = {}
+    if previous:
+        for cell in previous.get("cells", []):
+            if isinstance(cell, dict) and "cell_id" in cell:
+                entries[cell["cell_id"]] = dict(cell)
+    for record in records:
+        entries[record["cell_id"]] = dict(record)
+    cells = sorted(entries.values(),
+                   key=lambda c: (c.get("experiment", ""), c["cell_id"]))
+    counts = Counter(c.get("status", "unknown") for c in cells)
+    return {
+        "schema_version": SWEEP_SCHEMA_VERSION,
+        "kind": "sweep_manifest",
+        **provenance_stamp(),
+        "grid": dict(grid),
+        "counts": dict(sorted(counts.items())),
+        "cells": cells,
+    }
+
+
+def save_manifest(doc: Mapping[str, Any], path: str | Path) -> Path:
+    """Write the manifest atomically (tmp + rename): a sweep killed
+    mid-write must never leave a truncated index behind."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + f".tmp-{os.getpid()}")
+    tmp.write_text(json.dumps(doc, indent=2) + "\n")
+    os.replace(tmp, path)
+    return path
+
+
+def load_manifest(path: str | Path) -> Dict[str, Any]:
+    """Load and validate one sweep manifest."""
+    path = Path(path)
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, ValueError) as exc:
+        raise ManifestError(f"cannot read sweep manifest {path}: {exc}") \
+            from exc
+    if not isinstance(doc, dict):
+        raise ManifestError(f"sweep manifest {path} is not a JSON object")
+    if doc.get("kind") != "sweep_manifest":
+        raise ManifestError(
+            f"{path} is not a sweep manifest (kind={doc.get('kind')!r})")
+    version = doc.get("schema_version")
+    if version not in _READABLE_SCHEMA_VERSIONS:
+        raise ManifestError(
+            f"sweep manifest {path} has schema_version {version!r}; this "
+            f"build understands versions "
+            f"{sorted(_READABLE_SCHEMA_VERSIONS)} — refusing to guess at a "
+            f"different layout")
+    if not isinstance(doc.get("cells"), list):
+        raise ManifestError(f"sweep manifest {path} is missing 'cells'")
+    return doc

@@ -1,0 +1,87 @@
+"""One provenance stamp for every persisted measurement.
+
+Run artifacts (:mod:`repro.experiments.artifacts`), the substrate bench
+(:mod:`repro.experiments.bench`), and sweep manifests
+(:mod:`repro.sweep.manifest`) all persist numbers that only mean something
+relative to the code that produced them.  This module is the single place
+that records that context: the UTC timestamp, the host fingerprint, and —
+the part that turns isolated snapshots into a longitudinal trajectory —
+the git commit the working tree was at, plus whether it carried
+uncommitted changes.  The trend engine (:mod:`repro.sweep.trend`) keys its
+per-metric series on ``git_commit``, so two artifacts produced from
+different commits become two points on one curve instead of two unrelated
+files.
+
+Outside a git checkout (or with git missing entirely) the stamp degrades
+to ``git_commit=None`` / ``git_dirty=None`` rather than failing: artifacts
+must stay writable from an installed wheel or an exported tarball.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import subprocess
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple
+
+__all__ = ["git_state", "provenance_stamp"]
+
+_GIT_TIMEOUT_S = 10
+
+
+def git_state(
+    cwd: str | Path | None = None,
+) -> Tuple[Optional[str], Optional[bool]]:
+    """``(commit_hex, dirty)`` of the checkout containing ``cwd``.
+
+    ``commit_hex`` is the full 40-char HEAD hash; ``dirty`` is True when
+    ``git status --porcelain`` reports any tracked or staged change.
+    Returns ``(None, None)`` when ``cwd`` is not inside a git work tree,
+    git is not installed, or either command fails — provenance is
+    best-effort, never a reason an artifact cannot be written.
+    """
+    try:
+        head = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=None if cwd is None else str(cwd),
+            capture_output=True, text=True, timeout=_GIT_TIMEOUT_S,
+        )
+        if head.returncode != 0:
+            return None, None
+        commit = head.stdout.strip() or None
+        if commit is None:
+            return None, None
+        status = subprocess.run(
+            ["git", "status", "--porcelain"],
+            cwd=None if cwd is None else str(cwd),
+            capture_output=True, text=True, timeout=_GIT_TIMEOUT_S,
+        )
+        dirty = bool(status.stdout.strip()) if status.returncode == 0 else None
+        return commit, dirty
+    except (OSError, subprocess.SubprocessError):
+        return None, None
+
+
+def provenance_stamp(cwd: str | Path | None = None) -> Dict[str, Any]:
+    """The shared provenance fields every schema-versioned artifact carries.
+
+    ``created_at`` (UTC, second precision), ``host`` (python version,
+    platform string, cpu count), ``git_commit`` and ``git_dirty`` (both
+    ``None`` outside a checkout).  Callers merge this dict into their
+    artifact document verbatim, so the field names are identical across
+    run artifacts, bench files, and sweep manifests — which is what lets
+    the trend engine treat them uniformly.
+    """
+    commit, dirty = git_state(cwd)
+    return {
+        "created_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "host": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "cpu_count": os.cpu_count(),
+        },
+        "git_commit": commit,
+        "git_dirty": dirty,
+    }
