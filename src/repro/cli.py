@@ -156,6 +156,12 @@ def build_parser() -> argparse.ArgumentParser:
                          "(default %(default)s)")
     sw.add_argument("--force", action="store_true",
                     help="re-execute cells whose artifact already exists")
+    sw.add_argument("--retry-failed", type=int, default=0, metavar="N",
+                    dest="retry_failed",
+                    help="re-run a failing cell up to N extra times (e.g. "
+                         "a transiently broken worker pool) before "
+                         "recording status=failed; the manifest records "
+                         "each cell's attempt count (default 0)")
     sw.add_argument("--dry-run", action="store_true",
                     help="print the planned cells and exit without "
                          "executing")
@@ -235,6 +241,34 @@ def build_parser() -> argparse.ArgumentParser:
                    default="auto",
                    help="shared-memory graph pinning: auto pins exactly "
                         "when the pool is a process pool")
+    v.add_argument("--max-inflight", type=int, default=64,
+                   help="global in-flight request cap; excess requests "
+                        "get 429 overloaded + Retry-After (default 64)")
+    v.add_argument("--max-inflight-per-graph", type=int, default=0,
+                   help="per-graph in-flight cap (0 disables, the "
+                        "default)")
+    v.add_argument("--max-queue", type=int, default=256,
+                   help="bound on queued (not yet dispatched) batch "
+                        "entries; excess requests get 429 (default 256)")
+    v.add_argument("--default-deadline-ms", type=float, default=None,
+                   help="deadline budget for requests that don't send "
+                        "deadline_ms (default: none — such requests run "
+                        "unbounded)")
+    v.add_argument("--max-deadline-ms", type=float, default=0.0,
+                   help="cap on client-supplied deadline_ms (0 = uncapped, "
+                        "the default)")
+    v.add_argument("--breaker-threshold", type=int, default=3,
+                   help="consecutive worker-pool breaks that open the "
+                        "circuit breaker (default 3; below it each break "
+                        "re-warms immediately)")
+    v.add_argument("--breaker-backoff-ms", type=float, default=500.0,
+                   help="initial breaker backoff before a half-open "
+                        "probe; doubles per reopen up to 30000 ms "
+                        "(default 500)")
+    v.add_argument("--step-down-after", type=int, default=2,
+                   help="consecutive breaker openings before the backend "
+                        "steps down remote→processes→serial (0 disables; "
+                        "default 2)")
     _add_executor_flags(v)
 
     w = sub.add_parser(
@@ -484,10 +518,15 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print(f"{len(cells)} cells planned (dry run, nothing executed)")
         return 0
 
+    if args.retry_failed < 0:
+        print(f"--retry-failed must be >= 0, got {args.retry_failed}",
+              file=sys.stderr)
+        return 2
     result = run_sweep(
         cells, args.directory,
         executor=args.executor,
         force=args.force,
+        retry_failed=args.retry_failed,
         grid_args={
             "experiments": [e.strip().lower() for e in args.ids],
             "set": list(args.overrides),
@@ -550,6 +589,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         pin=args.pin,
         preload=tuple(preload),
         seed=args.seed,
+        max_inflight=args.max_inflight,
+        max_inflight_per_graph=args.max_inflight_per_graph,
+        max_queue=args.max_queue,
+        default_deadline_ms=args.default_deadline_ms,
+        max_deadline_ms=args.max_deadline_ms,
+        breaker_threshold=args.breaker_threshold,
+        breaker_backoff_ms=args.breaker_backoff_ms,
+        step_down_after=args.step_down_after,
     )
     try:
         return serve_main(config)

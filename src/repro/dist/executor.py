@@ -185,6 +185,18 @@ class Executor:
                 f"tasks"
             )
 
+    def stats(self) -> dict:
+        """Observable backend state, JSON-ready.  The base payload covers
+        every backend (``pools_created`` is 0 for poolless ones);
+        subclasses with more to say — :class:`~repro.dist.remote.
+        RemoteExecutor`'s degradation seam — extend it."""
+        return {
+            "backend": self.name,
+            "closed": self._closed,
+            "max_workers": getattr(self, "max_workers", None),
+            "pools_created": getattr(self, "pools_created", 0),
+        }
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}()"
 

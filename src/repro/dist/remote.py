@@ -837,6 +837,7 @@ class RemoteExecutor(Executor):
         self.heartbeat_window = max(6 * self.heartbeat_interval, 6.0)
         self.piece_cache = RemotePieceCache(min_bytes=cache_min_bytes)
         self.pools_created = 0
+        self.fallback_events = 0
         self._pool: Optional[_RemotePool] = None
         self._fallback: Optional[ProcessExecutor] = None
 
@@ -931,6 +932,7 @@ class RemoteExecutor(Executor):
                     stacklevel=3,
                 )
                 self._fallback = ProcessExecutor(max_workers=self.max_workers)
+                self.fallback_events += 1
                 return None
             self._pool = pool
         return self._pool
@@ -948,6 +950,21 @@ class RemoteExecutor(Executor):
         if fallback is not None:
             fallback.close()
         super().close()
+
+    def stats(self) -> Dict[str, Any]:
+        """Base executor stats plus the PR 6 degradation seam: whether
+        (and how often) this executor fell back to ``processes``, and the
+        fallback backend's own stats once it exists — the payload
+        ``repro serve`` surfaces on ``GET /statz``."""
+        doc = super().stats()
+        doc.update({
+            "degraded": self.degraded,
+            "fallback_events": self.fallback_events,
+            "n_workers": self.n_workers,
+            "fallback": (self._fallback.stats()
+                         if self._fallback is not None else None),
+        })
+        return doc
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         state = "closed" if self.closed else (

@@ -23,8 +23,13 @@ long-lived service:
 Routes
 ------
 ======  ==================  =============================================
-GET     /healthz            liveness + graph count
+GET     /healthz            liveness + graph count (answers even while
+                            degraded or draining)
+GET     /readyz             readiness: pool warm ∧ breaker closed ∧ queue
+                            below watermark (503 + reasons otherwise)
 GET     /stats              server / batcher / store / executor counters
+GET     /statz              resilience counters: breaker state, backend,
+                            admission/queue/deadline rejections
 GET     /solvers            registry capabilities (+ resolution order
                             with ``?problem=``)
 GET     /graphs             registered graph infos
@@ -39,6 +44,14 @@ Errors are always JSON ``{"error": {"code", "message", ...}}`` with the
 taxonomy of :mod:`repro.serve.protocol`; a crashed worker pool costs the
 in-flight batch a 500 ``worker_pool_broken`` and nothing else — the next
 request gets a fresh pool (``tests/test_serve_faults.py``).
+
+Overload safety (PR 9, :mod:`repro.serve.resilience`): requests over the
+in-flight caps or the queue bound are shed with 429 ``overloaded`` +
+``Retry-After``; ``deadline_ms`` budgets turn into 504
+``deadline_exceeded`` instead of unbounded waits; and a run of
+consecutive pool breaks opens a circuit breaker that re-warms via
+backed-off half-open probes and can step the backend down
+remote → processes → serial (``tests/test_serve_overload.py``).
 """
 
 from __future__ import annotations
@@ -46,15 +59,17 @@ from __future__ import annotations
 import asyncio
 import contextlib
 import json
+import math
 import os
 import signal
 import time
 from dataclasses import dataclass, replace
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 from urllib.parse import parse_qs
 
 from repro.dist.executor import (
     EXECUTOR_ENV,
+    Executor,
     ProcessExecutor,
     resolve_executor,
 )
@@ -65,15 +80,22 @@ from repro.serve.protocol import (
     BadRequest,
     CompareRequest,
     NotFound,
+    Overloaded,
     ServeError,
+    ShuttingDown,
     SolveRequest,
     UnresolvableCapability,
     parse_compare_request,
     parse_graph_request,
     parse_solve_request,
 )
+from repro.serve.resilience import (
+    AdmissionController,
+    ExecutorSupervisor,
+    resolve_deadline_ms,
+)
 from repro.serve.store import GraphStore, PinnedGraph
-from repro.serve.tasks import SolveTask, warm_worker
+from repro.serve.tasks import SolveTask
 from repro.solve.capabilities import (
     CapabilityResolutionError,
     rank_candidates,
@@ -90,7 +112,9 @@ __all__ = ["ReproServer", "ServeConfig", "serve_main"]
 _REASONS = {
     200: "OK", 201: "Created", 400: "Bad Request", 404: "Not Found",
     405: "Method Not Allowed", 409: "Conflict", 413: "Payload Too Large",
-    422: "Unprocessable Entity", 500: "Internal Server Error",
+    422: "Unprocessable Entity", 429: "Too Many Requests",
+    500: "Internal Server Error", 503: "Service Unavailable",
+    504: "Gateway Timeout",
 }
 
 
@@ -108,6 +132,14 @@ class ServeConfig:
     the library-wide serial default.  ``pin`` controls shared-memory graph
     pinning: ``"auto"`` pins exactly when the pool is a process pool,
     ``"always"``/``"never"`` force it.
+
+    The overload knobs (PR 9): ``max_inflight`` / ``max_inflight_per_graph``
+    cap admitted requests (0 disables the per-graph cap), ``max_queue``
+    bounds the batch queue, ``default_deadline_ms`` / ``max_deadline_ms``
+    set and cap per-request budgets (``None`` / 0 = unbounded), and the
+    ``breaker_*`` / ``step_down_after`` knobs drive the
+    :class:`~repro.serve.resilience.ExecutorSupervisor`.
+    ``ready_watermark=0`` means ``max_queue // 2``.
     """
 
     host: str = "127.0.0.1"
@@ -120,6 +152,16 @@ class ServeConfig:
     pin: str = "auto"
     preload: Tuple[Tuple[str, str], ...] = ()
     seed: int = 0
+    max_inflight: int = 64
+    max_inflight_per_graph: int = 0
+    max_queue: int = 256
+    default_deadline_ms: Optional[float] = None
+    max_deadline_ms: float = 0.0
+    breaker_threshold: int = 3
+    breaker_backoff_ms: float = 500.0
+    breaker_max_backoff_ms: float = 30000.0
+    step_down_after: int = 2
+    ready_watermark: int = 0
 
 
 class ReproServer:
@@ -133,36 +175,73 @@ class ReproServer:
             raise ValueError(
                 f"pin must be auto/always/never, got {cfg.pin!r}"
             )
+        if cfg.default_deadline_ms is not None and cfg.default_deadline_ms <= 0:
+            raise ValueError(
+                f"default_deadline_ms must be > 0 or None, "
+                f"got {cfg.default_deadline_ms}"
+            )
+        if cfg.max_deadline_ms < 0:
+            raise ValueError(
+                f"max_deadline_ms must be >= 0 (0 = uncapped), "
+                f"got {cfg.max_deadline_ms}"
+            )
+        if cfg.ready_watermark < 0:
+            raise ValueError(
+                f"ready_watermark must be >= 0 (0 = max_queue // 2), "
+                f"got {cfg.ready_watermark}"
+            )
         self.executor_name = (
             cfg.executor or os.environ.get(EXECUTOR_ENV) or "threads"
         )
-        self.executor = resolve_executor(self.executor_name,
-                                         workers=cfg.workers)
+        executor = resolve_executor(self.executor_name, workers=cfg.workers)
         # Handles (shared segments) ship to process pools; in-process pools
         # share the graph object itself and additionally reuse pinned
         # partition views across requests with the same (k, seed).
         self.ship_handles = (
             cfg.pin == "always"
-            or (cfg.pin == "auto"
-                and isinstance(self.executor, ProcessExecutor))
+            or (cfg.pin == "auto" and isinstance(executor, ProcessExecutor))
+        )
+        # The supervisor owns the live executor from here on: it re-warms
+        # after pool breaks, opens the circuit breaker on a run of them,
+        # and may step the backend down (remote → processes → serial).
+        self.supervisor = ExecutorSupervisor(
+            executor,
+            threshold=cfg.breaker_threshold,
+            backoff_s=cfg.breaker_backoff_ms / 1000.0,
+            max_backoff_s=cfg.breaker_max_backoff_ms / 1000.0,
+            step_down_after=cfg.step_down_after,
+            workers=cfg.workers,
+        )
+        self.admission = AdmissionController(
+            cfg.max_inflight, cfg.max_inflight_per_graph
         )
         # Warm the pool now: the lazy backends run single-task barriers
         # inline until a pool exists, and a serving process must never
         # execute solver code (or chaos hooks) in its own process.
-        self.executor.map(warm_worker, [0, 1])
+        self.supervisor.rewarm()
         self.store = GraphStore(pin_shared=self.ship_handles)
         self.batcher = MicroBatcher(
-            self.executor,
+            self.supervisor,
             window_s=cfg.batch_window_ms / 1000.0,
             max_batch=cfg.max_batch,
+            max_queue=cfg.max_queue,
         )
         self._server: Optional[asyncio.AbstractServer] = None
         self.host = cfg.host
         self.port = cfg.port
         self._started = time.monotonic()
+        self._draining = False
+        self._closed = False
+        self._conn_tasks: set = set()
         self.requests_total = 0
         self.errors_total = 0
         self.route_counts: Dict[str, int] = {}
+
+    @property
+    def executor(self) -> Executor:
+        """The live executor — owned by the supervisor, which may have
+        swapped the backend since boot (step-down)."""
+        return self.supervisor.executor
 
     # ------------------------------------------------------------------ #
     # lifecycle
@@ -174,13 +253,33 @@ class ReproServer:
         self.port = self._server.sockets[0].getsockname()[1]
 
     async def aclose(self) -> None:
-        """Stop accepting, drain in-flight batches, release everything."""
+        """Stop accepting, drain in-flight batches, release everything.
+
+        Idempotent.  Queued requests either run to completion or get
+        structured 503s (if the breaker is open); connections that are
+        mid-response get a bounded grace period to finish writing before
+        being cancelled."""
+        if self._closed:
+            return
+        self._closed = True
+        self._draining = True
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
         await self.batcher.drain()
-        self.executor.close()
+        me = asyncio.current_task()
+        pending = [t for t in self._conn_tasks
+                   if t is not me and not t.done()]
+        if pending:
+            # The drain resolved every queued future; give the handler
+            # coroutines a moment to write those responses out, then cut
+            # off idle keep-alive connections.
+            await asyncio.wait(pending, timeout=5.0)
+            for task in pending:
+                if not task.done():
+                    task.cancel()
+        self.supervisor.close()
         self.store.close()
 
     async def __aenter__(self) -> "ReproServer":
@@ -200,6 +299,9 @@ class ReproServer:
     # ------------------------------------------------------------------ #
     async def _handle_client(self, reader: asyncio.StreamReader,
                              writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
         try:
             while True:
                 request_line = await reader.readline()
@@ -231,9 +333,10 @@ class ReproServer:
                     return
                 body = await reader.readexactly(length) if length else b""
                 keep = headers.get("connection", "").lower() != "close"
-                status, doc = await self._route(method.upper(), raw_path,
-                                                body)
-                self._write(writer, status, doc, keep)
+                status, doc, extra = await self._route(
+                    method.upper(), raw_path, body
+                )
+                self._write(writer, status, doc, keep, extra)
                 await writer.drain()
                 if not keep:
                     return
@@ -241,40 +344,53 @@ class ReproServer:
                 BrokenPipeError):
             pass  # client went away mid-request; nothing to answer
         finally:
+            if task is not None:
+                self._conn_tasks.discard(task)
             writer.close()
             with contextlib.suppress(Exception):
                 await writer.wait_closed()
 
     @staticmethod
     def _write(writer: asyncio.StreamWriter, status: int,
-               doc: Any, keep_alive: bool) -> None:
+               doc: Any, keep_alive: bool,
+               extra_headers: Optional[Dict[str, str]] = None) -> None:
         body = json.dumps(doc).encode("utf-8")
-        head = (
-            f"HTTP/1.1 {status} {_REASONS.get(status, 'Error')}\r\n"
-            f"Content-Type: application/json\r\n"
-            f"Content-Length: {len(body)}\r\n"
-            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
-            f"\r\n"
-        )
+        lines = [
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Error')}",
+            "Content-Type: application/json",
+            f"Content-Length: {len(body)}",
+            f"Connection: {'keep-alive' if keep_alive else 'close'}",
+        ]
+        for name, value in (extra_headers or {}).items():
+            lines.append(f"{name}: {value}")
+        head = "\r\n".join(lines) + "\r\n\r\n"
         writer.write(head.encode("latin-1") + body)
 
     async def _route(self, method: str, raw_path: str,
-                     body: bytes) -> Tuple[int, Any]:
+                     body: bytes) -> Tuple[int, Any, Dict[str, str]]:
         self.requests_total += 1
         path, _, query_text = raw_path.partition("?")
         self.route_counts[f"{method} {path}"] = (
             self.route_counts.get(f"{method} {path}", 0) + 1
         )
         try:
-            return await self._dispatch(method, path, query_text, body)
+            status, doc = await self._dispatch(method, path, query_text, body)
+            return status, doc, {}
         except ServeError as exc:
             self.errors_total += 1
-            return exc.status, exc.to_doc()
+            headers: Dict[str, str] = {}
+            if isinstance(exc, Overloaded):
+                # Whole seconds, rounded up — the precise delay rides in
+                # the error doc as retry_after_ms.
+                headers["Retry-After"] = str(
+                    max(1, math.ceil(exc.retry_after_s))
+                )
+            return exc.status, exc.to_doc(), headers
         except Exception as exc:  # noqa: BLE001 - the server must not die
             self.errors_total += 1
             return 500, ServeError(
                 f"internal error: {type(exc).__name__}: {exc}"
-            ).to_doc()
+            ).to_doc(), {}
 
     @staticmethod
     def _json_body(body: bytes) -> Any:
@@ -291,9 +407,22 @@ class ReproServer:
         if path == "/healthz":
             self._need(method, "GET", path)
             return 200, {"ok": True, "graphs": len(self.store.ids())}
+        if path == "/readyz":
+            self._need(method, "GET", path)
+            ready, reasons = self._readiness()
+            if ready:
+                return 200, {"ready": True}
+            return 503, {"ready": False, "reasons": reasons}
+        if path == "/statz":
+            self._need(method, "GET", path)
+            return 200, self._statz_doc()
         if path == "/stats":
             self._need(method, "GET", path)
             return 200, self._stats_doc()
+        if self._draining:
+            # Health and introspection answer to the very end; everything
+            # else is refused once the drain starts.
+            raise ShuttingDown("server is draining; no new work accepted")
         if path == "/solvers":
             self._need(method, "GET", path)
             return 200, self._solvers_doc(query)
@@ -350,11 +479,55 @@ class ReproServer:
             },
             "executor": {
                 "backend": self.executor_name,
+                "current_backend": self.supervisor.backend,
                 "workers": self.config.workers,
                 "ship_handles": self.ship_handles,
             },
             "batcher": self.batcher.stats(),
             "store": self.store.stats(),
+        }
+
+    def _effective_watermark(self) -> int:
+        wm = self.config.ready_watermark
+        return wm if wm > 0 else max(1, self.config.max_queue // 2)
+
+    def _readiness(self) -> Tuple[bool, List[str]]:
+        _, reasons = self.supervisor.ready()
+        depth = self.batcher.queue_depth()
+        watermark = self._effective_watermark()
+        if depth >= watermark:
+            reasons.append(
+                f"batch queue depth {depth} is at/above the readiness "
+                f"watermark {watermark}")
+        if self._draining:
+            reasons.append("server is draining")
+        return not reasons, reasons
+
+    def _statz_doc(self) -> Dict[str, Any]:
+        ready, reasons = self._readiness()
+        batch = self.batcher.stats()
+        cfg = self.config
+        return {
+            "ready": ready,
+            "reasons": reasons,
+            "draining": self._draining,
+            "breaker": self.supervisor.stats(),
+            "admission": self.admission.stats(),
+            "queue": {
+                "depth": batch["queue_depth"],
+                "max_queue": batch["max_queue"],
+                "max_queue_seen": batch["max_queue_seen"],
+                "ready_watermark": self._effective_watermark(),
+                "rejected_queue_full": batch["rejected_queue_full"],
+                "rejected_at_dispatch": batch["rejected_at_dispatch"],
+            },
+            "deadlines": {
+                "default_deadline_ms": cfg.default_deadline_ms,
+                "max_deadline_ms": cfg.max_deadline_ms,
+                "expired_in_queue": batch["expired_in_queue"],
+                "expired_in_flight": batch["expired_in_flight"],
+            },
+            "executor": self.executor.stats(),
         }
 
     def _solvers_doc(self, query: Dict[str, str]) -> Dict[str, Any]:
@@ -433,15 +606,31 @@ class ReproServer:
 
     def _make_task(self, pg: PinnedGraph, spec: SolverSpec, seed: int,
                    k: Optional[int], params: Dict[str, Any], verify: bool,
-                   include_certificate: bool) -> SolveTask:
+                   include_certificate: bool,
+                   deadline_ts: Optional[float] = None) -> SolveTask:
         task = SolveTask(
             graph_id=pg.graph_id, solver=spec.name, seed=seed, k=k,
             params=params, verify=verify,
             include_certificate=include_certificate,
+            deadline_ts=deadline_ts,
         )
         if self.ship_handles and pg.handle is not None:
             return replace(task, handle=pg.handle, weights=pg.weights)
         return replace(task, graph=pg.graph)
+
+    def _deadline(self, requested_ms: Optional[float]
+                  ) -> Tuple[Optional[float], Optional[float],
+                             Optional[float]]:
+        """Resolve one request's budget into ``(budget_ms, monotonic
+        deadline for the batcher, wall-clock deadline for workers)``."""
+        cfg = self.config
+        budget_ms = resolve_deadline_ms(
+            requested_ms, cfg.default_deadline_ms, cfg.max_deadline_ms
+        )
+        if budget_ms is None:
+            return None, None, None
+        budget_s = budget_ms / 1000.0
+        return budget_ms, time.monotonic() + budget_s, time.time() + budget_s
 
     def _wants_view(self, spec: SolverSpec, task: SolveTask) -> bool:
         # Partition pinning rides the in-process path only: process workers
@@ -450,7 +639,9 @@ class ReproServer:
                 and "partition" in spec.params and task.k is not None)
 
     async def _submit(self, pg: PinnedGraph, spec: SolverSpec,
-                      task: SolveTask) -> Dict[str, Any]:
+                      task: SolveTask,
+                      deadline: Optional[float] = None,
+                      deadline_ms: Optional[float] = None) -> Dict[str, Any]:
         loop = asyncio.get_running_loop()
         leased = False
         try:
@@ -460,7 +651,9 @@ class ReproServer:
                 )
                 leased = True
                 task = replace(task, partition=view)
-            payload = await self.batcher.submit(pg.graph_id, task)
+            payload = await self.batcher.submit(
+                pg.graph_id, task, deadline=deadline, deadline_ms=deadline_ms
+            )
             pg.solves += 1
             return payload
         finally:
@@ -468,15 +661,25 @@ class ReproServer:
                 self.store.release_view(pg, task.k, task.seed)
 
     async def _do_solve(self, req: SolveRequest) -> Dict[str, Any]:
-        pg = self.store.acquire(req.graph_id)
+        self.admission.acquire(req.graph_id)
         try:
-            spec = self._resolve_spec(req, pg.graph)
-            self._precheck(spec, pg.graph, req.k, req.params)
-            task = self._make_task(pg, spec, req.seed, req.k, req.params,
-                                   req.verify, req.include_certificate)
-            payload = await self._submit(pg, spec, task)
+            pg = self.store.acquire(req.graph_id)
+            try:
+                spec = self._resolve_spec(req, pg.graph)
+                self._precheck(spec, pg.graph, req.k, req.params)
+                budget_ms, deadline, deadline_ts = self._deadline(
+                    req.deadline_ms
+                )
+                task = self._make_task(pg, spec, req.seed, req.k, req.params,
+                                       req.verify, req.include_certificate,
+                                       deadline_ts=deadline_ts)
+                payload = await self._submit(pg, spec, task,
+                                             deadline=deadline,
+                                             deadline_ms=budget_ms)
+            finally:
+                self.store.release(pg)
         finally:
-            self.store.release(pg)
+            self.admission.release(req.graph_id)
         doc = {
             "graph": req.graph_id,
             "solver": spec.name,
@@ -485,9 +688,16 @@ class ReproServer:
             "batch_size": payload.get("batch_size", 1),
         }
         if not payload["ok"]:
-            from repro.serve.protocol import SolveFailed
+            from repro.serve.protocol import DeadlineExceeded, SolveFailed
 
             err = payload["error"]
+            if err.get("code") == "deadline_exceeded":
+                # Belt-and-braces: a worker that short-circuited on its
+                # wall-clock deadline, in the rare case the batcher's
+                # monotonic check didn't already 504 this entry.
+                raise DeadlineExceeded(err.get("message", "deadline expired"),
+                                       solver=err.get("solver"),
+                                       graph=err.get("graph"))
             raise SolveFailed(err.get("message", "solver failed"),
                               solver=err.get("solver"),
                               graph=err.get("graph"))
@@ -495,26 +705,36 @@ class ReproServer:
         return doc
 
     async def _do_compare(self, req: CompareRequest) -> Dict[str, Any]:
-        pg = self.store.acquire(req.graph_id)
+        self.admission.acquire(req.graph_id)
         try:
-            jobs = []
-            for entry in req.entries:
-                try:
-                    spec = get_solver(entry.solver)
-                except UnknownSolverError as exc:
-                    raise NotFound(str(exc), solver=entry.solver)
-                self._precheck(spec, pg.graph, req.k, entry.params)
-                task = self._make_task(pg, spec, req.seed, req.k,
-                                       entry.params, req.verify, False)
-                jobs.append((entry, spec, task))
-            # One gather → the batcher coalesces all entries for this graph
-            # into a single barrier (they share the key and the window).
-            payloads = await asyncio.gather(
-                *(self._submit(pg, spec, task) for _, spec, task in jobs),
-                return_exceptions=True,
-            )
+            pg = self.store.acquire(req.graph_id)
+            try:
+                budget_ms, deadline, deadline_ts = self._deadline(
+                    req.deadline_ms
+                )
+                jobs = []
+                for entry in req.entries:
+                    try:
+                        spec = get_solver(entry.solver)
+                    except UnknownSolverError as exc:
+                        raise NotFound(str(exc), solver=entry.solver)
+                    self._precheck(spec, pg.graph, req.k, entry.params)
+                    task = self._make_task(pg, spec, req.seed, req.k,
+                                           entry.params, req.verify, False,
+                                           deadline_ts=deadline_ts)
+                    jobs.append((entry, spec, task))
+                # One gather → the batcher coalesces all entries for this
+                # graph into a single barrier (shared key, shared window).
+                payloads = await asyncio.gather(
+                    *(self._submit(pg, spec, task, deadline=deadline,
+                                   deadline_ms=budget_ms)
+                      for _, spec, task in jobs),
+                    return_exceptions=True,
+                )
+            finally:
+                self.store.release(pg)
         finally:
-            self.store.release(pg)
+            self.admission.release(req.graph_id)
         columns = []
         for (entry, spec, _), payload in zip(jobs, payloads):
             column: Dict[str, Any] = {

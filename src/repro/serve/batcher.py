@@ -18,22 +18,50 @@ request ran alone or inside a 16-wide batch.
 Flushes are serialized by an asyncio lock: the repro executors create
 their pools lazily inside ``map``, which is not safe to race from two
 threads, and "one barrier at a time" is exactly the semantics the batch
-stats report.  A broken pool (:class:`~repro.dist.executor.
-WorkerPoolBrokenError`) fails only the in-flight batch — the executor
-has already discarded the pool, so the next batch gets a fresh one.
+stats report.
+
+The PR 9 resilience layer hangs off three seams here:
+
+* **Bounded queue** — ``submit`` rejects with a 429 ``overloaded`` once
+  ``max_queue`` entries are waiting, so sustained overload sheds load
+  instead of queueing unboundedly.
+* **Deadlines** — each entry may carry a monotonic deadline.  Expired
+  entries are dropped *before* the flush (never dispatched, 504), and an
+  entry whose deadline passes while its batch is in flight gets a 504
+  after the barrier without touching its batch-mates' payloads.
+* **Supervised pool breaks** — a broken pool
+  (:class:`~repro.dist.executor.WorkerPoolBrokenError`) still fails only
+  the in-flight batch, but what happens next is the
+  :class:`~repro.serve.resilience.ExecutorSupervisor`'s call: an isolated
+  break re-warms immediately (PR 7 semantics); a run of consecutive
+  breaks opens the circuit breaker, and further batches are rejected
+  until a half-open probe (which this class dispatches, re-warming
+  first) closes it again.
 """
 
 from __future__ import annotations
 
 import asyncio
 import contextlib
+import time
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.dist.executor import Executor, WorkerPoolBrokenError
-from repro.serve.protocol import PoolBroken, SolveFailed
-from repro.serve.tasks import SolveTask, run_solve_task, warm_worker
+from repro.serve.protocol import (
+    DeadlineExceeded,
+    Overloaded,
+    PoolBroken,
+    ShuttingDown,
+    SolveFailed,
+)
+from repro.serve.resilience import ExecutorSupervisor
+from repro.serve.tasks import SolveTask, run_solve_task
 
 __all__ = ["MicroBatcher"]
+
+#: One queued request: (task, its future, monotonic deadline or None,
+#: the client-facing deadline budget in ms for error messages).
+_Entry = Tuple[SolveTask, asyncio.Future, Optional[float], Optional[float]]
 
 
 class _Bucket:
@@ -42,36 +70,75 @@ class _Bucket:
     __slots__ = ("entries", "timer")
 
     def __init__(self) -> None:
-        self.entries: List[Tuple[SolveTask, asyncio.Future]] = []
+        self.entries: List[_Entry] = []
         self.timer: Optional[asyncio.TimerHandle] = None
 
 
 class MicroBatcher:
     """Coalesces concurrent solve tasks into per-graph executor barriers."""
 
-    def __init__(self, executor: Executor, *, window_s: float = 0.005,
-                 max_batch: int = 32) -> None:
+    def __init__(self, supervisor: ExecutorSupervisor, *,
+                 window_s: float = 0.005, max_batch: int = 32,
+                 max_queue: int = 256) -> None:
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
-        self.executor = executor
+        if max_queue < 1:
+            raise ValueError("max_queue must be >= 1")
+        self.supervisor = supervisor
         self.window_s = max(0.0, float(window_s))
         self.max_batch = max_batch
+        self.max_queue = max_queue
         self._pending: Dict[str, _Bucket] = {}
         self._flush_lock = asyncio.Lock()
         self._inflight: set = set()
+        self._draining = False
         # stats
         self.batches = 0
         self.requests = 0
         self.batched_requests = 0  # requests that shared a barrier
         self.max_batch_seen = 0
         self.pool_breaks = 0
+        self.max_queue_seen = 0
+        self.rejected_queue_full = 0
+        self.rejected_at_dispatch = 0
+        self.expired_in_queue = 0
+        self.expired_in_flight = 0
+
+    @property
+    def executor(self) -> Executor:
+        """The live executor — always read through the supervisor, which
+        may have stepped the backend down since the last batch."""
+        return self.supervisor.executor
+
+    def queue_depth(self) -> int:
+        return sum(len(b.entries) for b in self._pending.values())
 
     # ------------------------------------------------------------------ #
-    async def submit(self, key: str, task: SolveTask) -> Dict[str, Any]:
+    async def submit(self, key: str, task: SolveTask, *,
+                     deadline: Optional[float] = None,
+                     deadline_ms: Optional[float] = None) -> Dict[str, Any]:
         """Enqueue one task; resolves to its payload dict after the batch
-        it joined has run.  Raises :class:`~repro.serve.protocol.PoolBroken`
-        / :class:`~repro.serve.protocol.SolveFailed` if the batch's barrier
+        it joined has run.
+
+        ``deadline`` is a ``time.monotonic()`` instant (or ``None``).
+        Raises :class:`~repro.serve.protocol.Overloaded` when the queue is
+        full or the breaker is open, :class:`~repro.serve.protocol.
+        DeadlineExceeded` when the budget ran out, and
+        :class:`~repro.serve.protocol.PoolBroken` /
+        :class:`~repro.serve.protocol.SolveFailed` if the batch's barrier
         itself failed."""
+        if self._draining:
+            raise ShuttingDown("server is draining; no new work accepted")
+        self.supervisor.on_submit()  # fast shed while the breaker is open
+        if self.queue_depth() >= self.max_queue:
+            self.rejected_queue_full += 1
+            raise Overloaded(
+                f"batch queue is full ({self.max_queue} waiting); "
+                f"retry shortly",
+                retry_after_s=max(2 * self.window_s, 0.05),
+                reason="queue_full",
+                max_queue=self.max_queue,
+            )
         loop = asyncio.get_running_loop()
         future: asyncio.Future = loop.create_future()
         bucket = self._pending.get(key)
@@ -81,8 +148,9 @@ class MicroBatcher:
             bucket.timer = loop.call_later(
                 self.window_s, self._flush_soon, key
             )
-        bucket.entries.append((task, future))
+        bucket.entries.append((task, future, deadline, deadline_ms))
         self.requests += 1
+        self.max_queue_seen = max(self.max_queue_seen, self.queue_depth())
         if len(bucket.entries) >= self.max_batch:
             self._flush_soon(key)
         return await future
@@ -98,7 +166,27 @@ class MicroBatcher:
         job.add_done_callback(self._inflight.discard)
 
     async def _run(self, bucket: _Bucket) -> None:
-        tasks = [task for task, _ in bucket.entries]
+        # Expired-in-queue entries are dropped here, *before* the flush:
+        # they are never dispatched, never cost a pool slot.
+        now = time.monotonic()
+        live: List[_Entry] = []
+        for entry in bucket.entries:
+            task, future, deadline, budget_ms = entry
+            if deadline is not None and now >= deadline:
+                self.expired_in_queue += 1
+                if not future.cancelled():
+                    future.set_exception(DeadlineExceeded(
+                        f"deadline of {budget_ms:g} ms expired while the "
+                        f"request was queued",
+                        graph=task.graph_id,
+                        solver=task.solver,
+                        deadline_ms=budget_ms,
+                    ))
+            else:
+                live.append(entry)
+        if not live:
+            return
+        tasks = [task for task, _, _, _ in live]
         self.batches += 1
         self.max_batch_seen = max(self.max_batch_seen, len(tasks))
         if len(tasks) > 1:
@@ -106,45 +194,87 @@ class MicroBatcher:
         loop = asyncio.get_running_loop()
         try:
             async with self._flush_lock:
+                try:
+                    action = self.supervisor.on_dispatch()
+                except Overloaded as exc:
+                    self.rejected_at_dispatch += len(live)
+                    if self._draining:
+                        # Queued before the breaker opened, and the server
+                        # is going away: a structured 503 beats waiting out
+                        # a backoff that will never be probed.
+                        self._reject(live, ShuttingDown(
+                            "server is draining and the worker pool is "
+                            "unavailable",
+                            batch_size=len(tasks),
+                        ))
+                    else:
+                        self._reject(live, exc)
+                    return
+                if action == "probe":
+                    # Half-open: this batch is the probe.  Re-warm first so
+                    # the barrier runs in a real pool, not inline.
+                    await loop.run_in_executor(None, self.supervisor.rewarm)
                 payloads = await loop.run_in_executor(
                     None, self.executor.map, run_solve_task, tasks
                 )
         except WorkerPoolBrokenError as exc:
             self.pool_breaks += 1
-            # Re-warm immediately: the executor discarded its pool, and
-            # until one exists again a single-task barrier would run
-            # inline in the server process — which must never happen.
-            with contextlib.suppress(Exception):
-                async with self._flush_lock:
-                    await loop.run_in_executor(
-                        None, self.executor.map, warm_worker, [0, 1]
-                    )
-            self._reject(bucket, PoolBroken(
+            action = self.supervisor.on_break()
+            if action in ("rewarm", "stepped_down"):
+                # Isolated break (or a fresh backend after step-down):
+                # re-warm immediately so the next single-task barrier does
+                # not run inline in the server process.
+                with contextlib.suppress(Exception):
+                    async with self._flush_lock:
+                        await loop.run_in_executor(
+                            None, self.supervisor.rewarm
+                        )
+            self._reject(live, PoolBroken(
                 f"worker pool died mid-batch: {exc}",
                 batch_size=len(tasks),
             ))
             return
         except Exception as exc:  # noqa: BLE001 - surface as structured 500
-            self._reject(bucket, SolveFailed(
+            self._reject(live, SolveFailed(
                 f"batch execution failed: {type(exc).__name__}: {exc}",
                 batch_size=len(tasks),
             ))
             return
-        for (_, future), payload in zip(bucket.entries, payloads):
-            if not future.cancelled():
-                payload = dict(payload)
-                payload["batch_size"] = len(tasks)
-                future.set_result(payload)
+        self.supervisor.on_success()
+        now = time.monotonic()
+        for (task, future, deadline, budget_ms), payload in zip(live,
+                                                                payloads):
+            if future.cancelled():
+                continue
+            if deadline is not None and now >= deadline:
+                # Expired while the batch was in flight.  Only this entry
+                # turns into a 504 — its batch-mates' payloads are already
+                # computed and untouched.
+                self.expired_in_flight += 1
+                future.set_exception(DeadlineExceeded(
+                    f"deadline of {budget_ms:g} ms expired while the "
+                    f"batch was executing",
+                    graph=task.graph_id,
+                    solver=task.solver,
+                    deadline_ms=budget_ms,
+                ))
+                continue
+            payload = dict(payload)
+            payload["batch_size"] = len(tasks)
+            future.set_result(payload)
 
     @staticmethod
-    def _reject(bucket: _Bucket, error: Exception) -> None:
-        for _, future in bucket.entries:
+    def _reject(entries: List[_Entry], error: Exception) -> None:
+        for _, future, _, _ in entries:
             if not future.cancelled():
                 future.set_exception(error)
 
     # ------------------------------------------------------------------ #
     async def drain(self) -> None:
-        """Flush everything pending and wait for in-flight barriers."""
+        """Stop accepting work, flush everything pending, wait for
+        in-flight barriers.  Queued requests either run to completion or
+        (if the breaker is open) get structured 503s — nothing hangs."""
+        self._draining = True
         for key in list(self._pending):
             self._flush_soon(key)
         while self._inflight:
@@ -160,4 +290,11 @@ class MicroBatcher:
             "pool_breaks": self.pool_breaks,
             "window_ms": self.window_s * 1000.0,
             "max_batch": self.max_batch,
+            "max_queue": self.max_queue,
+            "queue_depth": self.queue_depth(),
+            "max_queue_seen": self.max_queue_seen,
+            "rejected_queue_full": self.rejected_queue_full,
+            "rejected_at_dispatch": self.rejected_at_dispatch,
+            "expired_in_queue": self.expired_in_queue,
+            "expired_in_flight": self.expired_in_flight,
         }

@@ -10,12 +10,21 @@ Errors follow the server's taxonomy: any non-2xx response raises
 :class:`ServeClientError` carrying the status and the parsed
 ``{"error": {...}}`` document, so a test can assert
 ``exc.code == "worker_pool_broken"`` instead of string-matching bodies.
+
+Resilience is opt-in via ``retries=`` / ``backoff=``: connect failures
+retry with jittered exponential backoff (the server may be restarting),
+and a 429 ``overloaded`` waits out the server's advisory delay
+(``retry_after_ms`` from the error doc, falling back to the
+``Retry-After`` header) before trying again.  With the default
+``retries=0`` the client behaves exactly as before: one attempt,
+errors surface immediately.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import random
 from typing import Any, Dict, List, Optional, Tuple
 
 __all__ = ["ServeClient", "ServeClientError"]
@@ -24,7 +33,8 @@ __all__ = ["ServeClient", "ServeClientError"]
 class ServeClientError(RuntimeError):
     """A non-2xx response from the server."""
 
-    def __init__(self, status: int, doc: Any) -> None:
+    def __init__(self, status: int, doc: Any,
+                 retry_after: Optional[float] = None) -> None:
         error = (doc or {}).get("error", {}) if isinstance(doc, dict) else {}
         super().__init__(
             f"server returned {status}: "
@@ -33,23 +43,40 @@ class ServeClientError(RuntimeError):
         self.status = status
         self.doc = doc
         self.code = error.get("code", "unknown")
+        #: The server's advisory retry delay in seconds (429s), or None.
+        self.retry_after = retry_after
 
 
 class ServeClient:
     """Talk to one ``repro serve`` instance."""
 
     def __init__(self, host: str = "127.0.0.1", port: int = 8080,
-                 timeout: float = 120.0) -> None:
+                 timeout: float = 120.0, retries: int = 0,
+                 backoff: float = 0.05) -> None:
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        if backoff <= 0:
+            raise ValueError(f"backoff must be > 0, got {backoff}")
         self.host = host
         self.port = int(port)
         self.timeout = timeout
+        self.retries = int(retries)
+        self.backoff = float(backoff)
 
     # ------------------------------------------------------------------ #
     # transport
     # ------------------------------------------------------------------ #
     async def request(self, method: str, path: str,
                       doc: Any = None) -> Tuple[int, Any]:
-        """One HTTP exchange; returns ``(status, parsed_json_or_None)``.
+        """One HTTP exchange (no retries); returns
+        ``(status, parsed_json_or_None)``."""
+        status, parsed, _headers = await self._request_once(method, path, doc)
+        return status, parsed
+
+    async def _request_once(
+        self, method: str, path: str, doc: Any = None,
+    ) -> Tuple[int, Any, Dict[str, str]]:
+        """One HTTP exchange; returns ``(status, parsed, headers)``.
 
         The response is read by ``Content-Length``, never until EOF: a
         server that forks worker processes mid-connection (pool
@@ -70,7 +97,7 @@ class ServeClient:
             )
             writer.write(head.encode("latin-1") + body)
             await writer.drain()
-            status, parsed = await asyncio.wait_for(
+            status, parsed, headers = await asyncio.wait_for(
                 self._read_response(reader), timeout=self.timeout
             )
         finally:
@@ -79,12 +106,12 @@ class ServeClient:
                 await writer.wait_closed()
             except (ConnectionResetError, BrokenPipeError, OSError):
                 pass
-        return status, parsed
+        return status, parsed, headers
 
     @staticmethod
     async def _read_response(
         reader: asyncio.StreamReader,
-    ) -> Tuple[int, Any]:
+    ) -> Tuple[int, Any, Dict[str, str]]:
         try:
             header_blob = await reader.readuntil(b"\r\n\r\n")
         except asyncio.IncompleteReadError as exc:
@@ -101,20 +128,71 @@ class ServeClient:
                 "message": f"unparseable response: {header_blob[:200]!r}",
             }})
         status = int(status_line[1])
-        length = 0
+        headers: Dict[str, str] = {}
         for line in lines[1:]:
             name, _, value = line.partition(b":")
-            if name.strip().lower() == b"content-length":
-                length = int(value.strip())
+            if name:
+                headers[name.strip().lower().decode("latin-1")] = (
+                    value.strip().decode("latin-1")
+                )
+        length = int(headers.get("content-length", "0") or 0)
         payload = await reader.readexactly(length) if length else b""
-        return status, json.loads(payload) if payload else None
+        return status, json.loads(payload) if payload else None, headers
+
+    # ------------------------------------------------------------------ #
+    # retry policy
+    # ------------------------------------------------------------------ #
+    def _retry_delay(self, attempt: int) -> float:
+        """Jittered exponential backoff: ``backoff * 2^attempt``, scaled
+        by a uniform factor in [0.5, 1.5)."""
+        return self.backoff * (2 ** attempt) * (0.5 + random.random())
+
+    def _retry_after_s(self, parsed: Any,
+                       headers: Dict[str, str]) -> Optional[float]:
+        """The server's advisory delay: ``retry_after_ms`` from the error
+        doc (precise), else the ``Retry-After`` header (whole seconds)."""
+        if isinstance(parsed, dict):
+            ms = parsed.get("error", {}).get("retry_after_ms")
+            if isinstance(ms, (int, float)) and not isinstance(ms, bool):
+                return max(0.0, float(ms) / 1000.0)
+        raw = headers.get("retry-after")
+        if raw is not None:
+            try:
+                return max(0.0, float(raw))
+            except ValueError:
+                pass
+        return None
 
     async def call(self, method: str, path: str, doc: Any = None) -> Any:
-        """Like :meth:`request`, raising :class:`ServeClientError` on 4xx/5xx."""
-        status, parsed = await self.request(method, path, doc)
-        if status >= 400:
-            raise ServeClientError(status, parsed)
-        return parsed
+        """Like :meth:`request`, raising :class:`ServeClientError` on
+        4xx/5xx; with ``retries > 0`` connect errors and 429s are retried
+        (bounded), honoring the server's advisory delay on 429."""
+        attempt = 0
+        while True:
+            try:
+                status, parsed, headers = await self._request_once(
+                    method, path, doc
+                )
+            except (ConnectionError, OSError):
+                if attempt >= self.retries:
+                    raise
+                await asyncio.sleep(self._retry_delay(attempt))
+                attempt += 1
+                continue
+            retry_after = self._retry_after_s(parsed, headers)
+            if status == 429 and attempt < self.retries:
+                # Wait out the server's advisory delay (plus a jittered
+                # pad, so a client arriving exactly at the breaker's
+                # boundary doesn't immediately bounce again).
+                delay = (retry_after if retry_after is not None
+                         else self._retry_delay(attempt))
+                await asyncio.sleep(delay + self.backoff * random.random())
+                attempt += 1
+                continue
+            if status >= 400:
+                raise ServeClientError(status, parsed,
+                                       retry_after=retry_after)
+            return parsed
 
     # ------------------------------------------------------------------ #
     # endpoints
@@ -122,8 +200,19 @@ class ServeClient:
     async def healthz(self) -> Dict[str, Any]:
         return await self.call("GET", "/healthz")
 
+    async def readyz(self) -> Tuple[bool, Dict[str, Any]]:
+        """``GET /readyz`` → ``(ready, doc)``; 503 is an answer here,
+        not an error."""
+        status, parsed = await self.request("GET", "/readyz")
+        if status not in (200, 503):
+            raise ServeClientError(status, parsed)
+        return status == 200, parsed
+
     async def stats(self) -> Dict[str, Any]:
         return await self.call("GET", "/stats")
+
+    async def statz(self) -> Dict[str, Any]:
+        return await self.call("GET", "/statz")
 
     async def solvers(self, problem: Optional[str] = None,
                       model: Optional[str] = None) -> Dict[str, Any]:
@@ -149,7 +238,7 @@ class ServeClient:
     async def solve(self, graph_id: str, **fields: Any) -> Dict[str, Any]:
         """``POST /solve``; fields mirror the request schema
         (``solver=`` or ``problem=``/``model=``/..., plus ``seed``, ``k``,
-        ``params``, ``verify``, ``certificate``)."""
+        ``params``, ``verify``, ``certificate``, ``deadline_ms``)."""
         return await self.call("POST", "/solve",
                                {"graph": graph_id, **fields})
 

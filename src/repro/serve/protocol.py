@@ -12,8 +12,11 @@ class                       status code
 :class:`NotFound`           404    ``not_found``
 :class:`Conflict`           409    ``conflict``
 :class:`UnresolvableCapability` 422 ``unresolvable_capability``
+:class:`Overloaded`         429    ``overloaded``
 :class:`SolveFailed`        500    ``solve_failed``
 :class:`PoolBroken`         500    ``worker_pool_broken``
+:class:`ShuttingDown`       503    ``shutting_down``
+:class:`DeadlineExceeded`   504    ``deadline_exceeded``
 =========================== ====== =====================================
 
 Every error renders as ``{"error": {"code": ..., "message": ..., ...}}``
@@ -32,10 +35,13 @@ __all__ = [
     "CompareEntry",
     "CompareRequest",
     "Conflict",
+    "DeadlineExceeded",
     "GraphRequest",
     "NotFound",
+    "Overloaded",
     "PoolBroken",
     "ServeError",
+    "ShuttingDown",
     "SolveFailed",
     "SolveRequest",
     "UnresolvableCapability",
@@ -82,6 +88,23 @@ class UnresolvableCapability(ServeError):
     code = "unresolvable_capability"
 
 
+class Overloaded(ServeError):
+    """The server shed this request: an in-flight cap, the batch queue
+    bound, or the worker-pool circuit breaker.  Carries the advisory
+    retry delay both machine-readable (``retry_after_ms`` in the error
+    doc) and as an HTTP ``Retry-After`` header (whole seconds,
+    rounded up)."""
+
+    status = 429
+    code = "overloaded"
+
+    def __init__(self, message: str, *, retry_after_s: float = 1.0,
+                 **detail: Any) -> None:
+        detail.setdefault("retry_after_ms", round(retry_after_s * 1000.0, 3))
+        super().__init__(message, **detail)
+        self.retry_after_s = max(0.0, float(retry_after_s))
+
+
 class SolveFailed(ServeError):
     status = 500
     code = "solve_failed"
@@ -90,6 +113,23 @@ class SolveFailed(ServeError):
 class PoolBroken(ServeError):
     status = 500
     code = "worker_pool_broken"
+
+
+class ShuttingDown(ServeError):
+    """The server is draining (SIGTERM): queued work that cannot be
+    dispatched any more gets this instead of hanging forever."""
+
+    status = 503
+    code = "shutting_down"
+
+
+class DeadlineExceeded(ServeError):
+    """The request's ``deadline_ms`` budget ran out — while queued
+    (never dispatched) or while its batch was in flight (its
+    batch-mates' results are unaffected)."""
+
+    status = 504
+    code = "deadline_exceeded"
 
 
 # --------------------------------------------------------------------- #
@@ -160,6 +200,17 @@ def _k(doc: Dict[str, Any], where: str) -> Optional[int]:
     return k
 
 
+def _deadline_ms(doc: Dict[str, Any], where: str) -> Optional[float]:
+    deadline = _get(doc, "deadline_ms", (int, float), default=None,
+                    where=where)
+    if deadline is not None and deadline <= 0:
+        raise BadRequest(
+            f"{where} deadline_ms must be > 0, got {deadline}",
+            field="deadline_ms",
+        )
+    return None if deadline is None else float(deadline)
+
+
 # --------------------------------------------------------------------- #
 # requests
 # --------------------------------------------------------------------- #
@@ -183,6 +234,7 @@ class SolveRequest:
     weighted: Optional[bool] = None
     verify: bool = True
     include_certificate: bool = False
+    deadline_ms: Optional[float] = None
 
 
 def parse_solve_request(doc: Any, where: str = "solve request") -> SolveRequest:
@@ -202,6 +254,7 @@ def parse_solve_request(doc: Any, where: str = "solve request") -> SolveRequest:
         verify=_get(doc, "verify", (bool,), default=True, where=where),
         include_certificate=_get(doc, "certificate", (bool,), default=False,
                                  where=where),
+        deadline_ms=_deadline_ms(doc, where),
     )
     if req.solver is None and req.problem is None:
         raise BadRequest(
@@ -235,6 +288,7 @@ class CompareRequest:
     seed: int
     k: Optional[int]
     verify: bool = True
+    deadline_ms: Optional[float] = None
 
 
 def parse_compare_request(doc: Any) -> CompareRequest:
@@ -270,6 +324,7 @@ def parse_compare_request(doc: Any) -> CompareRequest:
         seed=_seed(doc, where),
         k=_k(doc, where),
         verify=_get(doc, "verify", (bool,), default=True, where=where),
+        deadline_ms=_deadline_ms(doc, where),
     )
 
 

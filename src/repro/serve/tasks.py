@@ -19,6 +19,7 @@ suite can kill/hang/slow a serve worker with the standard env knobs.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Any, Dict, Optional
 
@@ -65,6 +66,11 @@ class SolveTask:
     handle: Optional[EdgeHandle] = None
     weights: Optional[np.ndarray] = None
     partition: Any = None
+    # Wall-clock expiry (``time.time()``), comparable across the fork
+    # boundary on one host; ``None`` means no deadline.  The batcher keeps
+    # the authoritative monotonic copy — this one only lets a worker skip
+    # solving a request whose client has already been told 504.
+    deadline_ts: Optional[float] = None
 
 
 # Per-process task counter driving the chaos hooks ($REPRO_CHAOS_AFTER
@@ -84,6 +90,19 @@ def run_solve_task(task: SolveTask) -> Dict[str, Any]:
     global _TASK_SEQ
     _TASK_SEQ += 1
     maybe_chaos(_TASK_SEQ)
+
+    if task.deadline_ts is not None and time.time() >= task.deadline_ts:
+        # Already expired before we even started: don't burn worker time on
+        # a result nobody will read (the batcher 504s it post-barrier).
+        return {
+            "ok": False,
+            "error": {
+                "code": "deadline_exceeded",
+                "message": "deadline expired before the task started",
+                "solver": task.solver,
+                "graph": task.graph_id,
+            },
+        }
 
     from repro.solve import RunContext, solve
 

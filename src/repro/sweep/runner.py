@@ -28,6 +28,13 @@ and the sweep *continues*; :attr:`SweepResult.exit_code` is 1 when any
 cell failed, so CI still goes red, but one diverging grid corner cannot
 abort the other cells' work.  Failed cells write no artifact, so the next
 invocation retries exactly them.
+
+``retry_failed=N`` (CLI ``--retry-failed N``) additionally re-runs a
+raising cell up to N extra times *within* the invocation before recording
+it failed — for transient faults (a broken worker pool, a flaky
+filesystem) that would succeed on the spot.  Every executed record
+carries ``attempts`` (how many runs the cell took), which flows into the
+manifest verbatim.
 """
 
 from __future__ import annotations
@@ -72,6 +79,8 @@ class _CellJob:
     out_path: str
     artifact_rel: str
     pin_serial_engines: bool
+    #: Extra runs allowed after a raise before the cell is recorded failed.
+    retries: int = 0
 
 
 def _execute_cell(job: _CellJob) -> Dict[str, Any]:
@@ -80,7 +89,9 @@ def _execute_cell(job: _CellJob) -> Dict[str, Any]:
     Module-level so the ``processes`` backend can pickle it.  The run
     archives into a private staging directory first; the artifact is then
     amended with the cell's identity (``sweep_cell``) and moved to its
-    content-addressed final path in one ``os.replace``.
+    content-addressed final path in one ``os.replace``.  A raising run is
+    repeated up to ``job.retries`` extra times (transient-fault cover);
+    the returned record's ``attempts`` counts every run taken.
     """
     from repro.dist.executor import EXECUTOR_ENV
     from repro.experiments.registry import get_experiment
@@ -98,28 +109,37 @@ def _execute_cell(job: _CellJob) -> Dict[str, Any]:
     if job.pin_serial_engines:
         os.environ[EXECUTOR_ENV] = "serial"
     staging = Path(f"{job.out_path}.staging-{os.getpid()}")
+    attempts = 0
+    last_error: Optional[str] = None
     try:
-        spec = get_experiment(job.experiment)
-        table = spec.run(seed=job.seed, archive_dir=staging,
-                         **dict(job.overrides))
-        doc = json.loads(Path(table.artifact_path).read_text())
-        doc["sweep_cell"] = {
-            "cell_id": job.cell_id,
-            "overrides": jsonable_deep(dict(job.overrides)),
-            "seed": job.seed,
-        }
-        tmp = Path(f"{job.out_path}.tmp-{os.getpid()}")
-        tmp.write_text(json.dumps(doc, indent=2) + "\n")
-        os.replace(tmp, job.out_path)
-        record.update(
-            status="done",
-            artifact=job.artifact_rel,
-            seed_resolved=doc.get("seed"),
-            rows=len(doc.get("table", {}).get("rows", [])),
-        )
-    except Exception as exc:  # noqa: BLE001 — cell isolation is the contract
-        record.update(status="failed",
-                      error=f"{type(exc).__name__}: {exc}")
+        for attempt in range(1 + max(0, job.retries)):
+            attempts = attempt + 1
+            try:
+                spec = get_experiment(job.experiment)
+                table = spec.run(seed=job.seed, archive_dir=staging,
+                                 **dict(job.overrides))
+                doc = json.loads(Path(table.artifact_path).read_text())
+                doc["sweep_cell"] = {
+                    "cell_id": job.cell_id,
+                    "overrides": jsonable_deep(dict(job.overrides)),
+                    "seed": job.seed,
+                }
+                tmp = Path(f"{job.out_path}.tmp-{os.getpid()}")
+                tmp.write_text(json.dumps(doc, indent=2) + "\n")
+                os.replace(tmp, job.out_path)
+                record.update(
+                    status="done",
+                    artifact=job.artifact_rel,
+                    seed_resolved=doc.get("seed"),
+                    rows=len(doc.get("table", {}).get("rows", [])),
+                )
+                last_error = None
+                break
+            except Exception as exc:  # noqa: BLE001 — isolation contract
+                last_error = f"{type(exc).__name__}: {exc}"
+                shutil.rmtree(staging, ignore_errors=True)
+        if last_error is not None:
+            record.update(status="failed", error=last_error)
     finally:
         if job.pin_serial_engines:
             if previous is None:
@@ -127,6 +147,7 @@ def _execute_cell(job: _CellJob) -> Dict[str, Any]:
             else:
                 os.environ[EXECUTOR_ENV] = previous
         shutil.rmtree(staging, ignore_errors=True)
+    record["attempts"] = attempts
     record["wall_time_s"] = round(time.perf_counter() - start, 6)
     return record
 
@@ -170,6 +191,7 @@ def run_sweep(
     *,
     executor: Any = None,
     force: bool = False,
+    retry_failed: int = 0,
     grid_args: Optional[Mapping[str, Any]] = None,
 ) -> SweepResult:
     """Execute a planned grid into ``directory``, resuming past work.
@@ -179,12 +201,16 @@ def run_sweep(
     the backend that fans whole *cells* out; a resolved backend is closed
     here, a caller-passed instance stays open (the substrate ownership
     rule).  ``force=True`` re-executes every cell regardless of cached
-    artifacts.  ``grid_args`` is recorded verbatim in the manifest as the
+    artifacts.  ``retry_failed=N`` re-runs a raising cell up to N extra
+    times before recording it failed (the record's ``attempts`` counts
+    the runs).  ``grid_args`` is recorded verbatim in the manifest as the
     grid's declaration (the CLI passes its raw arguments).
     """
     from repro.dist.executor import Executor, resolve_executor
     from repro.experiments.artifacts import ArtifactError, load_artifact
 
+    if retry_failed < 0:
+        raise ValueError(f"retry_failed must be >= 0, got {retry_failed}")
     directory = Path(directory)
     cells_dir = directory / "cells"
     cells_dir.mkdir(parents=True, exist_ok=True)
@@ -219,6 +245,7 @@ def run_sweep(
                 "artifact": artifact_rel,
                 "seed_resolved": doc.get("seed"),
                 "error": None,
+                "attempts": 0,
                 "wall_time_s": 0.0,
             })
         else:
@@ -230,6 +257,7 @@ def run_sweep(
                 out_path=str(out_path),
                 artifact_rel=artifact_rel,
                 pin_serial_engines=pin_serial,
+                retries=retry_failed,
             ))
 
     try:

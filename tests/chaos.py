@@ -31,6 +31,7 @@ from typing import Any, AsyncIterator, Iterator, Optional, Tuple
 __all__ = [
     "chaos",
     "boom",
+    "overload_burst",
     "run_async",
     "serve_harness",
     "sleep_ms",
@@ -127,6 +128,59 @@ async def serve_harness(
         yield server, ServeClient(port=server.port)
     finally:
         await server.aclose()
+
+
+async def overload_burst(
+    client: Any,
+    graph_id: str,
+    n: int,
+    *,
+    solver: str = "matching.greedy_maximal",
+    k: Optional[int] = None,
+    seed_of=None,
+    **fields: Any,
+):
+    """The overload injector: fire ``n`` concurrent solves, classify.
+
+    All ``n`` requests launch in one ``gather`` (near-simultaneous
+    arrival — the sustained-overload shape the admission tests need) and
+    every outcome is bucketed by the server's error taxonomy::
+
+        {"ok": [result docs...], "overloaded": [ServeClientError...],
+         "deadline_exceeded": [...], "worker_pool_broken": [...],
+         "shutting_down": [...], "other": [anything unexpected]}
+
+    ``seed_of(i)`` picks per-request seeds (default: ``i``), so callers
+    can replay any admitted request through in-process ``solve()`` and
+    assert bit-identical results.  Extra ``fields`` ride into every
+    request body (``deadline_ms=...``, ``params=...``).
+    """
+    from repro.serve import ServeClientError
+
+    def _seed(i: int) -> int:
+        return seed_of(i) if seed_of is not None else i
+
+    async def one(i: int):
+        body: dict = {"solver": solver, "seed": _seed(i), **fields}
+        if k is not None:
+            body["k"] = k
+        return await client.solve(graph_id, **body)
+
+    outcomes = await asyncio.gather(*(one(i) for i in range(n)),
+                                    return_exceptions=True)
+    buckets: dict = {
+        "ok": [], "overloaded": [], "deadline_exceeded": [],
+        "worker_pool_broken": [], "shutting_down": [], "other": [],
+    }
+    for outcome in outcomes:
+        if isinstance(outcome, dict):
+            buckets["ok"].append(outcome)
+        elif (isinstance(outcome, ServeClientError)
+              and outcome.code in buckets):
+            buckets[outcome.code].append(outcome)
+        else:
+            buckets["other"].append(outcome)
+    return buckets
 
 
 # --------------------------------------------------------------------- #

@@ -155,6 +155,22 @@ class TestDegradation:
                 # Later barriers reuse the fallback, no second wait.
                 assert ex.map(square, range(4)) == [0, 1, 4, 9]
                 assert ex.degraded
+                # The fallback is observable, not silent: stats() carries
+                # the event count and the substitute backend's own stats,
+                # which is what `repro serve` surfaces on GET /statz.
+                stats = ex.stats()
+                assert stats["backend"] == "remote"
+                assert stats["degraded"] is True
+                assert stats["fallback_events"] == 1  # reused, not re-degraded
+                assert stats["fallback"]["backend"] == "processes"
+
+    def test_healthy_executor_reports_no_fallback(self, tmp_path):
+        with RemoteExecutor(max_workers=2, connect_timeout=60) as ex:
+            assert ex.map(square, range(4)) == [0, 1, 4, 9]
+            stats = ex.stats()
+            assert stats["degraded"] is False
+            assert stats["fallback_events"] == 0
+            assert stats["fallback"] is None
 
 
 class TestTaskErrors:

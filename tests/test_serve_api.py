@@ -376,7 +376,7 @@ class TestValidation:
                     b"Connection: close\r\n"
                     b"Content-Length: %d\r\n\r\n%s" % (len(body), body))
                 await writer.drain()
-                status, parsed = await ServeClient._read_response(reader)
+                status, parsed, _headers = await ServeClient._read_response(reader)
                 writer.close()
                 await writer.wait_closed()
                 # server survived:
@@ -435,7 +435,7 @@ class TestProtocol:
                         b"Connection: %s\r\nContent-Length: %d\r\n\r\n%s"
                         % (conn, len(body), body))
                     await writer.drain()
-                    status, parsed = await ServeClient._read_response(reader)
+                    status, parsed, _headers = await ServeClient._read_response(reader)
                     statuses.append((status, parsed["result"]["verified"]))
                 writer.close()
                 await writer.wait_closed()

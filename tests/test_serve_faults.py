@@ -166,7 +166,7 @@ class TestWireAbuse:
                     client.host, client.port)
                 writer.write(b"THIS IS NOT HTTP\r\n\r\n")
                 await writer.drain()
-                status, doc = await ServeClient._read_response(reader)
+                status, doc, _headers = await ServeClient._read_response(reader)
                 writer.close()
                 await writer.wait_closed()
                 return status, doc, await client.healthz()
@@ -187,7 +187,7 @@ class TestWireAbuse:
                     b"Content-Length: %s\r\n\r\n"
                     % content_length.encode())
                 await writer.drain()
-                status, doc = await ServeClient._read_response(reader)
+                status, doc, _headers = await ServeClient._read_response(reader)
                 writer.close()
                 await writer.wait_closed()
                 return status, doc, await client.healthz()

@@ -239,6 +239,71 @@ class TestRunner:
                     for c in load_manifest(result.manifest_path)["cells"]}
         assert sorted(statuses.values()) == ["failed", "skipped"]
 
+    @staticmethod
+    def _flaky_runs(monkeypatch, fail_first):
+        """Patch ExperimentSpec.run to raise on the first N calls."""
+        from repro.experiments.registry import get_experiment
+
+        spec_cls = type(get_experiment("e1"))
+        real_run = spec_cls.run
+        calls = {"n": 0}
+
+        def run(self, **kwargs):
+            calls["n"] += 1
+            if calls["n"] <= fail_first:
+                raise RuntimeError(f"transient fault #{calls['n']}")
+            return real_run(self, **kwargs)
+
+        monkeypatch.setattr(spec_cls, "run", run)
+        return calls
+
+    def test_retry_failed_recovers_a_transient_fault(self, tmp_path,
+                                                     monkeypatch):
+        calls = self._flaky_runs(monkeypatch, fail_first=1)
+        result = run_sweep(_tiny_cells(), tmp_path, executor="serial",
+                           retry_failed=2)
+        assert result.exit_code == 0
+        (record,) = result.executed
+        assert record["status"] == "done"
+        assert record["attempts"] == 2  # one raise, one success — not 3
+        assert record["error"] is None
+        assert calls["n"] == 2
+        assert (tmp_path / record["artifact"]).exists()
+        # The attempt count flows into the manifest verbatim.
+        (entry,) = load_manifest(result.manifest_path)["cells"]
+        assert entry["attempts"] == 2 and entry["status"] == "done"
+
+    def test_retry_failed_exhausted_records_the_last_error(
+            self, tmp_path, monkeypatch):
+        self._flaky_runs(monkeypatch, fail_first=99)  # never recovers
+        result = run_sweep(_tiny_cells(), tmp_path, executor="serial",
+                           retry_failed=1)
+        assert result.exit_code == 1
+        (record,) = result.executed
+        assert record["status"] == "failed"
+        assert record["attempts"] == 2  # the initial run + 1 retry
+        assert "transient fault #2" in record["error"]  # last, not first
+        assert record["artifact"] is None
+
+    def test_default_is_a_single_attempt(self, tmp_path, monkeypatch):
+        calls = self._flaky_runs(monkeypatch, fail_first=1)
+        result = run_sweep(_tiny_cells(), tmp_path, executor="serial")
+        assert result.exit_code == 1
+        (record,) = result.executed
+        assert record["attempts"] == 1
+        assert calls["n"] == 1
+        # ...and cached cells report attempts=0 on resume (nothing ran).
+        again = run_sweep(_tiny_cells(), tmp_path, executor="serial",
+                          retry_failed=2)
+        assert again.exit_code == 0
+        assert again.done[0]["attempts"] == 1  # recovered on first try
+        cached = run_sweep(_tiny_cells(), tmp_path, executor="serial")
+        assert cached.skipped[0]["attempts"] == 0
+
+    def test_negative_retry_failed_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="retry_failed"):
+            run_sweep(_tiny_cells(), tmp_path, retry_failed=-1)
+
     def test_manifest_accumulates_across_grids(self, tmp_path):
         run_sweep(_tiny_cells(), tmp_path)
         second = plan_grid(
@@ -285,6 +350,19 @@ class TestSweepCLI:
                      "--dir", str(tmp_path)]) == 1
         out = capsys.readouterr().out
         assert "1 failed" in out and "ValueError" in out
+
+    def test_retry_failed_flag_rides_through(self, tmp_path, capsys,
+                                             monkeypatch):
+        TestRunner._flaky_runs(monkeypatch, fail_first=1)
+        assert main(self.ARGS + ["--dir", str(tmp_path),
+                                 "--retry-failed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "1 executed" in out and "0 failed" in out
+
+    def test_negative_retry_failed_exits_2(self, tmp_path, capsys):
+        assert main(self.ARGS + ["--dir", str(tmp_path),
+                                 "--retry-failed", "-1"]) == 2
+        assert "--retry-failed" in capsys.readouterr().err
 
     def test_bad_inputs_exit_2(self, tmp_path, capsys):
         base = ["--dir", str(tmp_path)]
