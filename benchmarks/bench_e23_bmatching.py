@@ -1,0 +1,22 @@
+"""E23 — the capacitated (AdWords / b-matching) coreset story on the
+`ba_adwords` workload: per-piece greedy b-matchings composed and solved
+exactly on the union, across partition strategies.
+
+The assertable claims: every composed b-matching is feasible under the
+budgets (verify_b_matching), and the random partition beats both
+adversarial placements."""
+
+from _common import emit, run_once
+from repro.experiments.registry import get_experiment
+
+
+def test_e23_bmatching_coreset(benchmark):
+    table = run_once(
+        benchmark,
+        lambda: get_experiment("e23").run(n_trials=3),
+    )
+    emit(table, "e23_bmatching_coreset")
+    assert table.rows
+    for row in table.rows:
+        assert row["feasible"] is True
+        assert 1.0 <= row["r_random"] <= row["r_degree_sorted"] + 1e-9

@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""Randomized composable coresets on real-world workloads.
+
+The paper's Theorem 1 guarantee conditions on a *random* k-partition of
+the edges.  This example measures what that premise buys on graphs
+nature actually produces (docs/WORKLOADS.md):
+
+1. list the workload registry and build the gMission dataset workload
+   offline from its bundled fixture,
+2. run the matching coreset under a random partition vs the two
+   adversarial placements (degree-sorted, community) and compare the
+   approximation ratios,
+3. do the same for the capacitated story: b-matching coresets on the
+   `ba_adwords` AdWords family, with every composed solution verified
+   feasible under the per-advertiser budgets.
+
+Everything is offline and deterministic: the dataset loaders fall back
+to fixtures shipped inside the package, so a fresh checkout runs this
+with zero setup and reproduces the same numbers per seed.
+
+Run:  python examples/real_world_coresets.py
+"""
+
+import os
+
+import numpy as np
+
+# Pin the bundled fixtures so the numbers match on any machine,
+# networked or not.
+os.environ.setdefault("REPRO_OFFLINE", "1")
+
+from repro.graph.bipartite import BipartiteGraph
+from repro.matching.api import matching_number, maximum_matching
+from repro.solve import RunContext, solve
+from repro.workloads import all_workloads, build_workload, partition_workload
+
+K = 4
+SEED = 7
+
+
+def show_registry():
+    print("registered workloads:")
+    for spec in all_workloads():
+        flags = ",".join(
+            f for f, on in (("weighted", spec.weighted),
+                            ("capacitated", spec.capacitated)) if on
+        ) or "-"
+        print(f"  {spec.name:<12} {spec.kind:<10} [{flags}]")
+    print()
+
+
+def partition_quality(name: str):
+    """The E22 measurement on one workload, spelled out by hand."""
+    g = build_workload(name, rng=SEED)
+    opt = matching_number(g)
+    print(f"{name}: {g.n_left}x{g.n_right}, {g.n_edges} edges, "
+          f"MM(G) = {opt}")
+    rng = np.random.default_rng(SEED)
+    for strategy in ("random", "degree_sorted", "community"):
+        part = partition_workload(g, K, strategy, rng=rng)
+        # Each machine sends a maximum matching of its piece (Theorem 1's
+        # coreset); the coordinator solves the union.
+        union = np.concatenate(
+            [maximum_matching(part.piece(i)) for i in range(K)]
+        )
+        coreset = BipartiteGraph(g.n_left, g.n_right, union)
+        got = matching_number(coreset)
+        print(f"  {strategy:<14} coreset {coreset.n_edges:>6} edges  "
+              f"matching {got:>4}  ratio {opt / got:.3f}")
+    print()
+
+
+def capacitated_story():
+    """b-matching coresets on the AdWords family, via the solver facade."""
+    g = build_workload("ba_adwords", rng=SEED)
+    opt = solve(g, "matching.b_exact")
+    print(f"ba_adwords: {g.n_left} advertisers x {g.n_right} impressions, "
+          f"budgets sum {int(g.capacities.sum())}, "
+          f"exact b-matching {opt.value}")
+    for strategy in ("random", "degree_sorted", "community"):
+        res = solve(g, "matching.b_coreset", RunContext(seed=SEED, k=K),
+                    strategy=strategy)
+        assert res.verified, "composed b-matching must respect budgets"
+        print(f"  {strategy:<14} value {res.value:>4}  "
+              f"ratio {opt.value / res.value:.3f}  "
+              f"(feasible: {res.verified})")
+    print()
+
+
+def main():
+    show_registry()
+    for name in ("gmission", "movielens"):
+        partition_quality(name)
+    capacitated_story()
+    print("the paper's premise, measured: random partitions keep the "
+          "coreset O(1)-approximate;")
+    print("adversarial placement of hubs/communities degrades it — on "
+          "real data too.")
+
+
+if __name__ == "__main__":
+    main()

@@ -5,6 +5,10 @@
     python -m repro solve planted:n=4000 --problem matching --solver coreset \
         --k 8 --executor processes
     python -m repro solve graph.npz --solver vertex_cover.coreset --k 8 --json -
+    python -m repro solve workload:gmission --solver matching.maximum
+    python -m repro workloads --list
+    python -m repro workloads --info ba_adwords --json
+    python -m repro workloads --fetch gmission
     python -m repro experiment e1 [--trials 3]
     python -m repro experiment e1 --set n_values=2000,4000 --json out.json
     python -m repro experiment e21 --executor processes --workers 8
@@ -71,9 +75,11 @@ def build_parser() -> argparse.ArgumentParser:
                     "planted:n=2000 (see docs/SOLVER_API.md).",
     )
     s.add_argument("graph", nargs="?", default=None, metavar="GRAPH",
-                   help="graph file (.npz / edge-list text) or generator "
+                   help="graph file (.npz / edge-list text), generator "
                         "spec name[:k=v,...] — planted, gnp, bipartite, "
-                        "skewed, weighted")
+                        "skewed, weighted — or a registry workload "
+                        "workload:NAME[:k=v,...] (see repro workloads "
+                        "--list)")
     s.add_argument("--list", action="store_true", dest="list_solvers",
                    help="list registered solvers with their capability "
                         "metadata and exit")
@@ -102,6 +108,34 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write the SolveResult as JSON to PATH ('-' prints "
                         "JSON to stdout)")
     _add_executor_flags(s)
+
+    wl = sub.add_parser(
+        "workloads",
+        help="list, inspect, or prefetch registered workload families "
+             "(repro.workloads)",
+        description="The workload registry: synthetic families "
+                    "(preferential attachment, capacitated AdWords, "
+                    "power-law, clustered) and dataset-backed loaders "
+                    "(gmission, movielens) with bundled offline fixtures. "
+                    "Any workload is usable as a repro solve graph via "
+                    "workload:NAME[:k=v,...].  See docs/WORKLOADS.md.",
+    )
+    wl.add_argument("--list", action="store_true", dest="list_workloads",
+                    help="table of registered workloads with kind, flags, "
+                         "and parameter defaults")
+    wl.add_argument("--info", default=None, metavar="NAME",
+                    help="full metadata for one workload")
+    wl.add_argument("--fetch", default=None, metavar="NAME",
+                    help="materialize one workload at default parameters "
+                         "into the cache (~/.cache/repro or "
+                         "$REPRO_CACHE_DIR) as a .npz artifact")
+    wl.add_argument("--seed", type=int, default=0,
+                    help="build seed for --fetch (default 0)")
+    wl.add_argument("--force", action="store_true",
+                    help="with --fetch: rebuild even if the artifact "
+                         "exists")
+    wl.add_argument("--json", action="store_true", dest="as_json",
+                    help="emit --list/--info output as JSON")
 
     e = sub.add_parser("experiment", help="run one experiment table")
     e.add_argument("id", help="experiment id, e.g. e1, e7, e21")
@@ -350,6 +384,8 @@ def _cmd_solve(args: argparse.Namespace) -> int:
                 flags.append("bipartite-only")
             if spec.weighted:
                 flags.append("weighted")
+            if spec.capacitated:
+                flags.append("capacitated")
             if spec.uses_k:
                 flags.append("uses-k")
             if spec.baseline:
@@ -432,6 +468,66 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         print(f"   stats: {key} = {result.stats[key]}")
     if args.json_path is not None:
         print(f"[wrote JSON: {args.json_path}]")
+    return 0
+
+
+def _cmd_workloads(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.workloads import (
+        UnknownWorkloadError,
+        all_workloads,
+        fetch_workload,
+        get_workload,
+    )
+
+    if args.info is not None:
+        try:
+            spec = get_workload(args.info)
+        except UnknownWorkloadError as exc:
+            print(f"workloads: {exc}", file=sys.stderr)
+            return 2
+        info = spec.info()
+        if args.as_json:
+            print(json.dumps(info, indent=2))
+            return 0
+        for key in ("name", "kind", "weighted", "capacitated", "source"):
+            print(f"{key:>12}: {info[key]}")
+        print(f"{'params':>12}: " + (", ".join(
+            f"{k}={v!r}" for k, v in info["params"].items()) or "(none)"))
+        print(f"{'description':>12}: {info['description']}")
+        print(f"{'spec':>12}: workload:{spec.name}" + (
+            ":" + ",".join(f"{k}={v}" for k, v in info["params"].items()
+                           if v is not None)
+            if any(v is not None for v in info["params"].values()) else ""))
+        return 0
+
+    if args.fetch is not None:
+        try:
+            path = fetch_workload(args.fetch, seed=args.seed,
+                                  force=args.force)
+        except UnknownWorkloadError as exc:
+            print(f"workloads: {exc}", file=sys.stderr)
+            return 2
+        print(f"[cached: {path}]")
+        return 0
+
+    # --list is the default action
+    specs = all_workloads()
+    if args.as_json:
+        print(json.dumps([s.info() for s in specs], indent=2))
+        return 0
+    print(f"{'name':<12} {'kind':<10} {'flags':<20} params")
+    print(f"{'-' * 12} {'-' * 10} {'-' * 20} {'-' * 30}")
+    for spec in specs:
+        flags = [f for f, on in (("weighted", spec.weighted),
+                                 ("capacitated", spec.capacitated)) if on]
+        params = ", ".join(f"{k}={v}" for k, v in spec.params.items())
+        print(f"{spec.name:<12} {spec.kind:<10} "
+              f"{','.join(flags) or '-':<20} {params or '-'}")
+        print(f"{'':<12} {spec.description}")
+    print(f"{len(specs)} workloads registered "
+          f"(use as: repro solve workload:NAME[:k=v,...])")
     return 0
 
 
@@ -692,6 +788,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
 _COMMANDS = {
     "quickstart": _cmd_quickstart,
     "solve": _cmd_solve,
+    "workloads": _cmd_workloads,
     "experiment": _cmd_experiment,
     "list-experiments": _cmd_list,
     "sweep": _cmd_sweep,

@@ -1,4 +1,4 @@
-"""E1–E21 trial bodies as module-level, picklable dataclasses.
+"""E1–E23 trial bodies as module-level, picklable dataclasses.
 
 Each class here is one grid cell of one experiment: parameters live in
 frozen dataclass fields, and ``__call__(seed)`` runs a single independent
@@ -40,7 +40,7 @@ __all__ = [
     "E1Trial", "E2Trial", "E3Trial", "E4Trial", "E5Trial", "E6Trial",
     "E7Trial", "E8Trial", "E9Trial", "E10Trial", "E11Trial", "E12Trial",
     "E13Trial", "E14Trial", "E15Trial", "E16Trial", "E17Trial", "E18Trial",
-    "E19Trial", "E20Trial", "E21Trial",
+    "E19Trial", "E20Trial", "E21Trial", "E22Trial", "E23Trial",
 ]
 
 
@@ -895,3 +895,113 @@ class E21Trial(Trial):
             "serial_size": float(serial_matching.shape[0]),
             "identical": float(np.array_equal(matching, serial_matching)),
         }
+
+
+# --------------------------------------------------------------------- #
+# E22 — workloads: coreset quality under random vs adversarial partitions
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class E22Trial(Trial):
+    """One registry workload × one summarizer, all partition strategies.
+
+    The guarantee of Theorem 1 is conditioned on the *random* k-partition;
+    this trial measures what a non-random sharding costs on real degree
+    distributions.  The graph comes from the :mod:`repro.workloads`
+    registry (dataset-backed loaders run offline from their bundled
+    fixtures), each machine summarizes its piece with either a **maximum**
+    matching (the Theorem 1 coreset) or a **greedy** maximal matching (the
+    §1.2 naive coreset), and the coordinator takes a maximum matching of
+    the union.  ``ratio_<strategy> = MM(G) / |composed|`` for every
+    strategy in :data:`~repro.workloads.partitions.PARTITION_STRATEGIES`.
+    """
+
+    workload: str
+    k: int
+    summarizer: str = "greedy"
+
+    def __call__(self, seed: RandomState) -> Dict[str, float]:
+        from repro.graph.bipartite import BipartiteGraph
+        from repro.matching.api import matching_number, maximum_matching
+        from repro.matching.maximal import greedy_maximal_matching
+        from repro.workloads.partitions import (
+            PARTITION_STRATEGIES,
+            partition_workload,
+        )
+        from repro.workloads.registry import build_workload
+
+        if self.summarizer not in ("maximum", "greedy"):
+            raise ValueError(
+                f"summarizer must be 'maximum' or 'greedy', "
+                f"got {self.summarizer!r}"
+            )
+        g_rng, p_rng, o_rng = spawn_generators(seed, 3)
+        graph = build_workload(self.workload, rng=g_rng)
+        opt = matching_number(graph)
+        part_rngs = spawn_generators(p_rng, len(PARTITION_STRATEGIES))
+        order_rngs = spawn_generators(o_rng, len(PARTITION_STRATEGIES))
+        out: Dict[str, float] = {"opt": float(opt)}
+        for strategy, s_rng, ord_rng in zip(
+            PARTITION_STRATEGIES, part_rngs, order_rngs
+        ):
+            part = partition_workload(graph, self.k, strategy, s_rng)
+            summaries = []
+            for piece in part.pieces():
+                if self.summarizer == "maximum":
+                    summary = maximum_matching(piece)
+                else:
+                    summary = greedy_maximal_matching(
+                        piece, order="random", rng=ord_rng
+                    )
+                if summary.shape[0]:
+                    summaries.append(summary)
+            if summaries:
+                union = BipartiteGraph(
+                    graph.n_left, graph.n_right, np.concatenate(summaries)
+                )
+                composed = maximum_matching(union).shape[0]
+            else:
+                composed = 0
+            out[f"ratio_{strategy}"] = opt / max(1, composed)
+        return out
+
+
+# --------------------------------------------------------------------- #
+# E23 — capacitated coreset: b-matching on the AdWords workload
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class E23Trial(Trial):
+    """b-matching coreset quality on ``ba_adwords``, all strategies.
+
+    Optimum is the exact maximum-cardinality b-matching
+    (``matching.b_exact``); each strategy runs the ``matching.b_coreset``
+    heuristic (per-machine greedy b-matching summaries, exact b-matching
+    on the union) and reports its ratio plus capacity feasibility as
+    verified by the solve facade.
+    """
+
+    k: int
+    u: int = 200
+    v: int = 800
+    p: float = 4.0
+
+    def __call__(self, seed: RandomState) -> Dict[str, float]:
+        from repro.solve import RunContext, solve
+        from repro.workloads.partitions import PARTITION_STRATEGIES
+        from repro.workloads.registry import build_workload
+
+        g_rng, s_rng = spawn_generators(seed, 2)
+        graph = build_workload(
+            "ba_adwords", rng=g_rng, u=self.u, v=self.v, p=self.p
+        )
+        opt = solve(graph, "matching.b_exact").value
+        out: Dict[str, float] = {
+            "opt": float(opt),
+            "total_capacity": float(graph.total_capacity()),
+        }
+        strategy_rngs = spawn_generators(s_rng, len(PARTITION_STRATEGIES))
+        for strategy, rng in zip(PARTITION_STRATEGIES, strategy_rngs):
+            res = solve(graph, "matching.b_coreset",
+                        RunContext(seed=rng, k=self.k), strategy=strategy)
+            out[f"ratio_{strategy}"] = opt / max(1.0, res.value)
+            out[f"feasible_{strategy}"] = float(res.verified)
+        return out

@@ -7,6 +7,7 @@ only as a slow test oracle).  A graph is ``n`` vertices labelled
 """
 
 from repro.graph.bipartite import BipartiteGraph
+from repro.graph.capacity import CapacitatedBipartiteGraph, WeightedBipartiteGraph
 from repro.graph.csr import CSRAdjacency
 from repro.graph.edgelist import Graph
 from repro.graph.partition import (
@@ -14,15 +15,18 @@ from repro.graph.partition import (
     adversarial_degree_partition,
     random_k_partition,
 )
-from repro.graph.weights import WeightedGraph, weight_classes
+from repro.graph.weights import WeightedGraph, has_edge_weights, weight_classes
 
 __all__ = [
     "BipartiteGraph",
     "CSRAdjacency",
+    "CapacitatedBipartiteGraph",
     "Graph",
     "PartitionedGraph",
+    "WeightedBipartiteGraph",
     "WeightedGraph",
     "adversarial_degree_partition",
+    "has_edge_weights",
     "random_k_partition",
     "weight_classes",
 ]

@@ -11,9 +11,15 @@ Three families:
    bipartite graphs — reused by the hard distributions in
    :mod:`repro.lowerbounds`.
 
-All samplers take an explicit RNG (see :mod:`repro.utils.rng`) and are fully
-vectorized: Bernoulli edge sets are drawn via the binomial-count +
-index-unranking trick rather than materializing an n×n probability matrix.
+All samplers take an explicit RNG (see :mod:`repro.utils.rng`) — an
+``np.random.Generator``, a ``SeedSequence``, an int seed, or ``None`` for
+fresh entropy, coerced once through :func:`~repro.utils.rng.as_generator` —
+and are fully vectorized: Bernoulli edge sets are drawn via the
+binomial-count + index-unranking trick rather than materializing an n×n
+probability matrix.  No sampler touches numpy's global RNG
+(``np.random.seed``-style state); passing the same ``Generator`` instance
+twice advances it, passing the same *seed* twice reproduces the graph
+(``tests/test_graph_generators.py`` pins both properties).
 """
 
 from __future__ import annotations
@@ -37,6 +43,7 @@ __all__ = [
     "hidden_matching_with_hubs",
     "power_law_bipartite",
     "clustered_bipartite",
+    "degree_sequence_bipartite",
     "layered_maximal_trap",
     "path_graph",
     "complete_graph",
@@ -379,6 +386,54 @@ def power_law_bipartite(
     )
     rows = np.repeat(np.arange(n_left, dtype=np.int64), degrees)
     cols = gen.integers(0, n_right, size=int(degrees.sum()), dtype=np.int64)
+    return BipartiteGraph.from_pairs(n_left, n_right, rows, cols)
+
+
+def degree_sequence_bipartite(
+    left_degrees: np.ndarray,
+    n_right: int,
+    right_weights: np.ndarray | None = None,
+    rng: RandomState = None,
+) -> BipartiteGraph:
+    """Configuration-model bipartite graph from an explicit left degree
+    sequence.
+
+    Left vertex ``i`` emits ``left_degrees[i]`` stubs; each stub attaches to
+    a right vertex drawn from ``right_weights`` (uniform when ``None``),
+    independently.  Duplicate edges collapse, so realized degrees are a
+    lower bound on targets — the same convention as
+    :func:`power_law_bipartite`.  This is the *degree-sequence replay*
+    primitive behind the dataset-backed workloads
+    (:mod:`repro.workloads.datasets`): resampling an empirical degree
+    sequence reproduces a real dataset's degree distribution at any scale
+    without shipping the full dataset.
+    """
+    degrees = np.asarray(left_degrees, dtype=np.int64)
+    if degrees.ndim != 1:
+        raise ValueError(f"left_degrees must be 1-D, got shape {degrees.shape}")
+    if degrees.size and degrees.min() < 0:
+        raise ValueError("left degrees must be non-negative")
+    if n_right < 0:
+        raise ValueError(f"n_right must be non-negative, got {n_right}")
+    gen = as_generator(rng)
+    n_left = degrees.shape[0]
+    total = int(degrees.sum())
+    if n_left == 0 or n_right == 0 or total == 0:
+        return BipartiteGraph(n_left, n_right)
+    if right_weights is not None:
+        w = np.asarray(right_weights, dtype=np.float64)
+        if w.shape != (n_right,):
+            raise ValueError(
+                f"right_weights must have shape ({n_right},), got {w.shape}"
+            )
+        if w.min() < 0 or w.sum() <= 0:
+            raise ValueError("right_weights must be non-negative with a "
+                             "positive sum")
+        p = w / w.sum()
+    else:
+        p = None
+    rows = np.repeat(np.arange(n_left, dtype=np.int64), degrees)
+    cols = gen.choice(n_right, size=total, replace=True, p=p).astype(np.int64)
     return BipartiteGraph.from_pairs(n_left, n_right, rows, cols)
 
 

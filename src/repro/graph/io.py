@@ -1,8 +1,20 @@
 """Graph serialization: compact ``.npz`` round trips and a human-readable
 edge-list text format.
 
-Mainly used by the examples (to cache generated workloads between runs) and
-by tests exercising the round-trip invariants.
+Used by the examples (to cache generated workloads between runs), by the
+workload cache (:mod:`repro.workloads.cache` stores each fetched dataset as
+a single ``.npz`` artifact), and by tests exercising the round-trip
+invariants.
+
+npz schema
+----------
+* **v1** (seed): ``kind`` ∈ {plain, bipartite, weighted}, ``shape``,
+  ``edges``, and ``weights`` for the weighted kind.  No ``version`` key.
+* **v2** (this file): adds a ``version`` array, plus two bipartite kinds —
+  ``weighted_bipartite`` (per-edge ``weights``) and ``capacitated``
+  (``weights`` + per-left-vertex ``capacities``) — so a fetched workload
+  (graph + weights + capacities) caches as one artifact.  v1 files load
+  unchanged: a missing ``version`` key means v1.
 """
 
 from __future__ import annotations
@@ -13,20 +25,41 @@ from pathlib import Path
 import numpy as np
 
 from repro.graph.bipartite import BipartiteGraph
+from repro.graph.capacity import CapacitatedBipartiteGraph, WeightedBipartiteGraph
 from repro.graph.edgelist import Graph
 from repro.graph.weights import WeightedGraph
 
-__all__ = ["save_npz", "load_npz", "dumps_edgelist", "loads_edgelist"]
+__all__ = ["SCHEMA_VERSION", "save_npz", "load_npz",
+           "dumps_edgelist", "loads_edgelist"]
+
+SCHEMA_VERSION = 2
 
 _KIND_PLAIN = 0
 _KIND_BIPARTITE = 1
 _KIND_WEIGHTED = 2
+_KIND_WEIGHTED_BIPARTITE = 3
+_KIND_CAPACITATED = 4
 
 
 def save_npz(path: str | Path, g: Graph) -> None:
-    """Serialize a graph (plain, bipartite, or weighted) to ``.npz``."""
-    payload: dict[str, np.ndarray] = {"edges": g.edges}
-    if isinstance(g, BipartiteGraph):
+    """Serialize a graph (plain, bipartite, weighted, weighted-bipartite,
+    or capacitated-bipartite) to ``.npz``."""
+    payload: dict[str, np.ndarray] = {
+        "edges": g.edges,
+        "version": np.array([SCHEMA_VERSION]),
+    }
+    # Most-derived kinds first: CapacitatedBipartiteGraph is a
+    # WeightedBipartiteGraph is a BipartiteGraph.
+    if isinstance(g, CapacitatedBipartiteGraph):
+        payload["kind"] = np.array([_KIND_CAPACITATED])
+        payload["shape"] = np.array([g.n_left, g.n_right], dtype=np.int64)
+        payload["weights"] = g.weights
+        payload["capacities"] = g.capacities
+    elif isinstance(g, WeightedBipartiteGraph):
+        payload["kind"] = np.array([_KIND_WEIGHTED_BIPARTITE])
+        payload["shape"] = np.array([g.n_left, g.n_right], dtype=np.int64)
+        payload["weights"] = g.weights
+    elif isinstance(g, BipartiteGraph):
         payload["kind"] = np.array([_KIND_BIPARTITE])
         payload["shape"] = np.array([g.n_left, g.n_right], dtype=np.int64)
     elif isinstance(g, WeightedGraph):
@@ -40,11 +73,20 @@ def save_npz(path: str | Path, g: Graph) -> None:
 
 
 def load_npz(path: str | Path) -> Graph:
-    """Load a graph saved by :func:`save_npz`."""
+    """Load a graph saved by :func:`save_npz` (any schema version)."""
     with np.load(path) as data:
         kind = int(data["kind"][0])
         edges = data["edges"]
         shape = data["shape"]
+        if kind == _KIND_CAPACITATED:
+            return CapacitatedBipartiteGraph(
+                int(shape[0]), int(shape[1]), edges,
+                data["weights"], data["capacities"],
+            )
+        if kind == _KIND_WEIGHTED_BIPARTITE:
+            return WeightedBipartiteGraph(
+                int(shape[0]), int(shape[1]), edges, data["weights"]
+            )
         if kind == _KIND_BIPARTITE:
             return BipartiteGraph(int(shape[0]), int(shape[1]), edges)
         if kind == _KIND_WEIGHTED:

@@ -19,7 +19,46 @@ import numpy as np
 
 from repro.graph.edgelist import Graph
 
-__all__ = ["WeightedGraph", "weight_classes", "WeightClass"]
+__all__ = [
+    "WeightedGraph",
+    "align_edge_values",
+    "has_edge_weights",
+    "weight_classes",
+    "WeightClass",
+]
+
+
+def align_edge_values(
+    graph: Graph, raw_edges: np.ndarray, values: np.ndarray
+) -> np.ndarray:
+    """Map per-edge ``values`` given in ``raw_edges`` order onto ``graph``'s
+    canonical edge order.
+
+    For duplicate input edges the *first* occurrence's value wins, matching
+    the dedupe rule of :class:`~repro.graph.edgelist.Graph`.  Shared by
+    :class:`WeightedGraph` and the bipartite weighted/capacitated containers
+    in :mod:`repro.graph.capacity`.
+    """
+    n = max(graph.n_vertices, 1)
+    lo = np.minimum(raw_edges[:, 0], raw_edges[:, 1])
+    hi = np.maximum(raw_edges[:, 0], raw_edges[:, 1])
+    raw_keys = lo * np.int64(n) + hi
+    first: dict[int, int] = {}
+    for i, key in enumerate(raw_keys.tolist()):
+        if key not in first:
+            first[key] = i
+    out = np.empty(graph.n_edges, dtype=np.float64)
+    for j, key in enumerate(graph.edge_key_array.tolist()):
+        out[j] = values[first[key]]
+    return out
+
+
+def has_edge_weights(graph: Graph) -> bool:
+    """True when ``graph`` carries per-edge weights under the shared duck
+    type (a ``weights`` array aligned with ``edges`` plus
+    ``matching_weight``): :class:`WeightedGraph` or the bipartite
+    containers of :mod:`repro.graph.capacity`."""
+    return hasattr(graph, "weights") and hasattr(graph, "matching_weight")
 
 
 class WeightedGraph(Graph):
@@ -52,27 +91,10 @@ class WeightedGraph(Graph):
         if validated:
             aligned = w
         else:
-            aligned = self._align_weights(raw_edges, w)
+            aligned = align_edge_values(self, raw_edges, w)
         aligned = np.ascontiguousarray(aligned, dtype=np.float64)
         aligned.setflags(write=False)
         self._weights = aligned
-
-    def _align_weights(self, raw_edges: np.ndarray, w: np.ndarray) -> np.ndarray:
-        """Map input weights onto the canonical edge order."""
-        n = max(self.n_vertices, 1)
-        lo = np.minimum(raw_edges[:, 0], raw_edges[:, 1])
-        hi = np.maximum(raw_edges[:, 0], raw_edges[:, 1])
-        raw_keys = lo * np.int64(n) + hi
-        # First occurrence of each key wins, mirroring dedupe_edges.
-        first = {}
-        for i, key in enumerate(raw_keys.tolist()):
-            if key not in first:
-                first[key] = i
-        out = np.empty(self.n_edges, dtype=np.float64)
-        canon_keys = self.edge_key_array
-        for j, key in enumerate(canon_keys.tolist()):
-            out[j] = w[first[key]]
-        return out
 
     @property
     def weights(self) -> np.ndarray:

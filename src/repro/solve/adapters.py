@@ -260,6 +260,93 @@ def _weighted_matching_coreset(graph, ctx: RunContext,
 
 
 # --------------------------------------------------------------------- #
+# matching — capacitated (b-matching / AdWords)
+# --------------------------------------------------------------------- #
+def _b_stats(graph, indices: np.ndarray) -> Stats:
+    from repro.workloads.bmatching import b_matching_weight
+
+    return {
+        "weight": b_matching_weight(graph, indices),
+        "total_capacity": int(graph.total_capacity()),
+        "capacity_upper_bound": int(graph.b_matching_upper_bound()),
+    }
+
+
+@solver(
+    "matching.b_greedy",
+    problem="matching", model="offline", guarantee="2-approx",
+    bipartite_only=True, weighted=True, capacitated=True,
+    description="Weight-descending greedy b-matching (AdWords budgets "
+                "b(u) per left vertex)",
+)
+def _b_greedy(graph, ctx: RunContext) -> Adapted:
+    """Deterministic; draws no streams (ties break by edge order)."""
+    from repro.workloads.bmatching import greedy_b_matching
+
+    idx = greedy_b_matching(graph)
+    return graph.edges[idx], _b_stats(graph, idx)
+
+
+@solver(
+    "matching.b_exact",
+    problem="matching", model="offline", guarantee="exact",
+    bipartite_only=True, weighted=True, capacitated=True,
+    description="Maximum-cardinality b-matching, exact via left-vertex "
+                "cloning + Hopcroft–Karp",
+)
+def _b_exact(graph, ctx: RunContext) -> Adapted:
+    """Deterministic; draws no streams."""
+    from repro.workloads.bmatching import exact_b_matching
+
+    idx = exact_b_matching(graph)
+    return graph.edges[idx], _b_stats(graph, idx)
+
+
+@solver(
+    "matching.b_coreset",
+    problem="matching", model="coreset", guarantee="heuristic",
+    bipartite_only=True, weighted=True, capacitated=True, uses_k=True,
+    description="Composable-coreset heuristic for b-matching: per-machine "
+                "greedy b-matching summaries, exact b-matching on the "
+                "union (random or named adversarial partition)",
+    params={"strategy": "random"},
+)
+def _b_coreset(graph, ctx: RunContext, strategy: str) -> Adapted:
+    """Streams: 2 — ``(partition_rng, run_rng)``, both drawn for parity
+    with :func:`_run_protocol` even though the per-piece summarizer is
+    deterministic (adversarial strategies leave both untouched)."""
+    from repro.workloads.bmatching import exact_b_matching, greedy_b_matching
+    from repro.workloads.partitions import partition_workload
+
+    k = ctx.require_k("matching.b_coreset")
+    partition_rng, _run_rng = ctx.generators(2)
+    part = partition_workload(graph, k, strategy, partition_rng)
+    union_mask = np.zeros(graph.n_edges, dtype=bool)
+    coreset_edges = 0
+    for i in range(part.k):
+        piece_mask = part.assignment == i
+        piece = graph.subgraph_from_mask(piece_mask)
+        local = greedy_b_matching(piece)
+        coreset_edges += local.size
+        if local.size:
+            from repro.workloads.bmatching import edge_indices
+
+            union_mask[edge_indices(graph, piece.edges[local])] = True
+    union = graph.subgraph_from_mask(union_mask)
+    local_idx = exact_b_matching(union)
+    from repro.workloads.bmatching import edge_indices
+
+    idx = edge_indices(graph, union.edges[local_idx])
+    stats = _b_stats(graph, idx)
+    stats.update({
+        "k": k,
+        "strategy": strategy,
+        "coreset_edges": int(coreset_edges),
+    })
+    return graph.edges[idx], stats
+
+
+# --------------------------------------------------------------------- #
 # matching — MapReduce
 # --------------------------------------------------------------------- #
 @solver(

@@ -35,7 +35,10 @@ Graph awareness
 Passing ``graph=`` makes resolution input-aware: bipartite-only solvers
 are dropped unless the graph is a
 :class:`~repro.graph.bipartite.BipartiteGraph`, weighted solvers unless it
-is a :class:`~repro.graph.weights.WeightedGraph`.  Likewise ``k=None``
+carries edge weights, and capacitated (b-matching) solvers unless it is a
+:class:`~repro.graph.capacity.CapacitatedBipartiteGraph` — with the
+reverse gate too: a capacitated input only resolves to capacitated
+solvers, never to one that would silently drop budgets.  Likewise ``k=None``
 drops coreset-model solvers, which cannot run without a machine count
 (MapReduce solvers stay: they default ``k`` to √n).  The result is a spec
 that can actually *solve the input at hand*, not merely one whose tags
@@ -223,15 +226,29 @@ def rank_candidates(
                     "was supplied")
     if graph is not None:
         from repro.graph.bipartite import BipartiteGraph
-        from repro.graph.weights import WeightedGraph
+        from repro.graph.capacity import CapacitatedBipartiteGraph
+        from repro.graph.weights import WeightedGraph, has_edge_weights
 
         if not isinstance(graph, BipartiteGraph):
             pool.narrow(lambda s: not s.bipartite_only, query,
                         f"every candidate is bipartite-only but the graph "
                         f"is a {type(graph).__name__}")
-        if not isinstance(graph, WeightedGraph):
+        if not (isinstance(graph, WeightedGraph) or has_edge_weights(graph)):
             pool.narrow(lambda s: not s.weighted, query,
-                        f"every candidate needs a WeightedGraph, got "
+                        f"every candidate needs edge weights, got "
+                        f"{type(graph).__name__}")
+        # Capacitated gating is two-way, mirroring the solve() facade: a
+        # budgeted input must not resolve to a solver that would silently
+        # drop the budgets, and capacitated solvers need the budgets.
+        if isinstance(graph, CapacitatedBipartiteGraph):
+            pool.narrow(lambda s: s.capacitated, query,
+                        f"the graph is capacitated "
+                        f"({type(graph).__name__}) and every candidate "
+                        f"ignores capacities")
+        else:
+            pool.narrow(lambda s: not s.capacitated, query,
+                        f"every candidate needs a "
+                        f"CapacitatedBipartiteGraph, got "
                         f"{type(graph).__name__}")
     return sorted(
         pool.specs,

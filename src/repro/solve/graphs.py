@@ -8,7 +8,11 @@ The CLI's positional ``GRAPH`` argument accepts either
   ``planted:n=2000`` or ``skewed:n=4000,leaf_p=0.004`` — mapping onto the
   library's workload generators with the same defaults the experiment
   suite uses.  Generation consumes the spec's own RNG stream, so a seeded
-  ``repro solve`` run is reproducible end to end.
+  ``repro solve`` run is reproducible end to end; or
+* a **registry workload** — ``workload:NAME[:k=v,...]``, e.g.
+  ``workload:gmission`` or ``workload:ba:u=1000,v=2000,p=3`` — resolving
+  through the :mod:`repro.workloads` registry (dataset-backed loaders
+  included; offline-safe).
 """
 
 from __future__ import annotations
@@ -20,7 +24,7 @@ import numpy as np
 
 from repro.utils.rng import RandomState, as_generator
 
-__all__ = ["GENERATOR_SPECS", "load_graph", "parse_scalar"]
+__all__ = ["GENERATOR_SPECS", "load_graph", "parse_scalar", "parse_spec_args"]
 
 
 def _require_n(n, minimum: int = 4) -> int:
@@ -121,10 +125,25 @@ def parse_scalar(text: str) -> Any:
     return text
 
 
+def parse_spec_args(arg_text: str) -> Dict[str, Any]:
+    """Parse the ``k=v,k=v`` tail of a graph spec into typed kwargs."""
+    kwargs: Dict[str, Any] = {}
+    if arg_text.strip():
+        for item in arg_text.split(","):
+            key, sep, value = item.partition("=")
+            if not sep or not key.strip():
+                raise ValueError(
+                    f"graph spec argument {item!r} is not KEY=VALUE"
+                )
+            kwargs[key.strip()] = parse_scalar(value.strip())
+    return kwargs
+
+
 def load_graph(spec: str, rng: RandomState = None):
     """Resolve a CLI ``GRAPH`` argument into a graph object.
 
     Existing paths load (``.npz`` by suffix, edge-list text otherwise);
+    ``workload:NAME[:k=v,...]`` resolves through the workload registry;
     anything else must be a ``name[:k=v,...]`` generator spec.
     """
     path = Path(spec)
@@ -137,21 +156,26 @@ def load_graph(spec: str, rng: RandomState = None):
 
     name, _, arg_text = spec.partition(":")
     name = name.strip().lower()
+    if name == "workload":
+        from repro.workloads.registry import build_workload
+
+        wname, _, w_args = arg_text.partition(":")
+        wname = wname.strip().lower()
+        if not wname:
+            raise ValueError(
+                "workload spec needs a name: workload:NAME[:k=v,...]"
+            )
+        try:
+            return build_workload(wname, rng=rng, **parse_spec_args(w_args))
+        except TypeError as exc:
+            raise ValueError(f"graph spec {spec!r}: {exc}") from exc
     if name not in GENERATOR_SPECS:
         raise ValueError(
             f"graph spec {spec!r} is neither an existing file nor a known "
             f"generator; generators: {', '.join(sorted(GENERATOR_SPECS))} "
-            f"(e.g. planted:n=2000)"
+            f"(e.g. planted:n=2000), or workload:NAME[:k=v,...]"
         )
-    kwargs: Dict[str, Any] = {}
-    if arg_text.strip():
-        for item in arg_text.split(","):
-            key, sep, value = item.partition("=")
-            if not sep or not key.strip():
-                raise ValueError(
-                    f"graph spec argument {item!r} is not KEY=VALUE"
-                )
-            kwargs[key.strip()] = parse_scalar(value.strip())
+    kwargs = parse_spec_args(arg_text)
     try:
         return GENERATOR_SPECS[name](as_generator(rng), **kwargs)
     except TypeError as exc:

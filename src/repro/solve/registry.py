@@ -88,6 +88,12 @@ class SolverSpec:
     fn: AdapterFn
     bipartite_only: bool = False
     weighted: bool = False
+    #: Capacitated (b-matching / AdWords) solvers require a
+    #: :class:`~repro.graph.capacity.CapacitatedBipartiteGraph` — and the
+    #: gate is two-way: a capacitated *input* also refuses non-capacitated
+    #: solvers, because silently dropping budgets would report an answer to
+    #: a different problem.
+    capacitated: bool = False
     uses_k: bool = False
     #: Reference/baseline algorithms (the ``repro.baselines`` family):
     #: kept in the registry for experiments and explicit requests, but
@@ -111,6 +117,7 @@ class SolverSpec:
             "guarantee": self.guarantee,
             "bipartite_only": self.bipartite_only,
             "weighted": self.weighted,
+            "capacitated": self.capacitated,
             "uses_k": self.uses_k,
             "baseline": self.baseline,
             "objective": self.objective,
@@ -137,6 +144,7 @@ def solver(
     description: str,
     bipartite_only: bool = False,
     weighted: bool = False,
+    capacitated: bool = False,
     uses_k: bool = False,
     baseline: bool = False,
     params: Mapping[str, Any] | None = None,
@@ -168,6 +176,7 @@ def solver(
             fn=fn,
             bipartite_only=bipartite_only,
             weighted=weighted,
+            capacitated=capacitated,
             uses_k=uses_k,
             baseline=baseline,
             params=dict(params or {}),
@@ -260,7 +269,8 @@ def solve(
     bulk elsewhere.
     """
     from repro.graph.bipartite import BipartiteGraph
-    from repro.graph.weights import WeightedGraph
+    from repro.graph.capacity import CapacitatedBipartiteGraph
+    from repro.graph.weights import WeightedGraph, has_edge_weights
 
     spec = get_solver(solver_name)
     ctx = RunContext() if ctx is None else ctx
@@ -270,10 +280,23 @@ def solve(
             f"solver {spec.name!r} requires a BipartiteGraph, "
             f"got {type(graph).__name__}"
         )
-    if spec.weighted and not isinstance(graph, WeightedGraph):
+    if spec.weighted and not (
+        isinstance(graph, WeightedGraph) or has_edge_weights(graph)
+    ):
         raise SolverCapabilityError(
-            f"solver {spec.name!r} requires a WeightedGraph, "
+            f"solver {spec.name!r} requires edge weights, "
             f"got {type(graph).__name__}"
+        )
+    if spec.capacitated and not isinstance(graph, CapacitatedBipartiteGraph):
+        raise SolverCapabilityError(
+            f"solver {spec.name!r} requires a CapacitatedBipartiteGraph, "
+            f"got {type(graph).__name__}"
+        )
+    if isinstance(graph, CapacitatedBipartiteGraph) and not spec.capacitated:
+        raise SolverCapabilityError(
+            f"solver {spec.name!r} ignores capacities; a capacitated input "
+            f"needs a capacitated solver (it would silently answer a "
+            f"different problem)"
         )
     unknown = sorted(set(params) - set(spec.params))
     if unknown:
@@ -321,6 +344,16 @@ def solve(
 
 def _verify_certificate(problem: str, graph, certificate: np.ndarray) -> bool:
     if problem == "matching":
+        from repro.graph.capacity import CapacitatedBipartiteGraph
+
+        if isinstance(graph, CapacitatedBipartiteGraph):
+            from repro.workloads.bmatching import edge_indices, verify_b_matching
+
+            try:
+                idx = edge_indices(graph, certificate)
+            except ValueError:
+                return False
+            return verify_b_matching(graph, idx)
         from repro.matching.verify import is_matching
 
         return bool(is_matching(graph, certificate))

@@ -1,0 +1,59 @@
+"""Workload subsystem: named graph families for experiments and the CLI.
+
+The workload counterpart of :mod:`repro.solve` — a ``@workload`` registry
+of synthetic families (preferential attachment, capacitated AdWords,
+power-law, clustered) and dataset-backed loaders (gMission, MovieLens)
+with an offline-first acquisition pipeline (bundled fixtures, optional
+cached downloads under ``~/.cache/repro``), plus the partition strategies
+and b-matching primitives the workload experiments (E22+) run on.
+"""
+
+from repro.workloads.bmatching import (
+    b_matching_weight,
+    exact_b_matching,
+    greedy_b_matching,
+    verify_b_matching,
+)
+from repro.workloads.cache import (
+    allow_network,
+    cache_dir,
+    fetch_workload,
+    workload_cache_path,
+)
+from repro.workloads.partitions import (
+    PARTITION_STRATEGIES,
+    community_partition,
+    degree_sorted_partition,
+    partition_workload,
+)
+from repro.workloads.registry import (
+    UnknownWorkloadError,
+    WorkloadSpec,
+    all_workloads,
+    build_workload,
+    get_workload,
+    workload,
+    workload_ids,
+)
+
+__all__ = [
+    "PARTITION_STRATEGIES",
+    "UnknownWorkloadError",
+    "WorkloadSpec",
+    "all_workloads",
+    "allow_network",
+    "b_matching_weight",
+    "build_workload",
+    "cache_dir",
+    "community_partition",
+    "degree_sorted_partition",
+    "exact_b_matching",
+    "fetch_workload",
+    "get_workload",
+    "greedy_b_matching",
+    "partition_workload",
+    "verify_b_matching",
+    "workload",
+    "workload_cache_path",
+    "workload_ids",
+]

@@ -1,0 +1,84 @@
+"""The workload cache: ``~/.cache/repro/`` layout and offline policy.
+
+Two kinds of artifact live under the cache root:
+
+* ``raw/NAME.<ext>`` — the raw upstream download of a dataset-backed
+  workload (:mod:`repro.workloads.datasets`), exactly as fetched;
+* ``workloads/NAME.npz`` — a built workload at its default parameters,
+  serialized as **one** ``.npz`` artifact through
+  :func:`repro.graph.io.save_npz` (schema v2 carries weights and
+  capacities), written by :func:`fetch_workload` / ``repro workloads
+  --fetch``.
+
+Offline policy
+--------------
+``$REPRO_OFFLINE`` (any non-empty value other than ``0``) forbids network
+access: loaders must use the bundled fixtures or an existing cache entry.
+Every network touch funnels through :func:`allow_network`, so the offline
+guarantee is one predicate, not a convention — and the test suite enforces
+it with a socket-blocking fixture.  ``$REPRO_CACHE_DIR`` overrides the
+cache root (default ``~/.cache/repro``).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+__all__ = [
+    "CACHE_DIR_ENV",
+    "OFFLINE_ENV",
+    "allow_network",
+    "cache_dir",
+    "fetch_workload",
+    "raw_cache_path",
+    "workload_cache_path",
+]
+
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+OFFLINE_ENV = "REPRO_OFFLINE"
+
+
+def cache_dir() -> Path:
+    """The cache root: ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``."""
+    override = os.environ.get(CACHE_DIR_ENV, "").strip()
+    if override:
+        return Path(override)
+    return Path.home() / ".cache" / "repro"
+
+
+def allow_network() -> bool:
+    """False when ``$REPRO_OFFLINE`` forbids touching the network."""
+    value = os.environ.get(OFFLINE_ENV, "").strip()
+    return value in ("", "0")
+
+
+def raw_cache_path(filename: str) -> Path:
+    """Where a raw dataset download is cached."""
+    return cache_dir() / "raw" / filename
+
+
+def workload_cache_path(name: str) -> Path:
+    """Where a built workload's single ``.npz`` artifact lives."""
+    return cache_dir() / "workloads" / f"{name.strip().lower()}.npz"
+
+
+def fetch_workload(name: str, *, seed: int = 0, force: bool = False) -> Path:
+    """Materialize workload ``name`` at its default parameters into the
+    cache as one ``.npz`` artifact; return the artifact path.
+
+    An existing artifact is reused unless ``force``.  Dataset-backed
+    workloads pull (and cache) their raw files on the way when the network
+    is allowed; offline, the bundled fixtures serve — either way the
+    resulting artifact is byte-deterministic for a given ``seed``.
+    """
+    from repro.graph.io import save_npz
+    from repro.workloads.registry import build_workload
+
+    path = workload_cache_path(name)
+    if path.exists() and not force:
+        return path
+    graph = build_workload(name, rng=seed)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    save_npz(path, graph)
+    return path

@@ -1,0 +1,160 @@
+"""Synthetic workload families: preferential attachment, capacitated
+AdWords instances, and named wrappers over the graph-layer generators.
+
+The BA (Barabási–Albert-style) family follows the online-matching
+literature's bipartite variant: right vertices arrive one at a time, draw
+a target degree ``Binomial(u, p/u)``, and attach each stub to a left
+vertex with probability proportional to ``1 + current degree`` — so early
+popularity compounds into hubs.  ``ba_adwords`` is the same topology with
+per-left-vertex capacities (b-matching / AdWords budgets) and optional
+geometric or uniform edge weights.
+
+Everything here is CSR-native (arrays in, arrays out), takes an
+``np.random.Generator``, and is registered by name in
+:mod:`repro.workloads.registry`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.bipartite import BipartiteGraph
+from repro.graph.capacity import CapacitatedBipartiteGraph, WeightedBipartiteGraph
+from repro.graph.generators import clustered_bipartite, power_law_bipartite
+from repro.workloads.registry import workload
+
+__all__ = [
+    "ba_bipartite",
+    "sample_edge_weights",
+]
+
+WEIGHT_SCHEMES = ("unit", "uniform", "geometric")
+
+
+def ba_bipartite(
+    n_left: int,
+    n_right: int,
+    p: float,
+    rng: np.random.Generator,
+) -> BipartiteGraph:
+    """Preferential-attachment bipartite graph.
+
+    Each of the ``n_right`` arriving vertices draws a degree
+    ``d ~ Binomial(n_left, p / n_left)`` (mean ``p``) and attaches its
+    stubs without replacement to left vertices sampled with probability
+    proportional to ``1 + degree`` at arrival time.  The sequential
+    attachment loop is over right vertices only; per-vertex work is
+    vectorized.
+    """
+    if n_left <= 0 or n_right <= 0:
+        raise ValueError("n_left and n_right must be positive")
+    if not 0.0 < p <= n_left:
+        raise ValueError(f"p must be in (0, n_left], got {p}")
+    # 1 + degree, updated as stubs land.
+    attraction = np.ones(n_left, dtype=np.float64)
+    degrees = rng.binomial(n_left, p / n_left, size=n_right)
+    np.clip(degrees, 0, n_left, out=degrees)
+    rows_parts: list[np.ndarray] = []
+    cols_parts: list[np.ndarray] = []
+    for v in range(n_right):
+        d = int(degrees[v])
+        if d == 0:
+            continue
+        probs = attraction / attraction.sum()
+        chosen = rng.choice(n_left, size=d, replace=False, p=probs)
+        attraction[chosen] += 1.0
+        rows_parts.append(chosen.astype(np.int64))
+        cols_parts.append(np.full(d, v, dtype=np.int64))
+    if not rows_parts:
+        return BipartiteGraph(n_left, n_right)
+    rows = np.concatenate(rows_parts)
+    cols = np.concatenate(cols_parts)
+    return BipartiteGraph.from_pairs(n_left, n_right, rows, cols)
+
+
+def sample_edge_weights(
+    n_edges: int, scheme: str, rng: np.random.Generator
+) -> np.ndarray:
+    """Per-edge weights under one of :data:`WEIGHT_SCHEMES`.
+
+    ``unit`` is all-ones, ``uniform`` is U(0.1, 1.0), ``geometric`` is
+    ``0.5 ** Geometric(0.5)`` — a heavy mass at 0.5 with an exponential
+    tail toward 0, the standard proxy for bid distributions.
+    """
+    if scheme not in WEIGHT_SCHEMES:
+        raise ValueError(
+            f"weight scheme must be one of {WEIGHT_SCHEMES}, got {scheme!r}"
+        )
+    if scheme == "unit":
+        return np.ones(n_edges, dtype=np.float64)
+    if scheme == "uniform":
+        return rng.uniform(0.1, 1.0, size=n_edges)
+    return 0.5 ** rng.geometric(0.5, size=n_edges).astype(np.float64)
+
+
+@workload(
+    "ba",
+    kind="synthetic",
+    description="preferential-attachment bipartite graph (right vertices "
+                "arrive, attach prop. to 1+degree; mean degree p)",
+    params={"u": 300, "v": 600, "p": 3.0, "weights": "unit"},
+)
+def _workload_ba(rng, u, v, p, weights):
+    graph = ba_bipartite(int(u), int(v), float(p), rng)
+    if weights == "unit":
+        return graph
+    w = sample_edge_weights(graph.n_edges, str(weights), rng)
+    return WeightedBipartiteGraph(
+        graph.n_left, graph.n_right, graph.edges, w, validated=True
+    )
+
+
+@workload(
+    "ba_adwords",
+    kind="synthetic",
+    description="capacitated AdWords variant of `ba`: per-left-vertex "
+                "budgets b(u) ~ UniformInt[b_min, b_max], geometric or "
+                "uniform edge weights (b-matching)",
+    weighted=True,
+    capacitated=True,
+    params={
+        "u": 200, "v": 800, "p": 4.0,
+        "b_min": 1, "b_max": 5, "weights": "geometric",
+    },
+)
+def _workload_ba_adwords(rng, u, v, p, b_min, b_max, weights):
+    if not 1 <= int(b_min) <= int(b_max):
+        raise ValueError(f"need 1 <= b_min <= b_max, got {b_min}..{b_max}")
+    graph = ba_bipartite(int(u), int(v), float(p), rng)
+    w = sample_edge_weights(graph.n_edges, str(weights), rng)
+    capacities = rng.integers(int(b_min), int(b_max) + 1, size=graph.n_left)
+    return CapacitatedBipartiteGraph(
+        graph.n_left, graph.n_right, graph.edges, w,
+        capacities=capacities, validated=True,
+    )
+
+
+@workload(
+    "power_law",
+    kind="synthetic",
+    description="configuration-model bipartite graph with Pareto left "
+                "degrees (tail exponent `exponent`, mean `avg_degree`)",
+    params={"u": 400, "v": 400, "avg_degree": 4.0, "exponent": 2.5},
+)
+def _workload_power_law(rng, u, v, avg_degree, exponent):
+    return power_law_bipartite(
+        int(u), int(v), float(avg_degree), float(exponent), rng=rng
+    )
+
+
+@workload(
+    "clustered",
+    kind="synthetic",
+    description="stochastic-block bipartite graph: dense within-community "
+                "blocks, sparse cross edges (locality adversary's friend)",
+    params={"blocks": 8, "block_size": 40, "p_in": 0.3, "p_out": 0.005},
+)
+def _workload_clustered(rng, blocks, block_size, p_in, p_out):
+    return clustered_bipartite(
+        int(blocks), int(block_size), float(p_in), float(p_out), rng=rng
+    )

@@ -1,0 +1,106 @@
+"""Partition strategies for workload experiments: random vs adversarial.
+
+The paper's guarantee (Theorem 1) holds only for the **random**
+k-partition; E22+ measure what breaks when a real system shards edges by
+something else.  Two adversaries model common non-random shardings:
+
+* ``degree_sorted`` — edges sorted by the degree of their left endpoint
+  (hubs first) and chunked contiguously, so all of a hub's edges land on
+  one machine.  A greedy/maximal per-machine summary then keeps at most
+  one edge per hub, with no alternative hub edges anywhere else in the
+  composed union — the failure mode of §1.2.  This mimics "shard by
+  popularity" or time-correlated arrival.
+* ``community`` — left vertices split into k contiguous blocks and each
+  edge routed to its left endpoint's block (locality sharding).  The
+  composed union loses cross-machine augmenting structure on clustered
+  graphs.
+
+Both are deterministic functions of the graph, matching the
+"oblivious-but-not-random" adversary the coreset definition quantifies
+over.  :func:`partition_workload` dispatches by strategy name so
+experiment grids can range over :data:`PARTITION_STRATEGIES` as an axis.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.edgelist import Graph
+from repro.graph.partition import (
+    PartitionedGraph,
+    partition_by_assignment,
+    random_k_partition,
+)
+from repro.utils.rng import RandomState
+
+__all__ = [
+    "PARTITION_STRATEGIES",
+    "community_partition",
+    "degree_sorted_partition",
+    "partition_workload",
+]
+
+PARTITION_STRATEGIES = ("random", "degree_sorted", "community")
+
+
+def _left_endpoint(graph: Graph) -> np.ndarray:
+    """Per-edge anchor vertex: the left endpoint for bipartite graphs,
+    the min endpoint otherwise."""
+    if graph.n_edges == 0:
+        return np.empty(0, dtype=np.int64)
+    if hasattr(graph, "n_left"):
+        return graph.edges[:, 0]
+    return graph.edges.min(axis=1)
+
+
+def degree_sorted_partition(graph: Graph, k: int) -> PartitionedGraph:
+    """Sort edges by anchor-vertex degree (descending, vertex id as the
+    tie-break) and cut the order into ``k`` contiguous chunks."""
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    m = graph.n_edges
+    assignment = np.zeros(m, dtype=np.int64)
+    if m:
+        anchor = _left_endpoint(graph)
+        degree = np.bincount(anchor, minlength=graph.n_vertices)[anchor]
+        # lexsort: last key is primary; negate degree for descending.
+        order = np.lexsort((anchor, -degree))
+        chunk = np.minimum(
+            (np.arange(m, dtype=np.int64) * k) // m, k - 1
+        )
+        assignment[order] = chunk
+    return partition_by_assignment(graph, assignment, k)
+
+
+def community_partition(graph: Graph, k: int) -> PartitionedGraph:
+    """Route each edge to its anchor vertex's block under a contiguous
+    k-way split of the vertex ids (locality sharding)."""
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    m = graph.n_edges
+    assignment = np.zeros(m, dtype=np.int64)
+    if m:
+        anchor = _left_endpoint(graph)
+        n = int(getattr(graph, "n_left", graph.n_vertices))
+        assignment = np.minimum((anchor * k) // max(1, n), k - 1)
+    return partition_by_assignment(graph, assignment.astype(np.int64), k)
+
+
+def partition_workload(
+    graph: Graph, k: int, strategy: str, rng: RandomState = None
+) -> PartitionedGraph:
+    """Partition ``graph`` into ``k`` pieces under a named strategy.
+
+    ``rng`` is consumed only by ``"random"``; the adversarial strategies
+    are deterministic and ignore it.
+    """
+    if strategy == "random":
+        return random_k_partition(graph, k, rng)
+    if strategy == "degree_sorted":
+        return degree_sorted_partition(graph, k)
+    if strategy == "community":
+        return community_partition(graph, k)
+    raise ValueError(
+        f"unknown partition strategy {strategy!r}; "
+        f"available: {', '.join(PARTITION_STRATEGIES)}"
+    )

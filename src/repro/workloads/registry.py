@@ -1,0 +1,190 @@
+"""The named workload registry: ``@workload``-decorated graph families.
+
+The workload counterpart of :mod:`repro.solve.registry`: every graph family
+the experiments run on — synthetic generators *and* dataset-backed loaders —
+is registered once as a module-level builder function carrying metadata
+(kind, parameter defaults, weighted/capacitated flags, provenance), and
+every consumer resolves workloads **by name**:
+
+* the CLI: ``repro workloads --list`` / ``--info`` / ``--fetch``, and the
+  ``repro solve`` graph-spec syntax ``workload:NAME[:k=v,...]``;
+* the experiments: E22+ build their graphs through
+  :func:`build_workload`, so a sweep axis can range over workload names;
+* the cache: :mod:`repro.workloads.cache` materializes any workload at its
+  default parameters as a single ``.npz`` artifact.
+
+Builder contract
+----------------
+A builder is a module-level function ``fn(rng, **params) -> graph`` where
+``rng`` is an ``np.random.Generator`` (already coerced — builders never see
+raw seeds and never touch global RNG state) and the return value is a
+:class:`~repro.graph.bipartite.BipartiteGraph` or one of its weighted /
+capacitated refinements (:mod:`repro.graph.capacity`).  Builders must be
+deterministic given the generator state and must work **offline**: dataset
+loaders fall back to bundled fixtures when the network is unavailable or
+``$REPRO_OFFLINE`` is set (:mod:`repro.workloads.datasets`).  Being
+module-level keeps every :class:`WorkloadSpec` picklable, so workload names
+can ride inside experiment trials to worker processes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional
+
+from repro.utils.rng import RandomState, as_generator
+
+__all__ = [
+    "DuplicateWorkloadError",
+    "UnknownWorkloadError",
+    "WorkloadSpec",
+    "all_workloads",
+    "build_workload",
+    "get_workload",
+    "workload",
+    "workload_ids",
+]
+
+KINDS = ("synthetic", "dataset")
+
+
+class UnknownWorkloadError(LookupError):
+    """No workload is registered under the requested name."""
+
+
+class DuplicateWorkloadError(ValueError):
+    """Two builders tried to claim the same workload name."""
+
+
+BuilderFn = Callable[..., Any]
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One registered workload family: metadata plus the builder.
+
+    ``params`` documents the builder's keyword parameters and their
+    defaults; :func:`build_workload` merges caller overrides over them and
+    rejects unknown names.  ``source`` names the upstream dataset (URL or
+    citation) for ``kind="dataset"`` families; synthetic families leave it
+    ``None``.
+    """
+
+    name: str
+    kind: str
+    description: str
+    fn: BuilderFn
+    weighted: bool = False
+    capacitated: bool = False
+    source: Optional[str] = None
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def info(self) -> Dict[str, Any]:
+        """The metadata dict ``repro workloads --info`` renders."""
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "weighted": self.weighted,
+            "capacitated": self.capacitated,
+            "source": self.source,
+            "params": dict(self.params),
+            "description": self.description,
+        }
+
+    def build(self, rng: RandomState = None, **params: Any):
+        """Build one instance of this workload (see :func:`build_workload`)."""
+        unknown = sorted(set(params) - set(self.params))
+        if unknown:
+            raise ValueError(
+                f"workload {self.name!r} has no parameter(s) "
+                f"{', '.join(unknown)}; settable: "
+                f"{', '.join(sorted(self.params)) or '(none)'}"
+            )
+        merged = {**self.params, **params}
+        return self.fn(as_generator(rng), **merged)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"WorkloadSpec({self.name!r}, kind={self.kind!r}, "
+            f"weighted={self.weighted}, capacitated={self.capacitated})"
+        )
+
+
+_REGISTRY: Dict[str, WorkloadSpec] = {}
+
+
+def workload(
+    name: str,
+    *,
+    kind: str,
+    description: str,
+    weighted: bool = False,
+    capacitated: bool = False,
+    source: str | None = None,
+    params: Mapping[str, Any] | None = None,
+) -> Callable[[BuilderFn], BuilderFn]:
+    """Register a module-level builder function as a named workload."""
+    if kind not in KINDS:
+        raise ValueError(f"kind must be one of {KINDS}, got {kind!r}")
+    key = name.strip().lower()
+
+    def decorate(fn: BuilderFn) -> BuilderFn:
+        if key in _REGISTRY:
+            raise DuplicateWorkloadError(
+                f"workload name {key!r} is already registered "
+                f"(by {_REGISTRY[key].fn.__name__})"
+            )
+        _REGISTRY[key] = WorkloadSpec(
+            name=key,
+            kind=kind,
+            description=description,
+            fn=fn,
+            weighted=weighted,
+            capacitated=capacitated,
+            source=source,
+            params=dict(params or {}),
+        )
+        return fn
+
+    return decorate
+
+
+def _ensure_registered() -> None:
+    # Builders live in families.py / datasets.py and register on import;
+    # make lookups work even when the caller imported only this module.
+    import repro.workloads.datasets  # noqa: F401
+    import repro.workloads.families  # noqa: F401
+
+
+def get_workload(name: str) -> WorkloadSpec:
+    """Look up a spec by name (case-insensitive)."""
+    _ensure_registered()
+    key = name.strip().lower()
+    if key not in _REGISTRY:
+        raise UnknownWorkloadError(
+            f"unknown workload {name!r}; available: {', '.join(_REGISTRY)}"
+        )
+    return _REGISTRY[key]
+
+
+def workload_ids() -> List[str]:
+    """All registered names, in registration order."""
+    _ensure_registered()
+    return list(_REGISTRY)
+
+
+def all_workloads() -> List[WorkloadSpec]:
+    """All registered specs, in registration order."""
+    _ensure_registered()
+    return list(_REGISTRY.values())
+
+
+def build_workload(name: str, rng: RandomState = None, **params: Any):
+    """Build one instance of the named workload.
+
+    ``rng`` follows the library-wide :data:`~repro.utils.rng.RandomState`
+    convention (int seed, ``Generator``, ``SeedSequence``, or ``None`` for
+    fresh entropy); ``params`` overrides the registered defaults, with
+    unknown names rejected so typos fail loudly.
+    """
+    return get_workload(name).build(rng, **params)

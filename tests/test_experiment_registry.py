@@ -28,7 +28,7 @@ from repro.experiments.registry import (
     get_experiment,
 )
 
-EXPECTED_IDS = [f"e{i}" for i in range(1, 22)]
+EXPECTED_IDS = [f"e{i}" for i in range(1, 24)]
 
 # One representative (tiny) instance of every trial class, for the pickle
 # round-trip contract.  Kept explicit so a new field or class shows up here
@@ -55,6 +55,8 @@ ALL_TRIALS = [
     trials_mod.E19Trial(n=200, k=4),
     trials_mod.E20Trial(n=200, k=4),
     trials_mod.E21Trial(n=200, avg_degree=8.0, executor="serial"),
+    trials_mod.E22Trial(workload="ba", k=4, summarizer="greedy"),
+    trials_mod.E23Trial(k=4, u=60, v=240),
 ]
 
 

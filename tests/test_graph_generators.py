@@ -163,3 +163,72 @@ class TestTrapInstances:
             hidden_matching_with_hubs(0, 5, rng=rng)
         with pytest.raises(ValueError):
             hidden_matching_with_hubs(2, 5, hub_slack=0, rng=rng)
+
+
+class TestDegreeSequenceBipartite:
+    def test_realized_degrees_bounded_by_targets(self, rng):
+        from repro.graph.generators import degree_sequence_bipartite
+
+        targets = np.array([3, 0, 5, 1, 2])
+        g = degree_sequence_bipartite(targets, 40, rng=rng)
+        assert isinstance(g, BipartiteGraph)
+        left_deg = np.bincount(g.edges[:, 0], minlength=5)
+        assert (left_deg <= targets).all()
+        assert left_deg[1] == 0
+
+    def test_right_weights_skew_attachment(self):
+        from repro.graph.generators import degree_sequence_bipartite
+
+        w = np.zeros(20)
+        w[3] = 1.0  # all mass on one right vertex
+        g = degree_sequence_bipartite(np.full(10, 4), 20, w, rng=0)
+        # duplicates collapse: each left vertex keeps one edge, all to 3
+        assert g.n_edges == 10
+        assert (g.edges[:, 1] == 10 + 3).all()
+
+    def test_deterministic_and_seed_sensitive(self):
+        from repro.graph.generators import degree_sequence_bipartite
+
+        targets = np.arange(1, 30)
+        a = degree_sequence_bipartite(targets, 50, rng=8)
+        b = degree_sequence_bipartite(targets, 50, rng=8)
+        c = degree_sequence_bipartite(targets, 50, rng=9)
+        assert a == b
+        assert a != c
+
+    def test_validation(self, rng):
+        from repro.graph.generators import degree_sequence_bipartite
+
+        with pytest.raises(ValueError, match="1-D"):
+            degree_sequence_bipartite(np.zeros((2, 2)), 5, rng=rng)
+        with pytest.raises(ValueError, match="non-negative"):
+            degree_sequence_bipartite(np.array([-1]), 5, rng=rng)
+        with pytest.raises(ValueError, match="shape"):
+            degree_sequence_bipartite(np.array([2]), 5, np.ones(4), rng=rng)
+        assert degree_sequence_bipartite(np.zeros(0), 5, rng=rng).n_edges == 0
+
+
+class TestGeneratorSeedingConsistency:
+    """Every generator must accept int seeds and np.random.Generator
+    interchangeably (``as_generator``), never touching global numpy state."""
+
+    def test_int_seed_equals_generator(self):
+        from repro.graph.generators import clustered_bipartite, power_law_bipartite
+
+        for fn, args in (
+            (power_law_bipartite, (60, 60, 4.0)),
+            (clustered_bipartite, (4, 12, 0.4, 0.01)),
+            (bipartite_gnp, (30, 30, 0.2)),
+        ):
+            via_int = fn(*args, rng=31)
+            via_gen = fn(*args, rng=np.random.default_rng(31))
+            assert via_int == via_gen, fn.__name__
+
+    def test_no_global_state_pollution(self):
+        from repro.graph.generators import power_law_bipartite
+
+        np.random.seed(0)
+        before = np.random.get_state()[1].copy()
+        power_law_bipartite(50, 50, 3.0, rng=5)
+        after = np.random.get_state()[1]
+        np.testing.assert_array_equal(before, after)

@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.graph.bipartite import BipartiteGraph
+from repro.graph.capacity import CapacitatedBipartiteGraph, WeightedBipartiteGraph
 from repro.graph.edgelist import Graph
 from repro.graph.generators import bipartite_gnp, gnp
 from repro.graph.io import dumps_edgelist, load_npz, loads_edgelist, save_npz
@@ -41,6 +42,58 @@ class TestNpzRoundTrip:
         path = tmp_path / "e.npz"
         save_npz(path, g)
         assert load_npz(path) == g
+
+    def test_weighted_bipartite(self, tmp_path, rng):
+        base = bipartite_gnp(8, 12, 0.3, rng)
+        g = WeightedBipartiteGraph(
+            8, 12, base.edges, weights=rng.uniform(0.1, 1.0, base.n_edges),
+            validated=True,
+        )
+        path = tmp_path / "wb.npz"
+        save_npz(path, g)
+        g2 = load_npz(path)
+        assert isinstance(g2, WeightedBipartiteGraph)
+        assert not isinstance(g2, CapacitatedBipartiteGraph)
+        assert (g2.n_left, g2.n_right) == (8, 12)
+        np.testing.assert_array_equal(g2.edges, g.edges)
+        np.testing.assert_allclose(g2.weights, g.weights)
+
+    def test_capacitated(self, tmp_path, rng):
+        base = bipartite_gnp(6, 10, 0.4, rng)
+        g = CapacitatedBipartiteGraph(
+            6, 10, base.edges,
+            weights=rng.uniform(0.1, 1.0, base.n_edges),
+            capacities=rng.integers(1, 5, 6),
+            validated=True,
+        )
+        path = tmp_path / "cap.npz"
+        save_npz(path, g)
+        g2 = load_npz(path)
+        assert isinstance(g2, CapacitatedBipartiteGraph)
+        np.testing.assert_array_equal(g2.edges, g.edges)
+        np.testing.assert_allclose(g2.weights, g.weights)
+        np.testing.assert_array_equal(g2.capacities, g.capacities)
+
+    def test_schema_v1_files_still_load(self, tmp_path, rng):
+        """A pre-versioning npz (no ``version`` key) loads unchanged."""
+        g = bipartite_gnp(5, 9, 0.4, rng)
+        path = tmp_path / "v1.npz"
+        np.savez_compressed(
+            path,
+            kind=np.array([1]),
+            shape=np.array([g.n_left, g.n_right], dtype=np.int64),
+            edges=g.edges,
+        )
+        g2 = load_npz(path)
+        assert isinstance(g2, BipartiteGraph)
+        assert g2 == g
+
+    def test_v2_files_carry_version_tag(self, tmp_path):
+        g = Graph(3, np.array([[0, 1]]))
+        path = tmp_path / "tag.npz"
+        save_npz(path, g)
+        with np.load(path) as data:
+            assert int(data["version"][0]) == 2
 
 
 class TestTextRoundTrip:

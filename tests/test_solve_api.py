@@ -57,6 +57,13 @@ def small_general():
 
 
 @pytest.fixture(scope="module")
+def capacitated():
+    from repro.workloads import build_workload
+
+    return build_workload("ba_adwords", rng=9, u=60, v=240)
+
+
+@pytest.fixture(scope="module")
 def weighted():
     from repro.graph.generators import bipartite_gnp
     from repro.graph.weights import WeightedGraph
@@ -68,8 +75,10 @@ def weighted():
     return WeightedGraph(base.n_vertices, base.edges, weights, validated=True)
 
 
-def _graph_for(spec, bipartite, small_general, weighted):
+def _graph_for(spec, bipartite, small_general, weighted, capacitated):
     """The natural test input for a solver's capability tags."""
+    if spec.capacitated:
+        return capacitated
     if spec.weighted:
         return weighted
     if spec.name == "vertex_cover.exact":
@@ -157,17 +166,25 @@ class TestPickling:
 class TestEverySolver:
     @pytest.mark.parametrize("name", solver_ids())
     def test_certificate_verifies_and_is_deterministic(
-        self, name, bipartite, small_general, weighted
+        self, name, bipartite, small_general, weighted, capacitated
     ):
         spec = get_solver(name)
-        graph = _graph_for(spec, bipartite, small_general, weighted)
+        graph = _graph_for(spec, bipartite, small_general, weighted,
+                           capacitated)
         first = solve(graph, name, _ctx())
         again = solve(graph, name, _ctx())
 
         # The facade's own verification ran and passed ...
         assert first.verified
         # ... and the verifiers agree when called directly.
-        if spec.problem == "matching":
+        if spec.capacitated:
+            from repro.workloads.bmatching import edge_indices, verify_b_matching
+
+            assert verify_b_matching(
+                graph, edge_indices(graph, first.certificate)
+            )
+            assert first.certificate.shape[1] == 2
+        elif spec.problem == "matching":
             from repro.matching.verify import is_matching
 
             assert is_matching(graph, first.certificate)
@@ -401,6 +418,40 @@ def _legacy_mapreduce_vc(graph):
     return mapreduce_vertex_cover(graph, k=K, rng=rng).cover
 
 
+def _legacy_b_greedy(graph):
+    from repro.workloads.bmatching import greedy_b_matching
+
+    return graph.edges[greedy_b_matching(graph)]
+
+
+def _legacy_b_exact(graph):
+    from repro.workloads.bmatching import exact_b_matching
+
+    return graph.edges[exact_b_matching(graph)]
+
+
+def _legacy_b_coreset(graph):
+    # Reference composition outside the facade: greedy per random piece,
+    # exact on the union — mirroring the adapter step for step.
+    from repro.workloads.bmatching import (
+        edge_indices,
+        exact_b_matching,
+        greedy_b_matching,
+    )
+    from repro.workloads.partitions import partition_workload
+
+    partition_rng, _run_rng = _ctx().generators(2)
+    part = partition_workload(graph, K, "random", partition_rng)
+    union_mask = np.zeros(graph.n_edges, dtype=bool)
+    for i in range(part.k):
+        piece = graph.subgraph_from_mask(part.assignment == i)
+        local = greedy_b_matching(piece)
+        if local.size:
+            union_mask[edge_indices(graph, piece.edges[local])] = True
+    union = graph.subgraph_from_mask(union_mask)
+    return union.edges[exact_b_matching(union)]
+
+
 _LEGACY = {
     "matching.maximum": _legacy_maximum,
     "matching.hopcroft_karp": _legacy_hopcroft_karp,
@@ -412,6 +463,9 @@ _LEGACY = {
     "matching.send_everything": _legacy_send_everything_matching,
     "matching.weighted_coreset": _legacy_weighted_matching,
     "matching.mapreduce": _legacy_mapreduce_matching,
+    "matching.b_greedy": _legacy_b_greedy,
+    "matching.b_exact": _legacy_b_exact,
+    "matching.b_coreset": _legacy_b_coreset,
     "matching.filtering": _legacy_filtering,
     "matching.streaming_greedy": _legacy_streaming_greedy,
     "matching.streaming_two_phase": _legacy_streaming_two_phase,
@@ -433,9 +487,11 @@ class TestLegacyEquivalence:
         assert set(_LEGACY) == set(solver_ids())
 
     @pytest.mark.parametrize("name", sorted(_LEGACY))
-    def test_bit_for_bit(self, name, bipartite, small_general, weighted):
+    def test_bit_for_bit(self, name, bipartite, small_general, weighted,
+                         capacitated):
         spec = get_solver(name)
-        graph = _graph_for(spec, bipartite, small_general, weighted)
+        graph = _graph_for(spec, bipartite, small_general, weighted,
+                           capacitated)
         result = solve(graph, name, _ctx())
         expected = _LEGACY[name](graph)
         np.testing.assert_array_equal(
@@ -453,8 +509,25 @@ class TestCapabilities:
             solve(small_general, "matching.hopcroft_karp", _ctx())
 
     def test_weighted_rejects_unweighted(self, bipartite):
-        with pytest.raises(SolverCapabilityError, match="WeightedGraph"):
+        with pytest.raises(SolverCapabilityError, match="edge weights"):
             solve(bipartite, "matching.weighted_coreset", _ctx())
+
+    def test_capacitated_rejects_uncapacitated(self, bipartite):
+        # Weighted but budget-less: the weighted gate passes, the
+        # capacitated gate must still refuse.
+        from repro.graph.capacity import WeightedBipartiteGraph
+
+        g = WeightedBipartiteGraph(
+            bipartite.n_left, bipartite.n_right, bipartite.edges,
+            weights=np.ones(bipartite.n_edges), validated=True,
+        )
+        with pytest.raises(SolverCapabilityError,
+                           match="CapacitatedBipartiteGraph"):
+            solve(g, "matching.b_exact", _ctx())
+
+    def test_plain_solver_rejects_capacitated(self, capacitated):
+        with pytest.raises(SolverCapabilityError, match="ignores capacities"):
+            solve(capacitated, "matching.maximum", _ctx())
 
     def test_missing_k_rejected(self, bipartite):
         with pytest.raises(SolverCapabilityError, match="RunContext.k"):

@@ -48,6 +48,8 @@ ALL_GUARANTEES = sorted({s.guarantee for s in ALL_SPECS})
 
 def _graph_for(spec):
     """A small graph satisfying the spec's input capabilities."""
+    if spec.capacitated:
+        return load_graph("workload:ba_adwords:u=30,v=120", rng=5)
     if spec.weighted:
         return load_graph("weighted:n=60", rng=5)
     # Bipartite satisfies bipartite-only solvers and every general solver.

@@ -1,0 +1,156 @@
+"""Tests for b-matching primitives and the capacitated solver surface."""
+
+import numpy as np
+import pytest
+
+from repro.graph.capacity import CapacitatedBipartiteGraph
+from repro.graph.generators import bipartite_gnp
+from repro.matching.hopcroft_karp import hopcroft_karp
+from repro.solve import RunContext, solve
+from repro.solve.capabilities import rank_candidates, resolve_capability
+from repro.solve.registry import SolverCapabilityError
+from repro.workloads import build_workload
+from repro.workloads.bmatching import (
+    b_matching_weight,
+    edge_indices,
+    exact_b_matching,
+    greedy_b_matching,
+    verify_b_matching,
+)
+
+
+def _capacitated(n_left, n_right, p, caps, seed=0):
+    base = bipartite_gnp(n_left, n_right, p, rng=seed)
+    return CapacitatedBipartiteGraph(
+        n_left, n_right, base.edges,
+        capacities=np.asarray(caps, dtype=np.int64), validated=True,
+    )
+
+
+class TestVerify:
+    def test_feasible_and_empty(self):
+        g = build_workload("ba_adwords", rng=0, u=30, v=90)
+        assert verify_b_matching(g, np.zeros(0, dtype=np.int64))
+        assert verify_b_matching(g, greedy_b_matching(g))
+
+    def test_rejects_right_reuse(self):
+        g = _capacitated(2, 1, 1.0, [5, 5])  # both lefts to the one right
+        assert g.n_edges == 2
+        assert not verify_b_matching(g, np.array([0, 1]))
+
+    def test_rejects_capacity_violation(self):
+        g = _capacitated(1, 3, 1.0, [2])  # one left, capacity 2, 3 edges
+        assert g.n_edges == 3
+        assert not verify_b_matching(g, np.array([0, 1, 2]))
+        assert verify_b_matching(g, np.array([0, 2]))
+
+    def test_rejects_duplicates_and_bad_indices(self):
+        g = _capacitated(2, 2, 1.0, [2, 2])
+        assert not verify_b_matching(g, np.array([0, 0]))
+        assert not verify_b_matching(g, np.array([g.n_edges]))
+        assert not verify_b_matching(g, np.array([-1]))
+
+
+class TestEdgeIndices:
+    def test_round_trip(self):
+        g = build_workload("ba_adwords", rng=1, u=20, v=60)
+        idx = greedy_b_matching(g)
+        np.testing.assert_array_equal(edge_indices(g, g.edges[idx]), idx)
+
+    def test_missing_edge_raises(self):
+        edges = np.array([[0, 2], [1, 3]])
+        g = CapacitatedBipartiteGraph(
+            2, 2, edges, capacities=np.array([1, 1]), validated=True
+        )
+        with pytest.raises(ValueError, match="not present"):
+            edge_indices(g, np.array([[0, 3]]))
+
+
+class TestGreedyAndExact:
+    def test_both_feasible_and_ordered(self):
+        for seed in range(4):
+            g = build_workload("ba_adwords", rng=seed, u=40, v=160)
+            gm = greedy_b_matching(g)
+            em = exact_b_matching(g)
+            assert verify_b_matching(g, gm)
+            assert verify_b_matching(g, em)
+            assert em.size >= gm.size
+            assert em.size <= g.b_matching_upper_bound()
+            # greedy can't be worse than half the optimum (maximal)
+            assert 2 * gm.size >= em.size
+
+    def test_unit_capacities_match_hopcroft_karp(self):
+        for seed in range(5):
+            base = bipartite_gnp(25, 25, 0.12, rng=seed)
+            g = CapacitatedBipartiteGraph(
+                base.n_left, base.n_right, base.edges, validated=True
+            )
+            assert exact_b_matching(g).size == hopcroft_karp(base).shape[0]
+
+    def test_known_small_instance(self):
+        # one advertiser with budget 3 and 3 impressions: all 3 go to it
+        g = _capacitated(1, 3, 1.0, [3])
+        assert exact_b_matching(g).size == 3
+        assert greedy_b_matching(g).size == 3
+
+    def test_capacity_actually_binds(self):
+        # budget 1 forces exactly one of the 3 edges
+        g = _capacitated(1, 3, 1.0, [1])
+        assert exact_b_matching(g).size == 1
+
+    def test_greedy_prefers_heavy_edges(self):
+        edges = np.array([[0, 1], [0, 2]])
+        g = CapacitatedBipartiteGraph(
+            1, 2, edges, weights=np.array([0.1, 9.0]),
+            capacities=np.array([1]), validated=True,
+        )
+        idx = greedy_b_matching(g)
+        assert b_matching_weight(g, idx) == 9.0
+
+    def test_empty_graph(self):
+        g = CapacitatedBipartiteGraph(3, 3, capacities=np.array([1, 1, 1]))
+        assert exact_b_matching(g).size == 0
+        assert greedy_b_matching(g).size == 0
+
+
+class TestSolverSurface:
+    def test_facade_runs_and_verifies(self):
+        g = build_workload("ba_adwords", rng=2, u=30, v=120)
+        exact = solve(g, "matching.b_exact")
+        greedy = solve(g, "matching.b_greedy")
+        assert exact.verified and greedy.verified
+        assert exact.value >= greedy.value
+        assert greedy.stats["weight"] > 0
+
+    def test_b_coreset_all_strategies_feasible(self):
+        g = build_workload("ba_adwords", rng=2, u=30, v=120)
+        opt = solve(g, "matching.b_exact").value
+        for strategy in ("random", "degree_sorted", "community"):
+            res = solve(g, "matching.b_coreset", RunContext(seed=0, k=3),
+                        strategy=strategy)
+            assert res.verified, strategy
+            assert res.value <= opt
+
+    def test_capacitated_input_refuses_plain_solver(self):
+        g = build_workload("ba_adwords", rng=0, u=10, v=30)
+        with pytest.raises(SolverCapabilityError, match="ignores capacities"):
+            solve(g, "matching.maximum")
+
+    def test_plain_input_refuses_capacitated_solver(self):
+        base = bipartite_gnp(10, 10, 0.3, rng=0)
+        with pytest.raises(SolverCapabilityError):
+            solve(base, "matching.b_exact")
+
+    def test_capability_resolution_is_capacity_aware(self):
+        g = build_workload("ba_adwords", rng=0, u=10, v=30)
+        spec = resolve_capability("matching", graph=g)
+        assert spec.capacitated
+        base = bipartite_gnp(10, 10, 0.3, rng=0)
+        names = [s.name for s in rank_candidates("matching", graph=base)]
+        assert names and not any(n.startswith("matching.b_") for n in names)
+
+    def test_deterministic_across_contexts(self):
+        g = build_workload("ba_adwords", rng=5, u=25, v=100)
+        a = solve(g, "matching.b_coreset", RunContext(seed=11, k=4))
+        b = solve(g, "matching.b_coreset", RunContext(seed=11, k=4))
+        np.testing.assert_array_equal(a.certificate, b.certificate)

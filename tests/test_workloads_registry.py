@@ -1,0 +1,233 @@
+"""Tests for repro.workloads: registry invariants, offline datasets,
+partition strategies, and the cache.
+
+Every test in this module runs with ``$REPRO_OFFLINE`` set **and** a
+socket-level tripwire, so a workload builder that tries to touch the
+network fails the suite rather than silently depending on connectivity.
+"""
+
+import pickle
+import socket
+
+import numpy as np
+import pytest
+
+from repro.graph.bipartite import BipartiteGraph
+from repro.graph.capacity import CapacitatedBipartiteGraph, WeightedBipartiteGraph
+from repro.workloads import (
+    PARTITION_STRATEGIES,
+    UnknownWorkloadError,
+    all_workloads,
+    build_workload,
+    fetch_workload,
+    get_workload,
+    partition_workload,
+    workload_ids,
+)
+from repro.workloads.cache import allow_network, cache_dir
+from repro.workloads.datasets import dataset_edges, parse_edge_tsv
+from repro.workloads.registry import KINDS
+
+
+@pytest.fixture(autouse=True)
+def offline_guard(monkeypatch, tmp_path):
+    """Force offline mode, redirect the cache, and trip on any socket use."""
+    monkeypatch.setenv("REPRO_OFFLINE", "1")
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+
+    def _blocked(self, *args, **kwargs):
+        raise AssertionError("workload code opened a network socket "
+                             "while offline")
+
+    monkeypatch.setattr(socket.socket, "connect", _blocked)
+
+
+class TestRegistryInvariants:
+    def test_registry_nonempty_and_kinds_valid(self):
+        specs = all_workloads()
+        assert len(specs) >= 6
+        for spec in specs:
+            assert spec.kind in KINDS
+            assert spec.description
+            assert isinstance(dict(spec.params), dict)
+
+    def test_expected_names_present(self):
+        names = set(workload_ids())
+        assert {"gmission", "movielens", "ba", "ba_adwords",
+                "power_law", "clustered"} <= names
+
+    def test_every_spec_is_picklable(self):
+        for spec in all_workloads():
+            clone = pickle.loads(pickle.dumps(spec))
+            assert clone.name == spec.name
+            assert clone.fn is spec.fn  # module-level fn round-trips by ref
+
+    def test_every_workload_is_deterministic_per_seed(self):
+        for name in workload_ids():
+            g1 = build_workload(name, rng=123)
+            g2 = build_workload(name, rng=123)
+            g3 = build_workload(name, rng=124)
+            assert np.array_equal(g1.edges, g2.edges), name
+            if hasattr(g1, "weights"):
+                np.testing.assert_array_equal(g1.weights, g2.weights)
+            # a different seed must actually change something on every
+            # randomized family (dataset loaders at natural size are
+            # seed-independent by design)
+            if get_workload(name).kind == "synthetic":
+                assert not (
+                    g1.n_edges == g3.n_edges
+                    and np.array_equal(g1.edges, g3.edges)
+                ), name
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(UnknownWorkloadError, match="available"):
+            build_workload("no_such_workload")
+
+    def test_unknown_param_rejected(self):
+        with pytest.raises(ValueError, match="no parameter"):
+            build_workload("ba", rng=0, bogus=3)
+
+    def test_capacitated_flags_match_types(self):
+        for spec in all_workloads():
+            g = spec.build(rng=5)
+            if spec.capacitated:
+                assert isinstance(g, CapacitatedBipartiteGraph)
+            if spec.weighted:
+                assert hasattr(g, "weights")
+            assert isinstance(g, BipartiteGraph)
+
+
+class TestDatasets:
+    def test_offline_uses_fixture(self):
+        for name in ("gmission", "movielens"):
+            data = dataset_edges(name)
+            assert data.origin == "fixture"
+            assert data.left.size > 100
+            assert data.weight.min() > 0
+
+    def test_parse_edge_tsv_formats(self):
+        (l, r, w), nl, nr = parse_edge_tsv(
+            "# comment\n1\t2\t0.5\n3\t2\t1.5\n"
+        )
+        assert nl == 2 and nr == 1
+        np.testing.assert_allclose(w, [0.5, 1.5])
+        (l2, r2, w2), _, _ = parse_edge_tsv("5::9::4.0::123456\n")
+        assert w2[0] == 4.0  # movielens :: rows with trailing timestamp
+        (l3, r3, w3), _, _ = parse_edge_tsv("0,1\n")
+        assert w3[0] == 1.0  # missing weight defaults to 1
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError, match="no edges"):
+            parse_edge_tsv("# only comments\n")
+        with pytest.raises(ValueError, match="unparsable"):
+            parse_edge_tsv("justonefield\n")
+
+    def test_natural_size_round_trip(self):
+        data = dataset_edges("gmission")
+        g = build_workload("gmission", rng=0)
+        assert isinstance(g, WeightedBipartiteGraph)
+        assert (g.n_left, g.n_right) == (data.n_left, data.n_right)
+
+    def test_subsample_scaling(self):
+        g = build_workload("gmission", rng=3, n_left=40)
+        assert g.n_left == 40
+        full = build_workload("gmission", rng=3)
+        assert g.n_edges < full.n_edges
+
+    def test_degree_replay_scaling(self):
+        g = build_workload("movielens", rng=3, n_left=500)
+        assert g.n_left == 500
+        assert g.n_edges > build_workload("movielens", rng=3).n_edges
+        # replay is seeded too
+        g2 = build_workload("movielens", rng=3, n_left=500)
+        assert np.array_equal(g.edges, g2.edges)
+        np.testing.assert_array_equal(g.weights, g2.weights)
+
+
+class TestCache:
+    def test_allow_network_respects_env(self, monkeypatch):
+        assert not allow_network()  # fixture sets REPRO_OFFLINE=1
+        monkeypatch.setenv("REPRO_OFFLINE", "0")
+        assert allow_network()
+        monkeypatch.delenv("REPRO_OFFLINE")
+        assert allow_network()
+
+    def test_cache_dir_override(self, tmp_path):
+        assert cache_dir() == tmp_path / "cache"
+
+    def test_fetch_writes_and_reuses_npz(self):
+        from repro.graph.io import load_npz
+
+        path = fetch_workload("ba", seed=7)
+        assert path.exists() and path.suffix == ".npz"
+        mtime = path.stat().st_mtime_ns
+        assert fetch_workload("ba", seed=7) == path
+        assert path.stat().st_mtime_ns == mtime  # reused, not rebuilt
+        g = load_npz(path)
+        assert np.array_equal(g.edges, build_workload("ba", rng=7).edges)
+
+    def test_fetch_capacitated_round_trips(self):
+        from repro.graph.io import load_npz
+
+        g = load_npz(fetch_workload("ba_adwords", seed=1))
+        assert isinstance(g, CapacitatedBipartiteGraph)
+        ref = build_workload("ba_adwords", rng=1)
+        np.testing.assert_array_equal(g.capacities, ref.capacities)
+        np.testing.assert_array_equal(g.weights, ref.weights)
+
+
+class TestGraphSpecSyntax:
+    def test_workload_spec_resolves(self):
+        from repro.solve.graphs import load_graph
+
+        g = load_graph("workload:ba:u=50,v=100,p=2", rng=4)
+        assert isinstance(g, BipartiteGraph)
+        assert (g.n_left, g.n_right) == (50, 100)
+
+    def test_workload_spec_matches_direct_build(self):
+        from repro.solve.graphs import load_graph
+
+        via_spec = load_graph("workload:power_law:u=80,v=80", rng=9)
+        direct = build_workload("power_law", rng=9, u=80, v=80)
+        assert np.array_equal(via_spec.edges, direct.edges)
+
+    def test_workload_spec_errors(self):
+        from repro.solve.graphs import load_graph
+
+        with pytest.raises(ValueError, match="needs a name"):
+            load_graph("workload:", rng=0)
+        with pytest.raises(UnknownWorkloadError):
+            load_graph("workload:nope", rng=0)
+
+
+class TestPartitionStrategies:
+    def test_all_strategies_cover_all_edges(self):
+        g = build_workload("power_law", rng=2)
+        for strategy in PARTITION_STRATEGIES:
+            part = partition_workload(g, 4, strategy, rng=5)
+            assert part.assignment.shape == (g.n_edges,)
+            assert part.assignment.min() >= 0
+            assert part.assignment.max() < 4
+            assert int(part.piece_sizes().sum()) == g.n_edges
+
+    def test_adversarial_strategies_are_deterministic(self):
+        g = build_workload("ba", rng=2)
+        for strategy in ("degree_sorted", "community"):
+            a = partition_workload(g, 4, strategy, rng=0).assignment
+            b = partition_workload(g, 4, strategy, rng=999).assignment
+            np.testing.assert_array_equal(a, b)
+
+    def test_degree_sorted_concentrates_hubs(self):
+        g = build_workload("power_law", rng=7)
+        part = partition_workload(g, 4, "degree_sorted")
+        left = g.edges[:, 0]
+        degree = np.bincount(left, minlength=g.n_vertices)
+        hub = int(np.argmax(degree))
+        machines = np.unique(part.assignment[left == hub])
+        # all of the top hub's edges land on one or two adjacent chunks
+        assert machines.size <= 2
+
+    def test_unknown_strategy_raises(self):
+        g = build_workload("ba", rng=0, u=20, v=20, p=2.0)
+        with pytest.raises(ValueError, match="unknown partition strategy"):
+            partition_workload(g, 4, "zigzag")
